@@ -1,0 +1,36 @@
+//! A gem5-substitute analytical timing model for the RADAR overhead evaluation.
+//!
+//! The paper evaluates RADAR's run-time cost with gem5 (8× Arm Cortex-M4F at 1 GHz,
+//! 32 KB L1 / 64 KB L2). Reproducing a cycle-accurate core is out of scope; what the
+//! paper's Table IV and Table V actually establish is the *ratio* between integrity-check
+//! work and inference work per fetched weight. This crate models exactly that:
+//!
+//! * [`NetworkWorkload`] — per-layer MAC and weight counts of the paper-scale ResNet-20
+//!   and ResNet-18 networks.
+//! * [`ArchParams`] — per-MAC, per-weight-fetch, per-checksum and per-CRC cycle costs.
+//! * [`simulate`] — produces a [`TimingReport`] for an unprotected, RADAR-protected or
+//!   CRC-protected inference.
+//!
+//! # Example
+//!
+//! ```
+//! use radar_archsim::{simulate, ArchParams, DetectionScheme, NetworkWorkload};
+//!
+//! let report = simulate(
+//!     &NetworkWorkload::resnet20_cifar(),
+//!     &ArchParams::cortex_m4f(),
+//!     DetectionScheme::Radar { group_size: 8, interleaved: true },
+//! );
+//! println!("overhead: {:.2}%", report.overhead_percent());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod params;
+mod simulate;
+mod workload;
+
+pub use params::ArchParams;
+pub use simulate::{simulate, DetectionScheme, TimingReport};
+pub use workload::{LayerWorkload, NetworkWorkload};

@@ -1,0 +1,51 @@
+/// Parameters of the analytical platform model.
+///
+/// The defaults approximate the paper's gem5 platform: Arm Cortex-M4F class cores at
+/// 1 GHz with a two-level cache in front of DRAM. The model is deliberately simple — a
+/// per-MAC compute cost, a per-byte weight-fetch cost and per-weight / per-group costs
+/// for the integrity check — because the paper's timing claim is about the *ratio* of
+/// checksum work to inference work (see DESIGN.md for the gem5 substitution).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchParams {
+    /// Core clock frequency in hertz.
+    pub clock_hz: f64,
+    /// Average cycles per multiply-accumulate, including operand loads.
+    pub cycles_per_mac: f64,
+    /// Cycles to bring one weight byte from DRAM into the cache hierarchy.
+    pub cycles_per_weight_byte: f64,
+    /// Cycles per weight for the RADAR masked-addition checksum (load is already paid by
+    /// the weight fetch; this covers the mask decision and accumulate).
+    pub cycles_per_checksum_weight: f64,
+    /// Extra cycles per weight for interleaved (strided) access during the checksum —
+    /// the cost visible in the paper's bracketed "with interleaving" numbers.
+    pub interleave_extra_cycles_per_weight: f64,
+    /// Fixed cycles per group for RADAR: signature binarization, comparison against the
+    /// golden signature and loop bookkeeping.
+    pub cycles_per_group_overhead: f64,
+    /// Cycles per weight byte for a bitwise CRC update (8 shift/XOR steps).
+    pub cycles_per_crc_byte: f64,
+    /// Fixed cycles per group for the CRC comparison.
+    pub cycles_per_crc_group_overhead: f64,
+}
+
+impl Default for ArchParams {
+    fn default() -> Self {
+        ArchParams {
+            clock_hz: 1.0e9,
+            cycles_per_mac: 4.0,
+            cycles_per_weight_byte: 3.0,
+            cycles_per_checksum_weight: 3.0,
+            interleave_extra_cycles_per_weight: 1.5,
+            cycles_per_group_overhead: 24.0,
+            cycles_per_crc_byte: 18.0,
+            cycles_per_crc_group_overhead: 24.0,
+        }
+    }
+}
+
+impl ArchParams {
+    /// The default gem5-like platform.
+    pub fn cortex_m4f() -> Self {
+        Self::default()
+    }
+}

@@ -1,0 +1,168 @@
+use crate::params::ArchParams;
+use crate::workload::NetworkWorkload;
+
+/// The integrity scheme whose run-time cost is added to the inference pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetectionScheme {
+    /// No protection (the paper's "Original" column).
+    None,
+    /// RADAR's masked addition checksum.
+    Radar {
+        /// Group size `G`.
+        group_size: usize,
+        /// Whether interleaving is enabled (the bracketed numbers in Table IV).
+        interleaved: bool,
+    },
+    /// A bitwise CRC of the given width over each group.
+    Crc {
+        /// CRC width in bits (7, 10, 13, …).
+        width: u32,
+        /// Group size `G`.
+        group_size: usize,
+    },
+}
+
+/// Timing breakdown of one batch-1 inference on the modelled platform.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimingReport {
+    /// Seconds spent on inference compute and weight fetch (without detection).
+    pub inference_seconds: f64,
+    /// Seconds added by the detection scheme.
+    pub detection_seconds: f64,
+}
+
+impl TimingReport {
+    /// Total time including detection.
+    pub fn total_seconds(&self) -> f64 {
+        self.inference_seconds + self.detection_seconds
+    }
+
+    /// Detection overhead as a fraction of the unprotected inference time.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.inference_seconds == 0.0 {
+            0.0
+        } else {
+            self.detection_seconds / self.inference_seconds
+        }
+    }
+
+    /// Detection overhead in percent.
+    pub fn overhead_percent(&self) -> f64 {
+        self.overhead_fraction() * 100.0
+    }
+}
+
+/// Simulates one batch-1 inference of `workload` on the platform described by `params`,
+/// with `scheme` embedded in the weight-fetch path.
+///
+/// Per layer, compute and weight fetch overlap (the slower of the two dominates);
+/// detection work is accounted separately since the paper reports it as additional time
+/// on top of the original inference.
+///
+/// # Example
+///
+/// ```
+/// use radar_archsim::{simulate, ArchParams, DetectionScheme, NetworkWorkload};
+///
+/// let workload = NetworkWorkload::resnet18_imagenet();
+/// let params = ArchParams::default();
+/// let radar = simulate(&workload, &params, DetectionScheme::Radar { group_size: 512, interleaved: true });
+/// assert!(radar.overhead_percent() < 2.0);
+/// ```
+pub fn simulate(workload: &NetworkWorkload, params: &ArchParams, scheme: DetectionScheme) -> TimingReport {
+    let mut inference_cycles = 0.0f64;
+    let mut detection_cycles = 0.0f64;
+
+    for layer in workload.layers() {
+        let compute = layer.macs as f64 * params.cycles_per_mac;
+        let fetch = layer.weight_count as f64 * params.cycles_per_weight_byte;
+        inference_cycles += compute.max(fetch);
+
+        detection_cycles += match scheme {
+            DetectionScheme::None => 0.0,
+            DetectionScheme::Radar { group_size, interleaved } => {
+                let per_weight = params.cycles_per_checksum_weight
+                    + if interleaved { params.interleave_extra_cycles_per_weight } else { 0.0 };
+                let groups = layer.weight_count.div_ceil(group_size) as f64;
+                layer.weight_count as f64 * per_weight + groups * params.cycles_per_group_overhead
+            }
+            DetectionScheme::Crc { width: _, group_size } => {
+                let groups = layer.weight_count.div_ceil(group_size) as f64;
+                layer.weight_count as f64 * params.cycles_per_crc_byte
+                    + groups * params.cycles_per_crc_group_overhead
+            }
+        };
+    }
+
+    TimingReport {
+        inference_seconds: inference_cycles / params.clock_hz,
+        detection_seconds: detection_cycles / params.clock_hz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r20() -> NetworkWorkload {
+        NetworkWorkload::resnet20_cifar()
+    }
+
+    fn r18() -> NetworkWorkload {
+        NetworkWorkload::resnet18_imagenet()
+    }
+
+    #[test]
+    fn no_detection_has_zero_overhead() {
+        let report = simulate(&r20(), &ArchParams::default(), DetectionScheme::None);
+        assert_eq!(report.detection_seconds, 0.0);
+        assert!(report.inference_seconds > 0.0);
+    }
+
+    #[test]
+    fn radar_overhead_is_a_few_percent_or_less() {
+        // Table IV: 3.56% (5.27% interleaved) for ResNet-20 with G=8, 0.58% (1.83%) for
+        // ResNet-18 with G=512. The analytical model must land in the same regime:
+        // single-digit percent, interleaved > plain, ResNet-20@G=8 > ResNet-18@G=512.
+        let params = ArchParams::default();
+        let r20_plain = simulate(&r20(), &params, DetectionScheme::Radar { group_size: 8, interleaved: false });
+        let r20_int = simulate(&r20(), &params, DetectionScheme::Radar { group_size: 8, interleaved: true });
+        let r18_plain = simulate(&r18(), &params, DetectionScheme::Radar { group_size: 512, interleaved: false });
+        let r18_int = simulate(&r18(), &params, DetectionScheme::Radar { group_size: 512, interleaved: true });
+
+        assert!(r20_int.overhead_percent() < 10.0);
+        assert!(r18_int.overhead_percent() < 2.0, "{}", r18_int.overhead_percent());
+        assert!(r20_int.overhead_percent() > r20_plain.overhead_percent());
+        assert!(r18_int.overhead_percent() > r18_plain.overhead_percent());
+        assert!(r20_int.overhead_percent() > r18_int.overhead_percent());
+    }
+
+    #[test]
+    fn crc_costs_several_times_more_than_radar() {
+        // Table V: CRC-13 detection time is ~5x RADAR's for ResNet-18 with G=512.
+        let params = ArchParams::default();
+        let radar = simulate(&r18(), &params, DetectionScheme::Radar { group_size: 512, interleaved: true });
+        let crc = simulate(&r18(), &params, DetectionScheme::Crc { width: 13, group_size: 512 });
+        let ratio = crc.detection_seconds / radar.detection_seconds;
+        assert!(ratio > 3.0 && ratio < 8.0, "CRC/RADAR detection ratio {ratio}");
+    }
+
+    #[test]
+    fn resnet18_inference_is_much_slower_than_resnet20() {
+        // The paper's baseline times are 66.3 ms vs 3.268 s (≈ 50x); our analytical model
+        // should preserve the order of magnitude.
+        let params = ArchParams::default();
+        let a = simulate(&r20(), &params, DetectionScheme::None);
+        let b = simulate(&r18(), &params, DetectionScheme::None);
+        let ratio = b.inference_seconds / a.inference_seconds;
+        assert!(ratio > 25.0 && ratio < 100.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn overhead_percent_is_consistent_with_fraction() {
+        let report = TimingReport { inference_seconds: 2.0, detection_seconds: 0.1 };
+        assert!((report.overhead_fraction() - 0.05).abs() < 1e-12);
+        assert!((report.overhead_percent() - 5.0).abs() < 1e-9);
+        assert!((report.total_seconds() - 2.1).abs() < 1e-12);
+    }
+}

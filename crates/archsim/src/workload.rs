@@ -1,0 +1,147 @@
+/// The compute and weight footprint of one layer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LayerWorkload {
+    /// Layer name (for reports).
+    pub name: String,
+    /// Number of 8-bit weights the layer stores.
+    pub weight_count: usize,
+    /// Multiply-accumulate operations for one inference (batch size 1).
+    pub macs: u64,
+}
+
+impl LayerWorkload {
+    /// A convolution layer: `c_out × c_in × k × k` weights applied at `h_out × w_out`
+    /// output positions.
+    pub fn conv(name: &str, c_in: usize, c_out: usize, k: usize, h_out: usize, w_out: usize) -> Self {
+        let weight_count = c_out * c_in * k * k;
+        LayerWorkload { name: name.to_owned(), weight_count, macs: (weight_count * h_out * w_out) as u64 }
+    }
+
+    /// A fully-connected layer.
+    pub fn linear(name: &str, in_features: usize, out_features: usize) -> Self {
+        let weight_count = in_features * out_features;
+        LayerWorkload { name: name.to_owned(), weight_count, macs: weight_count as u64 }
+    }
+}
+
+/// The full per-layer workload of a network at the paper's original scale.
+///
+/// Because the timing model is analytical, the workloads describe the *actual*
+/// ResNet-20 (CIFAR-10, 32×32 inputs) and ResNet-18 (ImageNet, 224×224 inputs)
+/// networks, not the width-reduced models used for the attack experiments.
+///
+/// # Example
+///
+/// ```
+/// use radar_archsim::NetworkWorkload;
+///
+/// let r18 = NetworkWorkload::resnet18_imagenet();
+/// assert!(r18.total_weights() > 11_000_000);
+/// assert!(r18.total_macs() > 1_500_000_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkWorkload {
+    name: String,
+    layers: Vec<LayerWorkload>,
+}
+
+impl NetworkWorkload {
+    /// Creates a workload from an explicit layer list.
+    pub fn new(name: &str, layers: Vec<LayerWorkload>) -> Self {
+        NetworkWorkload { name: name.to_owned(), layers }
+    }
+
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-layer workloads.
+    pub fn layers(&self) -> &[LayerWorkload] {
+        &self.layers
+    }
+
+    /// Total stored weights (bytes, since weights are 8-bit).
+    pub fn total_weights(&self) -> usize {
+        self.layers.iter().map(|l| l.weight_count).sum()
+    }
+
+    /// Total MACs for one inference.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// The paper's ResNet-20 on CIFAR-10 (32×32 RGB inputs, 10 classes).
+    pub fn resnet20_cifar() -> Self {
+        let mut layers = vec![LayerWorkload::conv("stem", 3, 16, 3, 32, 32)];
+        let stage = |layers: &mut Vec<LayerWorkload>, idx: usize, c_in: usize, c_out: usize, size: usize| {
+            for b in 0..3 {
+                let cin = if b == 0 { c_in } else { c_out };
+                layers.push(LayerWorkload::conv(&format!("s{idx}b{b}c1"), cin, c_out, 3, size, size));
+                layers.push(LayerWorkload::conv(&format!("s{idx}b{b}c2"), c_out, c_out, 3, size, size));
+                if b == 0 && c_in != c_out {
+                    layers.push(LayerWorkload::conv(&format!("s{idx}b{b}proj"), c_in, c_out, 1, size, size));
+                }
+            }
+        };
+        stage(&mut layers, 1, 16, 16, 32);
+        stage(&mut layers, 2, 16, 32, 16);
+        stage(&mut layers, 3, 32, 64, 8);
+        layers.push(LayerWorkload::linear("fc", 64, 10));
+        NetworkWorkload::new("ResNet-20 (CIFAR-10)", layers)
+    }
+
+    /// The paper's ResNet-18 on ImageNet (224×224 RGB inputs, 1000 classes).
+    pub fn resnet18_imagenet() -> Self {
+        let mut layers = vec![LayerWorkload::conv("stem", 3, 64, 7, 112, 112)];
+        let stage = |layers: &mut Vec<LayerWorkload>, idx: usize, c_in: usize, c_out: usize, size: usize| {
+            for b in 0..2 {
+                let cin = if b == 0 { c_in } else { c_out };
+                layers.push(LayerWorkload::conv(&format!("s{idx}b{b}c1"), cin, c_out, 3, size, size));
+                layers.push(LayerWorkload::conv(&format!("s{idx}b{b}c2"), c_out, c_out, 3, size, size));
+                if b == 0 && c_in != c_out {
+                    layers.push(LayerWorkload::conv(&format!("s{idx}b{b}proj"), c_in, c_out, 1, size, size));
+                }
+            }
+        };
+        stage(&mut layers, 1, 64, 64, 56);
+        stage(&mut layers, 2, 64, 128, 28);
+        stage(&mut layers, 3, 128, 256, 14);
+        stage(&mut layers, 4, 256, 512, 7);
+        layers.push(LayerWorkload::linear("fc", 512, 1000));
+        NetworkWorkload::new("ResNet-18 (ImageNet)", layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet20_parameter_count_matches_the_real_network() {
+        let w = NetworkWorkload::resnet20_cifar();
+        // ~0.27 M parameters (conv + fc weights).
+        assert!(w.total_weights() > 260_000 && w.total_weights() < 280_000, "{}", w.total_weights());
+        // ~41 M MACs per 32x32 inference.
+        assert!(w.total_macs() > 35_000_000 && w.total_macs() < 45_000_000, "{}", w.total_macs());
+    }
+
+    #[test]
+    fn resnet18_parameter_count_matches_the_real_network() {
+        let w = NetworkWorkload::resnet18_imagenet();
+        // ~11.2 M conv/fc weights (11.7 M total including BN, which is not quantized).
+        assert!(w.total_weights() > 10_500_000 && w.total_weights() < 12_000_000, "{}", w.total_weights());
+        // ~1.8 G MACs per 224x224 inference.
+        assert!(w.total_macs() > 1_500_000_000 && w.total_macs() < 2_100_000_000, "{}", w.total_macs());
+    }
+
+    #[test]
+    fn conv_and_linear_builders_compute_expected_sizes() {
+        let c = LayerWorkload::conv("c", 3, 16, 3, 32, 32);
+        assert_eq!(c.weight_count, 432);
+        assert_eq!(c.macs, 432 * 1024);
+        let l = LayerWorkload::linear("l", 512, 1000);
+        assert_eq!(l.weight_count, 512_000);
+        assert_eq!(l.macs, 512_000);
+    }
+}

@@ -1,0 +1,165 @@
+use radar_quant::{QuantizedModel, MSB};
+use radar_tensor::Tensor;
+
+use crate::pbfa::{Pbfa, PbfaConfig};
+use crate::profile::{AttackProfile, BitFlip, FlipDirection};
+
+/// The Section VIII "knowledgeable attacker": aware that an addition-checksum defense
+/// protects MSBs, but ignorant of the secret key and the interleaving strategy.
+///
+/// For every PBFA flip it adds a compensating MSB flip of the *opposite* direction on
+/// another weight it believes to be in the same checksum group (assuming plain
+/// contiguous grouping of size `assumed_group_size`). Paired `(0→1, 1→0)` flips leave
+/// the group's sum — and therefore both signature bits — unchanged, so they evade an
+/// un-interleaved checksum; RADAR's interleaving breaks the attacker's group assumption.
+///
+/// # Example
+///
+/// ```
+/// use radar_attack::KnowledgeableAttacker;
+///
+/// let attacker = KnowledgeableAttacker::new(10, 32);
+/// assert_eq!(attacker.assumed_group_size(), 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KnowledgeableAttacker {
+    pbfa: Pbfa,
+    assumed_group_size: usize,
+}
+
+impl KnowledgeableAttacker {
+    /// Creates the attacker: `n_pbfa_bits` progressive flips plus up to the same number
+    /// of compensating flips, assuming contiguous groups of `assumed_group_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_pbfa_bits` or `assumed_group_size` is zero.
+    pub fn new(n_pbfa_bits: usize, assumed_group_size: usize) -> Self {
+        assert!(assumed_group_size > 0, "assumed group size must be non-zero");
+        KnowledgeableAttacker { pbfa: Pbfa::new(PbfaConfig::new(n_pbfa_bits)), assumed_group_size }
+    }
+
+    /// The group size the attacker assumes the defense uses.
+    pub fn assumed_group_size(&self) -> usize {
+        self.assumed_group_size
+    }
+
+    /// Runs PBFA then adds compensating flips, returning the combined profile
+    /// (PBFA flips first, compensators afterwards). The model is left attacked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` does not match the batch size.
+    pub fn attack(&self, model: &mut QuantizedModel, images: &Tensor, labels: &[usize]) -> AttackProfile {
+        let mut profile = self.pbfa.attack(model, images, labels);
+        let mut compensators = Vec::new();
+        for flip in &profile.flips {
+            if let Some(comp) = self.compensating_flip(model, flip) {
+                model.flip_bit(comp.layer, comp.weight, comp.bit);
+                compensators.push(comp);
+            }
+        }
+        profile.flips.extend(compensators);
+        profile.loss_after = model.loss(images, labels);
+        profile
+    }
+
+    /// Finds a weight in the same assumed (contiguous) group whose MSB can be flipped in
+    /// the opposite direction, cancelling the original flip's effect on the group sum.
+    fn compensating_flip(&self, model: &QuantizedModel, flip: &BitFlip) -> Option<BitFlip> {
+        if flip.bit != MSB {
+            return None; // only MSB flips need (or admit) sum-preserving compensation
+        }
+        let weights = model.layer(flip.layer).weights();
+        let group = flip.weight / self.assumed_group_size;
+        let start = group * self.assumed_group_size;
+        let end = (start + self.assumed_group_size).min(weights.numel());
+        // The compensator must currently have the MSB state the original flip produced
+        // on its own weight being *reversed*: original 0→1 needs a partner flipped 1→0.
+        let want_msb_set = matches!(flip.direction, FlipDirection::ZeroToOne);
+        for idx in start..end {
+            if idx == flip.weight {
+                continue;
+            }
+            if weights.bit(idx, MSB) == want_msb_set {
+                let before = weights.value(idx);
+                let direction =
+                    if want_msb_set { FlipDirection::OneToZero } else { FlipDirection::ZeroToOne };
+                return Some(BitFlip { layer: flip.layer, weight: idx, bit: MSB, direction, weight_before: before });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radar_data::SyntheticSpec;
+    use radar_nn::{resnet20, ResNetConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (QuantizedModel, Tensor, Vec<usize>) {
+        let model = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(4))));
+        let (train, _) = SyntheticSpec::tiny().generate();
+        let mut rng = StdRng::seed_from_u64(0);
+        let batch = train.sample(8, &mut rng);
+        (model, batch.images().clone(), batch.labels().to_vec())
+    }
+
+    #[test]
+    fn adds_compensating_flips() {
+        let (mut model, images, labels) = setup();
+        let profile = KnowledgeableAttacker::new(4, 16).attack(&mut model, &images, &labels);
+        assert!(profile.len() > 4, "expected compensators beyond the 4 PBFA flips");
+        assert!(profile.len() <= 8);
+    }
+
+    #[test]
+    fn compensators_preserve_contiguous_group_sums() {
+        let (mut model, images, labels) = setup();
+        let g = 16;
+        let before = model.snapshot();
+        let attacker = KnowledgeableAttacker::new(4, g);
+        let profile = attacker.attack(&mut model, &images, &labels);
+
+        // For every assumed group touched by a *paired* set of flips, the sum of weights
+        // must be unchanged compared to the clean model.
+        let mut clean = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(4))));
+        clean.restore(&before);
+        use std::collections::HashMap;
+        let mut flips_per_group: HashMap<(usize, usize), usize> = HashMap::new();
+        for f in profile.flips.iter().filter(|f| f.bit == MSB) {
+            *flips_per_group.entry((f.layer, f.weight / g)).or_default() += 1;
+        }
+        for (&(layer, group), &count) in &flips_per_group {
+            if count != 2 {
+                continue;
+            }
+            let start = group * g;
+            let end = (start + g).min(model.layer(layer).len());
+            let sum_attacked: i32 =
+                model.layer(layer).weights().values()[start..end].iter().map(|&v| v as i32).sum();
+            let sum_clean: i32 =
+                clean.layer(layer).weights().values()[start..end].iter().map(|&v| v as i32).sum();
+            assert_eq!(sum_attacked, sum_clean, "group ({layer}, {group}) sum changed");
+        }
+    }
+
+    #[test]
+    fn compensators_are_opposite_direction_msb_flips() {
+        let (mut model, images, labels) = setup();
+        let n = 3;
+        let profile = KnowledgeableAttacker::new(n, 32).attack(&mut model, &images, &labels);
+        for comp in &profile.flips[n.min(profile.len())..] {
+            assert_eq!(comp.bit, MSB);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assumed group size must be non-zero")]
+    fn zero_group_size_panics() {
+        KnowledgeableAttacker::new(4, 0);
+    }
+}

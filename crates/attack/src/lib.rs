@@ -1,0 +1,43 @@
+//! Adversarial weight attacks for the RADAR reproduction.
+//!
+//! This crate implements the attacker side of the paper's threat model:
+//!
+//! * [`Pbfa`] — the Progressive Bit-Flip Attack (Rakin et al., ICCV 2019), the
+//!   strongest adversarial weight attack the paper defends against.
+//! * [`RandomBitFlip`] — the weak random-fault baseline.
+//! * [`KnowledgeableAttacker`] — the Section VIII attacker that pairs flips to evade an
+//!   un-interleaved addition checksum.
+//! * [`AttackProfile`] / [`BitFlip`] — the "vulnerable bit profile" mounted at run time.
+//! * [`stats`] — the Section III.C characterization (Table I, Table II, Fig. 2).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use radar_attack::{Pbfa, PbfaConfig};
+//! use radar_data::SyntheticSpec;
+//! use radar_nn::{resnet20, ResNetConfig};
+//! use radar_quant::QuantizedModel;
+//!
+//! let mut model = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(10))));
+//! let (train, _) = SyntheticSpec::tiny().generate();
+//! let profile = Pbfa::new(PbfaConfig::new(10)).attack(
+//!     &mut model,
+//!     train.images(),
+//!     train.labels(),
+//! );
+//! assert_eq!(profile.len(), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod knowledgeable;
+mod pbfa;
+mod profile;
+mod random;
+pub mod stats;
+
+pub use knowledgeable::KnowledgeableAttacker;
+pub use pbfa::{Pbfa, PbfaConfig};
+pub use profile::{AttackProfile, BitFlip, FlipDirection};
+pub use random::RandomBitFlip;

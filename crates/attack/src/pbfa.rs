@@ -1,0 +1,260 @@
+use std::collections::HashSet;
+
+use radar_quant::{QuantizedModel, MSB, WEIGHT_BITS};
+use radar_tensor::Tensor;
+
+use crate::profile::{AttackProfile, BitFlip, FlipDirection};
+
+/// Configuration of the Progressive Bit-Flip Attack.
+///
+/// # Example
+///
+/// ```
+/// use radar_attack::PbfaConfig;
+///
+/// let cfg = PbfaConfig::new(10);
+/// assert_eq!(cfg.n_bits, 10);
+/// assert_eq!(cfg.allowed_bits.len(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PbfaConfig {
+    /// Number of bit flips to commit.
+    pub n_bits: usize,
+    /// Bit positions the attacker is allowed to target (all 8 by default; restrict to
+    /// `[6]` for the paper's "avoid flipping MSB" knowledgeable attacker).
+    pub allowed_bits: Vec<u32>,
+    /// How many gradient-ranked candidate bits per layer are evaluated exactly during
+    /// the in-layer search. 1 keeps the attack fast; larger values match the original
+    /// implementation more closely at proportional cost.
+    pub candidates_per_layer: usize,
+}
+
+impl PbfaConfig {
+    /// Standard PBFA over all bit positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bits` is zero.
+    pub fn new(n_bits: usize) -> Self {
+        assert!(n_bits > 0, "n_bits must be non-zero");
+        PbfaConfig { n_bits, allowed_bits: (0..WEIGHT_BITS).collect(), candidates_per_layer: 1 }
+    }
+
+    /// PBFA restricted to the MSB-1 position (bit 6), used for the Section VIII
+    /// "avoid flipping MSB" experiment.
+    pub fn msb1_only(n_bits: usize) -> Self {
+        PbfaConfig { allowed_bits: vec![MSB - 1], ..Self::new(n_bits) }
+    }
+
+    /// Returns a copy evaluating `k` candidates per layer exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn with_candidates_per_layer(mut self, k: usize) -> Self {
+        assert!(k > 0, "candidate count must be non-zero");
+        self.candidates_per_layer = k;
+        self
+    }
+}
+
+/// The Progressive Bit-Flip Attack of Rakin et al. (ICCV 2019), as assumed by RADAR's
+/// threat model.
+///
+/// Each iteration performs the progressive search of the original attack:
+///
+/// 1. compute the gradient of the attacker-batch loss with respect to every quantized
+///    weight (white-box assumption, evaluation mode);
+/// 2. **in-layer search** — in every layer, rank candidate bits by the first-order loss
+///    increase `∂L/∂w · Δw(bit)` and evaluate the top candidates exactly by flipping,
+///    re-running the forward pass and restoring;
+/// 3. **cross-layer search** — commit the single flip with the highest measured loss.
+///
+/// The committed flips form an [`AttackProfile`] (the "vulnerable bit profile" that a
+/// rowhammer attacker mounts at run time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pbfa {
+    config: PbfaConfig,
+}
+
+impl Pbfa {
+    /// Creates the attack with the given configuration.
+    pub fn new(config: PbfaConfig) -> Self {
+        Pbfa { config }
+    }
+
+    /// The attack configuration.
+    pub fn config(&self) -> &PbfaConfig {
+        &self.config
+    }
+
+    /// Runs the attack against `model` using the attacker's batch `(images, labels)`.
+    ///
+    /// The model is left in its attacked state (all committed flips applied); use
+    /// [`QuantizedModel::snapshot`]/[`QuantizedModel::restore`] around this call to run
+    /// repeated rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` does not match the batch size.
+    pub fn attack(&self, model: &mut QuantizedModel, images: &Tensor, labels: &[usize]) -> AttackProfile {
+        let mut profile = AttackProfile::default();
+        let mut flipped: HashSet<(usize, usize, u32)> = HashSet::new();
+        profile.loss_before = model.loss(images, labels);
+        let mut current_loss = profile.loss_before;
+
+        for _ in 0..self.config.n_bits {
+            let (_, grads) = model.weight_gradients(images, labels);
+
+            // In-layer search: best candidates per layer by first-order estimate.
+            let mut best: Option<(f32, BitFlip)> = None;
+            for (layer_idx, grad) in grads.iter().enumerate() {
+                let candidates = self.rank_candidates(model, layer_idx, grad, &flipped);
+                for (weight_idx, bit) in candidates {
+                    let before = model.layer(layer_idx).weights().value(weight_idx);
+                    let direction = if model.layer(layer_idx).weights().bit(weight_idx, bit) {
+                        FlipDirection::OneToZero
+                    } else {
+                        FlipDirection::ZeroToOne
+                    };
+                    model.flip_bit(layer_idx, weight_idx, bit);
+                    let loss = model.loss(images, labels);
+                    model.flip_bit(layer_idx, weight_idx, bit); // restore
+                    let flip = BitFlip { layer: layer_idx, weight: weight_idx, bit, direction, weight_before: before };
+                    if best.as_ref().map_or(true, |(l, _)| loss > *l) {
+                        best = Some((loss, flip));
+                    }
+                }
+            }
+
+            // Cross-layer search: commit the globally best flip.
+            let Some((loss, flip)) = best else {
+                break; // no admissible candidate remains
+            };
+            model.flip_bit(flip.layer, flip.weight, flip.bit);
+            flipped.insert((flip.layer, flip.weight, flip.bit));
+            profile.flips.push(flip);
+            current_loss = loss;
+        }
+
+        profile.loss_after = current_loss;
+        profile
+    }
+
+    /// Ranks candidate `(weight, bit)` pairs of one layer by the first-order loss
+    /// increase and returns the top `candidates_per_layer`.
+    fn rank_candidates(
+        &self,
+        model: &QuantizedModel,
+        layer_idx: usize,
+        grad: &Tensor,
+        flipped: &HashSet<(usize, usize, u32)>,
+    ) -> Vec<(usize, u32)> {
+        let weights = model.layer(layer_idx).weights();
+        let mut top: Vec<(f32, usize, u32)> = Vec::with_capacity(self.config.candidates_per_layer + 1);
+        for (weight_idx, &g) in grad.data().iter().enumerate() {
+            if g == 0.0 {
+                continue;
+            }
+            for &bit in &self.config.allowed_bits {
+                if flipped.contains(&(layer_idx, weight_idx, bit)) {
+                    continue;
+                }
+                let estimate = g * weights.flip_delta(weight_idx, bit);
+                if estimate <= 0.0 {
+                    continue;
+                }
+                if top.len() < self.config.candidates_per_layer {
+                    top.push((estimate, weight_idx, bit));
+                    top.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+                } else if estimate > top.last().map_or(f32::NEG_INFINITY, |t| t.0) {
+                    top.pop();
+                    top.push((estimate, weight_idx, bit));
+                    top.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+                }
+            }
+        }
+        top.into_iter().map(|(_, w, b)| (w, b)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radar_data::SyntheticSpec;
+    use radar_nn::{resnet20, ResNetConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (QuantizedModel, Tensor, Vec<usize>) {
+        let model = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(4))));
+        let (train, _) = SyntheticSpec::tiny().generate();
+        let mut rng = StdRng::seed_from_u64(0);
+        let batch = train.sample(8, &mut rng);
+        (model, batch.images().clone(), batch.labels().to_vec())
+    }
+
+    #[test]
+    fn attack_commits_requested_number_of_flips() {
+        let (mut model, images, labels) = setup();
+        let profile = Pbfa::new(PbfaConfig::new(3)).attack(&mut model, &images, &labels);
+        assert_eq!(profile.len(), 3);
+    }
+
+    #[test]
+    fn attack_increases_loss() {
+        let (mut model, images, labels) = setup();
+        let profile = Pbfa::new(PbfaConfig::new(4)).attack(&mut model, &images, &labels);
+        assert!(
+            profile.loss_after > profile.loss_before,
+            "loss should increase: {} -> {}",
+            profile.loss_before,
+            profile.loss_after
+        );
+    }
+
+    #[test]
+    fn flips_do_not_repeat() {
+        let (mut model, images, labels) = setup();
+        let profile = Pbfa::new(PbfaConfig::new(5)).attack(&mut model, &images, &labels);
+        let mut seen = HashSet::new();
+        for f in &profile.flips {
+            assert!(seen.insert((f.layer, f.weight, f.bit)), "duplicate flip {f:?}");
+        }
+    }
+
+    #[test]
+    fn msb1_config_only_touches_bit_six() {
+        let (mut model, images, labels) = setup();
+        let profile = Pbfa::new(PbfaConfig::msb1_only(3)).attack(&mut model, &images, &labels);
+        assert!(profile.flips.iter().all(|f| f.bit == 6));
+    }
+
+    #[test]
+    fn unrestricted_attack_prefers_msb() {
+        // Paper Observation 1: the attack overwhelmingly selects MSBs.
+        let (mut model, images, labels) = setup();
+        let profile = Pbfa::new(PbfaConfig::new(6)).attack(&mut model, &images, &labels);
+        let msb_count = profile.flips.iter().filter(|f| f.is_msb()).count();
+        assert!(msb_count * 2 >= profile.len(), "only {msb_count}/{} flips on MSB", profile.len());
+    }
+
+    #[test]
+    fn recorded_directions_match_weight_before() {
+        let (mut model, images, labels) = setup();
+        let profile = Pbfa::new(PbfaConfig::new(4)).attack(&mut model, &images, &labels);
+        for f in &profile.flips {
+            let bit_was_set = (f.weight_before as u8 >> f.bit) & 1 == 1;
+            match f.direction {
+                FlipDirection::OneToZero => assert!(bit_was_set),
+                FlipDirection::ZeroToOne => assert!(!bit_was_set),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n_bits must be non-zero")]
+    fn zero_bits_panics() {
+        PbfaConfig::new(0);
+    }
+}

@@ -1,0 +1,124 @@
+use radar_quant::{QuantizedModel, MSB};
+
+/// Direction of a single bit flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlipDirection {
+    /// The bit was 0 and becomes 1.
+    ZeroToOne,
+    /// The bit was 1 and becomes 0.
+    OneToZero,
+}
+
+impl std::fmt::Display for FlipDirection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlipDirection::ZeroToOne => write!(f, "0→1"),
+            FlipDirection::OneToZero => write!(f, "1→0"),
+        }
+    }
+}
+
+/// One bit flip of one stored weight, as identified by an attack.
+///
+/// This is the unit of the "vulnerable bit profile" the attacker later mounts with
+/// rowhammer (threat-model step ② in the paper's Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitFlip {
+    /// Index of the quantized layer within the model.
+    pub layer: usize,
+    /// Flat index of the weight within that layer.
+    pub weight: usize,
+    /// Bit position (0 = LSB, 7 = MSB / sign bit).
+    pub bit: u32,
+    /// Direction of the flip.
+    pub direction: FlipDirection,
+    /// Value of the weight before the flip (two's complement).
+    pub weight_before: i8,
+}
+
+impl BitFlip {
+    /// Whether this flip targets the most significant (sign) bit.
+    pub fn is_msb(&self) -> bool {
+        self.bit == MSB
+    }
+}
+
+/// The result of one attack round: the ordered list of flips plus the loss trajectory.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AttackProfile {
+    /// The flips in the order the attacker applied them.
+    pub flips: Vec<BitFlip>,
+    /// Attacker-batch loss before any flip.
+    pub loss_before: f32,
+    /// Attacker-batch loss after all flips.
+    pub loss_after: f32,
+}
+
+impl AttackProfile {
+    /// Number of flips in the profile.
+    pub fn len(&self) -> usize {
+        self.flips.len()
+    }
+
+    /// Whether the profile contains no flips.
+    pub fn is_empty(&self) -> bool {
+        self.flips.is_empty()
+    }
+
+    /// Applies every flip in the profile to `model` (the rowhammer "mount" step when no
+    /// DRAM model is interposed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flip refers to a layer or weight outside `model`.
+    pub fn apply(&self, model: &mut QuantizedModel) {
+        for flip in &self.flips {
+            model.flip_bit(flip.layer, flip.weight, flip.bit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radar_nn::{resnet20, ResNetConfig};
+
+    #[test]
+    fn direction_displays_as_arrow() {
+        assert_eq!(FlipDirection::ZeroToOne.to_string(), "0→1");
+        assert_eq!(FlipDirection::OneToZero.to_string(), "1→0");
+    }
+
+    #[test]
+    fn is_msb_detects_bit_seven() {
+        let mut flip = BitFlip {
+            layer: 0,
+            weight: 0,
+            bit: 7,
+            direction: FlipDirection::ZeroToOne,
+            weight_before: 3,
+        };
+        assert!(flip.is_msb());
+        flip.bit = 6;
+        assert!(!flip.is_msb());
+    }
+
+    #[test]
+    fn apply_mounts_all_flips() {
+        let mut model = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(4))));
+        let before = model.layer(0).weights().value(5);
+        let profile = AttackProfile {
+            flips: vec![BitFlip {
+                layer: 0,
+                weight: 5,
+                bit: MSB,
+                direction: FlipDirection::ZeroToOne,
+                weight_before: before,
+            }],
+            loss_before: 0.0,
+            loss_after: 0.0,
+        };
+        profile.apply(&mut model);
+        assert_ne!(model.layer(0).weights().value(5), before);
+    }
+}

@@ -1,0 +1,119 @@
+use radar_quant::{QuantizedModel, MSB, WEIGHT_BITS};
+use rand::Rng;
+
+use crate::profile::{AttackProfile, BitFlip, FlipDirection};
+
+/// A random bit-flip fault injector.
+///
+/// The paper argues random flips are "too weak to be considered as an attack" (flipping
+/// 100 random bits degrades accuracy by under 1%); this baseline exists to reproduce
+/// that observation and to drive the detection-miss-rate Monte-Carlo experiment.
+///
+/// # Example
+///
+/// ```
+/// use radar_attack::RandomBitFlip;
+///
+/// let attack = RandomBitFlip::new(10);
+/// assert_eq!(attack.n_bits(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomBitFlip {
+    n_bits: usize,
+    msb_only: bool,
+}
+
+impl RandomBitFlip {
+    /// Creates an injector that flips `n_bits` uniformly random bits across all layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bits` is zero.
+    pub fn new(n_bits: usize) -> Self {
+        assert!(n_bits > 0, "n_bits must be non-zero");
+        RandomBitFlip { n_bits, msb_only: false }
+    }
+
+    /// Restricts flips to MSB positions (used by the miss-rate experiment, which
+    /// stresses exactly the bits RADAR's signature protects).
+    pub fn msb_only(mut self) -> Self {
+        self.msb_only = true;
+        self
+    }
+
+    /// Number of bits this injector flips per round.
+    pub fn n_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// Flips the configured number of random bits in `model`, weighting layer selection
+    /// by layer size so every stored bit is equally likely.
+    pub fn attack<R: Rng + ?Sized>(&self, model: &mut QuantizedModel, rng: &mut R) -> AttackProfile {
+        let total: usize = model.total_weights();
+        let mut profile = AttackProfile::default();
+        for _ in 0..self.n_bits {
+            let mut global = rng.gen_range(0..total);
+            let mut layer = 0;
+            while global >= model.layer(layer).len() {
+                global -= model.layer(layer).len();
+                layer += 1;
+            }
+            let bit = if self.msb_only { MSB } else { rng.gen_range(0..WEIGHT_BITS) };
+            let before = model.layer(layer).weights().value(global);
+            let direction = if model.layer(layer).weights().bit(global, bit) {
+                FlipDirection::OneToZero
+            } else {
+                FlipDirection::ZeroToOne
+            };
+            model.flip_bit(layer, global, bit);
+            profile.flips.push(BitFlip { layer, weight: global, bit, direction, weight_before: before });
+        }
+        profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radar_nn::{resnet20, ResNetConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> QuantizedModel {
+        QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(4))))
+    }
+
+    #[test]
+    fn flips_requested_number_of_bits() {
+        let mut m = model();
+        let mut rng = StdRng::seed_from_u64(0);
+        let profile = RandomBitFlip::new(25).attack(&mut m, &mut rng);
+        assert_eq!(profile.len(), 25);
+    }
+
+    #[test]
+    fn msb_only_restricts_bit_position() {
+        let mut m = model();
+        let mut rng = StdRng::seed_from_u64(1);
+        let profile = RandomBitFlip::new(50).msb_only().attack(&mut m, &mut rng);
+        assert!(profile.flips.iter().all(|f| f.bit == MSB));
+    }
+
+    #[test]
+    fn unrestricted_flips_touch_many_bit_positions() {
+        let mut m = model();
+        let mut rng = StdRng::seed_from_u64(2);
+        let profile = RandomBitFlip::new(200).attack(&mut m, &mut rng);
+        let distinct: std::collections::HashSet<u32> = profile.flips.iter().map(|f| f.bit).collect();
+        assert!(distinct.len() >= 6, "expected most bit positions to appear, got {distinct:?}");
+    }
+
+    #[test]
+    fn flips_are_applied_to_the_model() {
+        let mut m = model();
+        let snapshot = m.snapshot();
+        let mut rng = StdRng::seed_from_u64(3);
+        RandomBitFlip::new(10).attack(&mut m, &mut rng);
+        assert_ne!(m.snapshot(), snapshot);
+    }
+}

@@ -1,0 +1,200 @@
+//! Statistics over attack profiles, reproducing the characterization in Section III.C
+//! of the paper (Table I, Table II and Fig. 2).
+
+use crate::profile::{AttackProfile, FlipDirection};
+
+/// Bit-position histogram of committed flips (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BitPositionCounts {
+    /// Flips of the MSB from 0 to 1 (small positive weight made very negative).
+    pub msb_zero_to_one: usize,
+    /// Flips of the MSB from 1 to 0 (small negative weight made very positive).
+    pub msb_one_to_zero: usize,
+    /// Flips of any non-MSB position.
+    pub others: usize,
+}
+
+impl BitPositionCounts {
+    /// Total number of flips counted.
+    pub fn total(&self) -> usize {
+        self.msb_zero_to_one + self.msb_one_to_zero + self.others
+    }
+
+    /// Fraction of flips that target the MSB.
+    pub fn msb_fraction(&self) -> f32 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.msb_zero_to_one + self.msb_one_to_zero) as f32 / self.total() as f32
+        }
+    }
+}
+
+/// Counts flips by bit position and direction across many attack rounds (Table I).
+pub fn bit_position_counts(profiles: &[AttackProfile]) -> BitPositionCounts {
+    let mut counts = BitPositionCounts::default();
+    for profile in profiles {
+        for flip in &profile.flips {
+            if flip.is_msb() {
+                match flip.direction {
+                    FlipDirection::ZeroToOne => counts.msb_zero_to_one += 1,
+                    FlipDirection::OneToZero => counts.msb_one_to_zero += 1,
+                }
+            } else {
+                counts.others += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Histogram of the pre-attack values of targeted weights, using the paper's Table II
+/// ranges `(-128,-32)`, `(-32,0)`, `(0,32)`, `(32,127)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WeightRangeCounts {
+    /// Weights below -32.
+    pub very_negative: usize,
+    /// Weights in `[-32, 0)`.
+    pub small_negative: usize,
+    /// Weights in `[0, 32)`.
+    pub small_positive: usize,
+    /// Weights of 32 and above.
+    pub very_positive: usize,
+}
+
+impl WeightRangeCounts {
+    /// Total number of flips counted.
+    pub fn total(&self) -> usize {
+        self.very_negative + self.small_negative + self.small_positive + self.very_positive
+    }
+
+    /// Fraction of targeted weights with magnitude below 32 (the paper's Observation 3).
+    pub fn small_fraction(&self) -> f32 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.small_negative + self.small_positive) as f32 / self.total() as f32
+        }
+    }
+}
+
+/// Counts targeted-weight values by range across many attack rounds (Table II).
+pub fn weight_range_counts(profiles: &[AttackProfile]) -> WeightRangeCounts {
+    let mut counts = WeightRangeCounts::default();
+    for profile in profiles {
+        for flip in &profile.flips {
+            let w = i32::from(flip.weight_before);
+            if w < -32 {
+                counts.very_negative += 1;
+            } else if w < 0 {
+                counts.small_negative += 1;
+            } else if w < 32 {
+                counts.small_positive += 1;
+            } else {
+                counts.very_positive += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Proportion of flips that share a (per-layer, contiguous, size-`group_size`) group
+/// with at least one other flip of the same attack round (paper Fig. 2).
+///
+/// Returns 0 when the profiles contain no flips.
+pub fn multi_bit_group_proportion(profiles: &[AttackProfile], group_size: usize) -> f32 {
+    assert!(group_size > 0, "group size must be non-zero");
+    let mut shared = 0usize;
+    let mut total = 0usize;
+    for profile in profiles {
+        use std::collections::HashMap;
+        let mut per_group: HashMap<(usize, usize), usize> = HashMap::new();
+        for flip in &profile.flips {
+            *per_group.entry((flip.layer, flip.weight / group_size)).or_default() += 1;
+        }
+        for flip in &profile.flips {
+            total += 1;
+            if per_group[&(flip.layer, flip.weight / group_size)] > 1 {
+                shared += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        shared as f32 / total as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::BitFlip;
+
+    fn flip(layer: usize, weight: usize, bit: u32, direction: FlipDirection, before: i8) -> BitFlip {
+        BitFlip { layer, weight, bit, direction, weight_before: before }
+    }
+
+    fn profile(flips: Vec<BitFlip>) -> AttackProfile {
+        AttackProfile { flips, loss_before: 0.0, loss_after: 0.0 }
+    }
+
+    #[test]
+    fn bit_position_counts_split_by_direction() {
+        let profiles = vec![profile(vec![
+            flip(0, 0, 7, FlipDirection::ZeroToOne, 3),
+            flip(0, 1, 7, FlipDirection::OneToZero, -3),
+            flip(0, 2, 5, FlipDirection::ZeroToOne, 3),
+        ])];
+        let c = bit_position_counts(&profiles);
+        assert_eq!(c.msb_zero_to_one, 1);
+        assert_eq!(c.msb_one_to_zero, 1);
+        assert_eq!(c.others, 1);
+        assert_eq!(c.total(), 3);
+        assert!((c.msb_fraction() - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_ranges_match_paper_buckets() {
+        let profiles = vec![profile(vec![
+            flip(0, 0, 7, FlipDirection::ZeroToOne, -100),
+            flip(0, 1, 7, FlipDirection::ZeroToOne, -10),
+            flip(0, 2, 7, FlipDirection::ZeroToOne, 10),
+            flip(0, 3, 7, FlipDirection::ZeroToOne, 100),
+            flip(0, 4, 7, FlipDirection::ZeroToOne, 0),
+        ])];
+        let c = weight_range_counts(&profiles);
+        assert_eq!(c.very_negative, 1);
+        assert_eq!(c.small_negative, 1);
+        assert_eq!(c.small_positive, 2); // 10 and 0
+        assert_eq!(c.very_positive, 1);
+        assert!((c.small_fraction() - 3.0 / 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multi_bit_proportion_grows_with_group_size() {
+        // Two flips 10 apart in the same layer: separate groups at G=8, same at G=64.
+        let profiles = vec![profile(vec![
+            flip(0, 3, 7, FlipDirection::ZeroToOne, 1),
+            flip(0, 13, 7, FlipDirection::ZeroToOne, 1),
+        ])];
+        assert_eq!(multi_bit_group_proportion(&profiles, 8), 0.0);
+        assert_eq!(multi_bit_group_proportion(&profiles, 64), 1.0);
+    }
+
+    #[test]
+    fn flips_in_different_layers_never_share_groups() {
+        let profiles = vec![profile(vec![
+            flip(0, 3, 7, FlipDirection::ZeroToOne, 1),
+            flip(1, 3, 7, FlipDirection::ZeroToOne, 1),
+        ])];
+        assert_eq!(multi_bit_group_proportion(&profiles, 1024), 0.0);
+    }
+
+    #[test]
+    fn empty_profiles_give_zero_statistics() {
+        assert_eq!(bit_position_counts(&[]).total(), 0);
+        assert_eq!(weight_range_counts(&[]).total(), 0);
+        assert_eq!(multi_bit_group_proportion(&[], 8), 0.0);
+    }
+}

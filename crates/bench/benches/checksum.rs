@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the RADAR signature primitive: masked addition
+//! checksum and per-layer signing, for small and large group sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use radar_core::{group_signature, masked_sum, GroupLayout, Grouping, SecretKey, SignatureBits};
+
+fn bench_masked_sum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("masked_sum");
+    for &size in &[8usize, 64, 512] {
+        let weights: Vec<i8> = (0..size).map(|i| (i as i32 % 251 - 125) as i8).collect();
+        let key = SecretKey::new(0xACE1);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &weights, |b, w| {
+            b.iter(|| masked_sum(black_box(w), black_box(&key)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_layer_signing(c: &mut Criterion) {
+    // Sign a 64k-weight layer (≈ one mid-sized conv layer of ResNet-18) end to end.
+    let weights: Vec<i8> = (0..65_536).map(|i| (i as i32 % 251 - 125) as i8).collect();
+    let key = SecretKey::new(0xBEEF);
+    let mut group = c.benchmark_group("layer_signing_64k");
+    for (name, grouping) in [("contiguous", Grouping::Contiguous), ("interleaved", Grouping::interleaved())] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let layout = GroupLayout::new(weights.len(), 512, grouping);
+                let mut sigs = Vec::with_capacity(layout.num_groups());
+                for g in 0..layout.num_groups() {
+                    let vals: Vec<i8> = layout.members(g).iter().map(|&i| weights[i]).collect();
+                    sigs.push(group_signature(&vals, &key, SignatureBits::Two));
+                }
+                black_box(sigs)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_masked_sum, bench_layer_signing
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion micro-benchmarks comparing RADAR's signature with CRC and Hamming SEC-DED
+//! on a 512-weight group (the paper's Table V setting).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use radar_core::{group_signature, SecretKey, SignatureBits};
+use radar_integrity::{Crc, GroupCode, HammingSecDed};
+
+fn bench_codes(c: &mut Criterion) {
+    let group_512: Vec<i8> = (0..512).map(|i| (i as i32 % 251 - 125) as i8).collect();
+    let key = SecretKey::new(0x1234);
+    let crc13 = Crc::crc13();
+    let crc7 = Crc::crc7();
+    let hamming = HammingSecDed::new();
+
+    let mut g = c.benchmark_group("integrity_codes_512B_group");
+    g.bench_function("radar_signature_2bit", |b| {
+        b.iter(|| group_signature(black_box(&group_512), &key, SignatureBits::Two))
+    });
+    g.bench_function("radar_signature_3bit", |b| {
+        b.iter(|| group_signature(black_box(&group_512), &key, SignatureBits::Three))
+    });
+    g.bench_function("crc13", |b| b.iter(|| crc13.encode(black_box(&group_512))));
+    g.bench_function("crc7", |b| b.iter(|| crc7.encode(black_box(&group_512))));
+    g.bench_function("hamming_secded", |b| b.iter(|| hamming.encode(black_box(&group_512))));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_codes
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benchmarks of quantized inference with and without RADAR embedded, the
+//! in-repo analogue of the paper's Table IV measurement (absolute times differ from
+//! gem5; the overhead ratio is what matters).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use radar_core::{ProtectedModel, RadarConfig};
+use radar_nn::{resnet20, ResNetConfig};
+use radar_quant::QuantizedModel;
+use radar_tensor::Tensor;
+
+fn bench_inference(c: &mut Criterion) {
+    let input = Tensor::zeros(&[1, 3, 16, 16]);
+
+    let mut unprotected = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(10))));
+    let mut protected = ProtectedModel::new(
+        QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(10)))),
+        RadarConfig::paper_default(32),
+    );
+
+    let mut group = c.benchmark_group("batch1_inference_resnet20_tiny");
+    group.bench_function("unprotected", |b| b.iter(|| black_box(unprotected.forward(&input))));
+    group.bench_function("radar_protected", |b| b.iter(|| black_box(protected.forward(&input))));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_inference
+}
+criterion_main!(benches);

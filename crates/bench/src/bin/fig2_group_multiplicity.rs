@@ -1,0 +1,13 @@
+//! Reproduces Fig. 2: proportion of multiple vulnerable bits in the same group.
+
+use radar_bench::experiments::characterize::fig2;
+use radar_bench::harness::{pbfa_profiles, prepare, Budget, ModelKind};
+
+fn main() {
+    let budget = Budget::from_env();
+    for kind in [ModelKind::ResNet20Like, ModelKind::ResNet18Like] {
+        let mut prepared = prepare(kind, budget);
+        let profiles = pbfa_profiles(&mut prepared);
+        fig2(&prepared, &profiles).print_and_save(&format!("fig2_{}", kind.id()));
+    }
+}

@@ -1,0 +1,13 @@
+//! Reproduces Fig. 6: recovered accuracy versus signature storage overhead.
+
+use radar_bench::experiments::recovery::fig6;
+use radar_bench::harness::{pbfa_profiles, prepare, Budget, ModelKind};
+
+fn main() {
+    let budget = Budget::from_env();
+    for kind in [ModelKind::ResNet20Like, ModelKind::ResNet18Like] {
+        let mut prepared = prepare(kind, budget);
+        let profiles = pbfa_profiles(&mut prepared);
+        fig6(&mut prepared, &profiles).print_and_save(&format!("fig6_{}", kind.id()));
+    }
+}

@@ -1,0 +1,11 @@
+//! Reproduces Fig. 7: detection and recovery against the knowledgeable (paired-flip)
+//! attacker on the ResNet-20 setting.
+
+use radar_bench::experiments::knowledgeable::fig7;
+use radar_bench::harness::{prepare, Budget, ModelKind};
+
+fn main() {
+    let budget = Budget::from_env();
+    let mut prepared = prepare(ModelKind::ResNet20Like, budget);
+    fig7(&mut prepared).print_and_save("fig7_knowledgeable");
+}

@@ -1,0 +1,11 @@
+//! Reproduces the Section VI.B Monte-Carlo detection-miss-rate study on a toy layer.
+
+use radar_bench::experiments::detection::missrate;
+
+fn main() {
+    let trials = std::env::var("RADAR_MISSRATE_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+    missrate(trials).print_and_save("missrate_toy_layer");
+}

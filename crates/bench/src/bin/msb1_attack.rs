@@ -1,0 +1,11 @@
+//! Reproduces the Section VIII MSB-1 experiment: restricted attacks need ~3x more flips
+//! and the 3-bit signature detects them.
+
+use radar_bench::experiments::knowledgeable::msb1;
+use radar_bench::harness::{prepare, Budget, ModelKind};
+
+fn main() {
+    let budget = Budget::from_env();
+    let mut prepared = prepare(ModelKind::ResNet20Like, budget);
+    msb1(&mut prepared).print_and_save("msb1_attack");
+}

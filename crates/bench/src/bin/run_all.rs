@@ -1,0 +1,39 @@
+//! Regenerates every table and figure of the paper in one run. Intermediate artifacts
+//! (trained checkpoints, attack profiles) are cached under `artifacts/`, so re-runs are
+//! much faster than the first run.
+
+use radar_bench::experiments::{characterize, detection, knowledgeable, recovery, timing};
+use radar_bench::harness::{pbfa_profiles, prepare, Budget, ModelKind};
+
+fn main() {
+    let budget = Budget::from_env();
+    eprintln!("[run_all] budget: {budget:?}");
+
+    // Platform-model experiments (cheap, no training needed).
+    timing::table4().print_and_save("table4_time_overhead");
+    timing::table5().print_and_save("table5_crc_comparison");
+    detection::missrate(
+        std::env::var("RADAR_MISSRATE_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(200_000),
+    )
+    .print_and_save("missrate_toy_layer");
+
+    // Model-based experiments.
+    for kind in [ModelKind::ResNet20Like, ModelKind::ResNet18Like] {
+        let mut prepared = prepare(kind, budget);
+        eprintln!("[run_all] {} clean accuracy: {:.2}%", kind.name(), prepared.clean_accuracy);
+        let profiles = pbfa_profiles(&mut prepared);
+        characterize::table1(&prepared, &profiles).print_and_save(&format!("table1_{}", kind.id()));
+        characterize::table2(&prepared, &profiles).print_and_save(&format!("table2_{}", kind.id()));
+        characterize::fig2(&prepared, &profiles).print_and_save(&format!("fig2_{}", kind.id()));
+        detection::fig4(&mut prepared, &profiles).print_and_save(&format!("fig4_{}", kind.id()));
+        recovery::table3(&mut prepared, &profiles).print_and_save(&format!("table3_{}", kind.id()));
+        recovery::fig6(&mut prepared, &profiles).print_and_save(&format!("fig6_{}", kind.id()));
+    }
+
+    // Section VIII experiments (ResNet-20 setting, as in the paper).
+    let mut prepared = prepare(ModelKind::ResNet20Like, budget);
+    knowledgeable::fig7(&mut prepared).print_and_save("fig7_knowledgeable");
+    knowledgeable::msb1(&mut prepared).print_and_save("msb1_attack");
+
+    eprintln!("[run_all] done; reports are in artifacts/results/");
+}

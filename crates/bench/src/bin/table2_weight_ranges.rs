@@ -1,0 +1,13 @@
+//! Reproduces Table II: value ranges of PBFA-targeted weights.
+
+use radar_bench::experiments::characterize::table2;
+use radar_bench::harness::{pbfa_profiles, prepare, Budget, ModelKind};
+
+fn main() {
+    let budget = Budget::from_env();
+    for kind in [ModelKind::ResNet20Like, ModelKind::ResNet18Like] {
+        let mut prepared = prepare(kind, budget);
+        let profiles = pbfa_profiles(&mut prepared);
+        table2(&prepared, &profiles).print_and_save(&format!("table2_{}", kind.id()));
+    }
+}

@@ -1,0 +1,7 @@
+//! Reproduces Table IV: RADAR inference-time overhead on the gem5-substitute platform.
+
+use radar_bench::experiments::timing::table4;
+
+fn main() {
+    table4().print_and_save("table4_time_overhead");
+}

@@ -1,0 +1,7 @@
+//! Reproduces Table V: time and storage overhead of CRC schemes versus RADAR.
+
+use radar_bench::experiments::timing::table5;
+
+fn main() {
+    table5().print_and_save("table5_crc_comparison");
+}

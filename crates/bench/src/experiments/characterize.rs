@@ -1,0 +1,58 @@
+//! Section III.C characterization experiments: Table I, Table II and Fig. 2.
+
+use radar_attack::stats::{bit_position_counts, multi_bit_group_proportion, weight_range_counts};
+use radar_attack::AttackProfile;
+
+use crate::harness::Prepared;
+use crate::report::Report;
+
+/// Table I: number of PBFA attacks in different bit positions.
+pub fn table1(prepared: &Prepared, profiles: &[AttackProfile]) -> Report {
+    let counts = bit_position_counts(profiles);
+    let mut report = Report::new(&format!(
+        "Table I — PBFA bit positions over {} rounds ({})",
+        profiles.len(),
+        prepared.kind.name()
+    ));
+    report.row(&["MSB (0->1)".into(), "MSB (1->0)".into(), "others".into(), "MSB fraction".into()]);
+    report.row(&[
+        counts.msb_zero_to_one.to_string(),
+        counts.msb_one_to_zero.to_string(),
+        counts.others.to_string(),
+        format!("{:.1}%", counts.msb_fraction() * 100.0),
+    ]);
+    report
+}
+
+/// Table II: frequency of targeted weights in different value ranges.
+pub fn table2(prepared: &Prepared, profiles: &[AttackProfile]) -> Report {
+    let counts = weight_range_counts(profiles);
+    let mut report = Report::new(&format!(
+        "Table II — targeted weight value ranges ({})",
+        prepared.kind.name()
+    ));
+    report.row(&["(-128,-32)".into(), "(-32,0)".into(), "(0,32)".into(), "(32,127)".into(), "small frac".into()]);
+    report.row(&[
+        counts.very_negative.to_string(),
+        counts.small_negative.to_string(),
+        counts.small_positive.to_string(),
+        counts.very_positive.to_string(),
+        format!("{:.1}%", counts.small_fraction() * 100.0),
+    ]);
+    report
+}
+
+/// Fig. 2: proportion of flips sharing a (contiguous) group with another flip, as a
+/// function of the group size.
+pub fn fig2(prepared: &Prepared, profiles: &[AttackProfile]) -> Report {
+    let mut report = Report::new(&format!(
+        "Fig. 2 — multiple vulnerable bits per group ({})",
+        prepared.kind.name()
+    ));
+    report.row(&["G".into(), "proportion".into()]);
+    for &g in prepared.kind.group_sweep() {
+        let p = multi_bit_group_proportion(profiles, g);
+        report.row(&[g.to_string(), format!("{:.2}%", p * 100.0)]);
+    }
+    report
+}

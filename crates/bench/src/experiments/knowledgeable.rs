@@ -1,0 +1,151 @@
+//! Section VIII experiments: the knowledgeable attacker (Fig. 7) and the MSB-1
+//! restricted attack with the 3-bit signature.
+
+use radar_attack::{AttackProfile, KnowledgeableAttacker, Pbfa, PbfaConfig};
+use radar_core::RadarConfig;
+
+use crate::experiments::recovery::attacked_accuracy;
+use crate::harness::{artifacts_dir, Prepared};
+use crate::profile_cache;
+use crate::report::Report;
+
+/// Generates (or loads) knowledgeable-attacker profiles that assume contiguous groups of
+/// `assumed_group_size`.
+fn knowledgeable_profiles(prepared: &mut Prepared, assumed_group_size: usize, rounds: usize) -> Vec<AttackProfile> {
+    let cache = artifacts_dir().join(format!(
+        "profiles_{}_knowledgeable_g{}_n{}_r{}.txt",
+        prepared.kind.id(),
+        assumed_group_size,
+        prepared.budget.n_bits,
+        rounds
+    ));
+    if let Ok(profiles) = profile_cache::load(&cache) {
+        if profiles.len() == rounds {
+            return profiles;
+        }
+    }
+    let attacker = KnowledgeableAttacker::new(prepared.budget.n_bits, assumed_group_size);
+    let snapshot = prepared.qmodel.snapshot();
+    let mut profiles = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let batch = prepared.attacker_batch(1000 + round);
+        let profile = attacker.attack(&mut prepared.qmodel, batch.images(), batch.labels());
+        prepared.qmodel.restore(&snapshot);
+        eprintln!(
+            "[harness] {} knowledgeable (G={assumed_group_size}) round {}/{}: {} flips",
+            prepared.kind.name(),
+            round + 1,
+            rounds,
+            profile.len()
+        );
+        profiles.push(profile);
+    }
+    profile_cache::save(&cache, &profiles).expect("artifact directory is writable");
+    profiles
+}
+
+/// Fig. 7: detection and recovery against the knowledgeable attacker (paired flips),
+/// sweeping the group size. The attacker assumes the same group size the defense uses
+/// but knows neither the key nor the interleaving.
+pub fn fig7(prepared: &mut Prepared) -> Report {
+    let rounds = prepared.budget.rounds.min(3).max(1);
+    let mut report = Report::new(&format!(
+        "Fig. 7 — knowledgeable attacker (paired flips) on {} ({rounds} rounds)",
+        prepared.kind.name()
+    ));
+    report.row(&[
+        "G".into(),
+        "flips".into(),
+        "det w/o int".into(),
+        "det int".into(),
+        "acc w/o int".into(),
+        "acc int".into(),
+    ]);
+    for &g in prepared.kind.group_sweep() {
+        let profiles = knowledgeable_profiles(prepared, g, rounds);
+        let avg_flips: f64 =
+            profiles.iter().map(|p| p.len() as f64).sum::<f64>() / profiles.len().max(1) as f64;
+        let plain_cfg = RadarConfig::without_interleave(g);
+        let inter_cfg = RadarConfig::paper_default(g);
+        let det_plain = crate::experiments::detection::average_detected(prepared, &profiles, plain_cfg);
+        let det_inter = crate::experiments::detection::average_detected(prepared, &profiles, inter_cfg);
+        let acc_plain =
+            crate::experiments::recovery::recovered_accuracy(prepared, &profiles, plain_cfg, usize::MAX);
+        let acc_inter =
+            crate::experiments::recovery::recovered_accuracy(prepared, &profiles, inter_cfg, usize::MAX);
+        report.row(&[
+            g.to_string(),
+            format!("{avg_flips:.1}"),
+            format!("{det_plain:.2}"),
+            format!("{det_inter:.2}"),
+            format!("{acc_plain:.2}%"),
+            format!("{acc_inter:.2}%"),
+        ]);
+    }
+    report
+}
+
+/// Section VIII "avoid flipping MSB": an MSB-1-restricted PBFA needs roughly three times
+/// as many flips for comparable damage, and the 3-bit signature detects it.
+pub fn msb1(prepared: &mut Prepared) -> Report {
+    let mut report = Report::new(&format!(
+        "Section VIII — MSB-1 restricted attack on {} (clean accuracy {:.2}%)",
+        prepared.kind.name(),
+        prepared.clean_accuracy
+    ));
+    report.row(&[
+        "N_BF".into(),
+        "bits".into(),
+        "attacked acc".into(),
+        "detected (2-bit)".into(),
+        "detected (3-bit)".into(),
+    ]);
+
+    let snapshot = prepared.qmodel.snapshot();
+    // Reference: the standard 10-flip MSB attack from the shared profile cache.
+    let msb_profiles = crate::harness::pbfa_profiles(prepared);
+    let msb_acc = attacked_accuracy(prepared, &msb_profiles, prepared.budget.n_bits);
+    report.line(format!(
+        "reference: {}-flip unrestricted PBFA degrades accuracy to {msb_acc:.2}%",
+        prepared.budget.n_bits
+    ));
+
+    let g = *prepared.kind.table3_groups().last().expect("table3 groups are non-empty");
+    for &n_bits in &[10usize, 20, 30] {
+        let cache = artifacts_dir().join(format!(
+            "profiles_{}_msb1_n{}.txt",
+            prepared.kind.id(),
+            n_bits
+        ));
+        let profiles = if let Ok(p) = profile_cache::load(&cache) {
+            p
+        } else {
+            let batch = prepared.attacker_batch(2000 + n_bits);
+            let attack = Pbfa::new(PbfaConfig::msb1_only(n_bits));
+            let profile = attack.attack(&mut prepared.qmodel, batch.images(), batch.labels());
+            prepared.qmodel.restore(&snapshot);
+            let profiles = vec![profile];
+            profile_cache::save(&cache, &profiles).expect("artifact directory is writable");
+            profiles
+        };
+        let acc = attacked_accuracy(prepared, &profiles, n_bits);
+        let det2 = crate::experiments::detection::average_detected(
+            prepared,
+            &profiles,
+            RadarConfig::paper_default(g),
+        );
+        let det3 = crate::experiments::detection::average_detected(
+            prepared,
+            &profiles,
+            RadarConfig::paper_default(g).with_three_bit_signature(),
+        );
+        report.row(&[
+            n_bits.to_string(),
+            "MSB-1 only".into(),
+            format!("{acc:.2}%"),
+            format!("{det2:.2}"),
+            format!("{det3:.2}"),
+        ]);
+    }
+    report
+}

@@ -1,0 +1,91 @@
+//! Recovery experiments: Table III (accuracy recovery) and Fig. 6 (accuracy vs storage).
+
+use radar_attack::AttackProfile;
+use radar_core::{RadarConfig, RadarProtection};
+
+use crate::harness::Prepared;
+use crate::report::Report;
+
+/// Test accuracy (percent) of the attacked-then-recovered model, averaged over the
+/// profiles, using the first `n_bits` flips of each profile.
+pub fn recovered_accuracy(
+    prepared: &mut Prepared,
+    profiles: &[AttackProfile],
+    config: RadarConfig,
+    n_bits: usize,
+) -> f64 {
+    let eval = prepared.eval_set();
+    let snapshot = prepared.qmodel.snapshot();
+    let mut total = 0.0;
+    for profile in profiles {
+        let mut radar = RadarProtection::new(&prepared.qmodel, config);
+        for flip in profile.flips.iter().take(n_bits) {
+            prepared.qmodel.flip_bit(flip.layer, flip.weight, flip.bit);
+        }
+        radar.detect_and_recover(&mut prepared.qmodel);
+        total += f64::from(prepared.qmodel.accuracy(eval.images(), eval.labels(), 32).percent());
+        prepared.qmodel.restore(&snapshot);
+    }
+    total / profiles.len().max(1) as f64
+}
+
+/// Test accuracy (percent) of the attacked model without any defense, averaged over the
+/// profiles, using the first `n_bits` flips of each profile.
+pub fn attacked_accuracy(prepared: &mut Prepared, profiles: &[AttackProfile], n_bits: usize) -> f64 {
+    let eval = prepared.eval_set();
+    let snapshot = prepared.qmodel.snapshot();
+    let mut total = 0.0;
+    for profile in profiles {
+        for flip in profile.flips.iter().take(n_bits) {
+            prepared.qmodel.flip_bit(flip.layer, flip.weight, flip.bit);
+        }
+        total += f64::from(prepared.qmodel.accuracy(eval.images(), eval.labels(), 32).percent());
+        prepared.qmodel.restore(&snapshot);
+    }
+    total / profiles.len().max(1) as f64
+}
+
+/// Table III: accuracy recovery for `N_BF ∈ {5, 10}` across group sizes, with and
+/// without interleaving.
+pub fn table3(prepared: &mut Prepared, profiles: &[AttackProfile]) -> Report {
+    let mut report = Report::new(&format!(
+        "Table III — accuracy recovery ({}, clean accuracy {:.2}%, {} rounds)",
+        prepared.kind.name(),
+        prepared.clean_accuracy,
+        profiles.len()
+    ));
+    report.row(&["N_BF".into(), "no defense".into(), "G".into(), "w/o interleave".into(), "interleave".into()]);
+    for &n_bits in &[5usize, 10] {
+        let baseline = attacked_accuracy(prepared, profiles, n_bits);
+        for &g in prepared.kind.table3_groups() {
+            let plain = recovered_accuracy(prepared, profiles, RadarConfig::without_interleave(g), n_bits);
+            let inter = recovered_accuracy(prepared, profiles, RadarConfig::paper_default(g), n_bits);
+            report.row(&[
+                n_bits.to_string(),
+                format!("{baseline:.2}%"),
+                g.to_string(),
+                format!("{plain:.2}%"),
+                format!("{inter:.2}%"),
+            ]);
+        }
+    }
+    report
+}
+
+/// Fig. 6: recovered accuracy (N_BF = 10, interleaving on) versus signature storage.
+pub fn fig6(prepared: &mut Prepared, profiles: &[AttackProfile]) -> Report {
+    let mut report = Report::new(&format!(
+        "Fig. 6 — recovered accuracy vs signature storage ({}, N_BF = {})",
+        prepared.kind.name(),
+        prepared.budget.n_bits
+    ));
+    report.row(&["G".into(), "storage (KB)".into(), "recovered acc".into()]);
+    for &g in prepared.kind.group_sweep() {
+        let config = RadarConfig::paper_default(g);
+        let radar = RadarProtection::new(&prepared.qmodel, config);
+        let storage = radar.storage_kb();
+        let acc = recovered_accuracy(prepared, profiles, config, prepared.budget.n_bits);
+        report.row(&[g.to_string(), format!("{storage:.3}"), format!("{acc:.2}%")]);
+    }
+    report
+}

@@ -1,0 +1,90 @@
+//! Timing and storage overhead experiments: Table IV (RADAR on the gem5-substitute
+//! platform) and Table V (comparison with CRC).
+
+use radar_archsim::{simulate, ArchParams, DetectionScheme, NetworkWorkload};
+use radar_integrity::{Crc, GroupCode};
+
+use crate::report::Report;
+
+/// The `(workload, RADAR group size)` pairs the paper evaluates in Tables IV and V.
+fn settings() -> Vec<(NetworkWorkload, usize)> {
+    vec![(NetworkWorkload::resnet20_cifar(), 8), (NetworkWorkload::resnet18_imagenet(), 512)]
+}
+
+/// Table IV: inference-time overhead of RADAR, without and with interleaving.
+pub fn table4() -> Report {
+    let params = ArchParams::cortex_m4f();
+    let mut report = Report::new("Table IV — time overhead of RADAR (analytical gem5 substitute)");
+    report.row(&[
+        "model".into(),
+        "original".into(),
+        "RADAR".into(),
+        "(interleave)".into(),
+        "overhead".into(),
+        "(interleave)".into(),
+    ]);
+    for (workload, g) in settings() {
+        let original = simulate(&workload, &params, DetectionScheme::None);
+        let plain = simulate(&workload, &params, DetectionScheme::Radar { group_size: g, interleaved: false });
+        let inter = simulate(&workload, &params, DetectionScheme::Radar { group_size: g, interleaved: true });
+        report.row(&[
+            workload.name().to_owned(),
+            format!("{:.1}ms", original.inference_seconds * 1e3),
+            format!("{:.1}ms", plain.total_seconds() * 1e3),
+            format!("{:.1}ms", inter.total_seconds() * 1e3),
+            format!("{:.2}%", plain.overhead_percent()),
+            format!("{:.2}%", inter.overhead_percent()),
+        ]);
+    }
+    report
+}
+
+/// Table V: time and storage overhead of CRC schemes compared with RADAR.
+pub fn table5() -> Report {
+    let params = ArchParams::cortex_m4f();
+    let mut report = Report::new("Table V — overhead comparison with CRC techniques");
+    report.row(&[
+        "model".into(),
+        "scheme".into(),
+        "total time".into(),
+        "detect time".into(),
+        "storage (KB)".into(),
+    ]);
+    for (workload, g) in settings() {
+        let weights = workload.total_weights();
+        let crc = if g == 8 { Crc::crc7() } else { Crc::crc13() };
+        let crc_report = simulate(&workload, &params, DetectionScheme::Crc { width: crc.width(), group_size: g });
+        let radar_report =
+            simulate(&workload, &params, DetectionScheme::Radar { group_size: g, interleaved: true });
+        let radar_storage_kb = (weights.div_ceil(g) * 2) as f64 / 8.0 / 1024.0;
+
+        report.row(&[
+            workload.name().to_owned(),
+            format!("{} (G={g})", crc.name()),
+            format!("{:.3}s", crc_report.total_seconds()),
+            format!("{:.3}s", crc_report.detection_seconds),
+            format!("{:.1}", crc.storage_bytes(weights, g) as f64 / 1024.0),
+        ]);
+        if g == 512 {
+            // The paper also quotes CRC-10 for the "protect only MSBs" variant.
+            let crc10 = Crc::crc10();
+            let crc10_report =
+                simulate(&workload, &params, DetectionScheme::Crc { width: 10, group_size: g });
+            report.row(&[
+                String::new(),
+                format!("{} (G={g})", crc10.name()),
+                format!("{:.3}s", crc10_report.total_seconds()),
+                format!("{:.3}s", crc10_report.detection_seconds),
+                format!("{:.1}", crc10.storage_bytes(weights, g) as f64 / 1024.0),
+            ]);
+        }
+        report.row(&[
+            String::new(),
+            format!("RADAR (G={g})"),
+            format!("{:.3}s", radar_report.total_seconds()),
+            format!("{:.3}s", radar_report.detection_seconds),
+            format!("{radar_storage_kb:.1}"),
+        ]);
+    }
+    report
+}

@@ -1,0 +1,258 @@
+//! Shared experiment infrastructure: model preparation (train-or-load), attack-profile
+//! generation with on-disk caching, and environment-variable budget knobs.
+
+use std::path::PathBuf;
+
+use radar_attack::{AttackProfile, Pbfa, PbfaConfig};
+use radar_data::{Dataset, SyntheticSpec};
+use radar_nn::{load_params, resnet18, resnet20, save_params, Adam, ResNetConfig, Sequential, Trainer};
+use radar_quant::QuantizedModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::profile_cache;
+
+/// Which of the paper's two evaluation models an experiment targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// The CIFAR-10 / ResNet-20 setting (width-reduced, synthetic data — see DESIGN.md).
+    ResNet20Like,
+    /// The ImageNet / ResNet-18 setting (width-reduced, synthetic data — see DESIGN.md).
+    ResNet18Like,
+}
+
+impl ModelKind {
+    /// Human-readable name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::ResNet20Like => "ResNet-20 (cifar-like)",
+            ModelKind::ResNet18Like => "ResNet-18 (imagenet-like)",
+        }
+    }
+
+    /// Short identifier used for artifact file names.
+    pub fn id(&self) -> &'static str {
+        match self {
+            ModelKind::ResNet20Like => "resnet20",
+            ModelKind::ResNet18Like => "resnet18",
+        }
+    }
+
+    /// Group sizes the paper sweeps for this model (Fig. 4 / Fig. 6).
+    pub fn group_sweep(&self) -> &'static [usize] {
+        match self {
+            ModelKind::ResNet20Like => &[4, 8, 16, 32, 64],
+            ModelKind::ResNet18Like => &[64, 128, 256, 512, 1024],
+        }
+    }
+
+    /// Group sizes used in the paper's Table III for this model.
+    pub fn table3_groups(&self) -> &'static [usize] {
+        match self {
+            ModelKind::ResNet20Like => &[8, 16, 32],
+            ModelKind::ResNet18Like => &[128, 256, 512],
+        }
+    }
+
+    fn dataset_spec(&self) -> SyntheticSpec {
+        match self {
+            ModelKind::ResNet20Like => SyntheticSpec::cifar_like().with_sizes(1_600, 800),
+            ModelKind::ResNet18Like => SyntheticSpec::imagenet_like().with_sizes(1_600, 800),
+        }
+    }
+
+    fn build_float_model(&self, num_classes: usize) -> Sequential {
+        match self {
+            ModelKind::ResNet20Like => resnet20(&ResNetConfig::new(num_classes, 16, 3, 20)),
+            ModelKind::ResNet18Like => resnet18(&ResNetConfig::new(num_classes, 8, 3, 18)),
+        }
+    }
+}
+
+/// Experiment budgets, overridable through environment variables so the full harness can
+/// be scaled from a quick smoke run to a paper-scale campaign.
+///
+/// | Variable | Meaning | Default |
+/// |---|---|---|
+/// | `RADAR_ROUNDS` | attack rounds per experiment | 8 |
+/// | `RADAR_EPOCHS` | training epochs per model | 3 |
+/// | `RADAR_NBF` | bit flips per PBFA round | 10 |
+/// | `RADAR_EVAL_SAMPLES` | test samples used for accuracy numbers | 400 |
+/// | `RADAR_ATTACK_BATCH` | attacker batch size | 16 |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Number of independent attack rounds (the paper uses 100).
+    pub rounds: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Bit flips per PBFA round (the paper uses 10).
+    pub n_bits: usize,
+    /// Number of test samples used for accuracy evaluation.
+    pub eval_samples: usize,
+    /// Attacker batch size.
+    pub attack_batch: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget { rounds: 8, epochs: 3, n_bits: 10, eval_samples: 400, attack_batch: 16 }
+    }
+}
+
+impl Budget {
+    /// Reads the budget from the environment, falling back to defaults.
+    pub fn from_env() -> Self {
+        let get = |key: &str, default: usize| -> usize {
+            std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+        };
+        let d = Budget::default();
+        Budget {
+            rounds: get("RADAR_ROUNDS", d.rounds),
+            epochs: get("RADAR_EPOCHS", d.epochs),
+            n_bits: get("RADAR_NBF", d.n_bits),
+            eval_samples: get("RADAR_EVAL_SAMPLES", d.eval_samples),
+            attack_batch: get("RADAR_ATTACK_BATCH", d.attack_batch),
+        }
+    }
+}
+
+/// The directory all trained checkpoints, cached attack profiles and experiment reports
+/// are written to.
+pub fn artifacts_dir() -> PathBuf {
+    let dir = std::env::var("RADAR_ARTIFACTS").unwrap_or_else(|_| "artifacts".to_owned());
+    let path = PathBuf::from(dir);
+    std::fs::create_dir_all(path.join("results")).expect("artifacts directory is writable");
+    path
+}
+
+/// A fully prepared evaluation setting: trained quantized model plus its data splits.
+pub struct Prepared {
+    /// Which model this is.
+    pub kind: ModelKind,
+    /// The trained, quantized model (clean state).
+    pub qmodel: QuantizedModel,
+    /// Training split (the attacker samples its batch from here).
+    pub train: Dataset,
+    /// Test split (accuracy numbers come from here).
+    pub test: Dataset,
+    /// Clean test accuracy of the quantized model, in percent.
+    pub clean_accuracy: f32,
+    /// The budget the setting was prepared under.
+    pub budget: Budget,
+}
+
+impl Prepared {
+    /// The evaluation subset used for accuracy numbers (bounded by the budget).
+    pub fn eval_set(&self) -> Dataset {
+        self.test.head(self.budget.eval_samples)
+    }
+
+    /// A deterministic attacker batch (round-dependent so different rounds see different
+    /// batches, as the paper's repeated attacks would).
+    pub fn attacker_batch(&self, round: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0000 + round as u64);
+        self.train.sample(self.budget.attack_batch, &mut rng)
+    }
+}
+
+/// Trains (or loads from the artifact cache) the requested model and returns the
+/// prepared evaluation setting.
+///
+/// The float model is trained on the synthetic dataset, quantized to 8 bits, and its
+/// checkpoint stored under `artifacts/` so every experiment binary shares the same
+/// weights.
+pub fn prepare(kind: ModelKind, budget: Budget) -> Prepared {
+    let spec = kind.dataset_spec();
+    let (train, test) = spec.generate();
+    let mut float_model = kind.build_float_model(spec.num_classes);
+
+    let checkpoint = artifacts_dir().join(format!("{}_w8_e{}.rnnp", kind.id(), budget.epochs));
+    if checkpoint.exists() {
+        load_params(&mut float_model, &checkpoint).expect("cached checkpoint matches architecture");
+    } else {
+        eprintln!("[harness] training {} for {} epochs…", kind.name(), budget.epochs);
+        let mut rng = StdRng::seed_from_u64(0x7EA1);
+        let mut trainer = Trainer::new(Adam::new(2e-3, 1e-4), 32);
+        let report = trainer.fit(&mut float_model, train.images(), train.labels(), budget.epochs, &mut rng);
+        eprintln!(
+            "[harness] {} trained: final loss {:.3}, train accuracy {}",
+            kind.name(),
+            report.epoch_losses.last().copied().unwrap_or(f32::NAN),
+            report.train_accuracy
+        );
+        save_params(&mut float_model, &checkpoint).expect("artifact directory is writable");
+    }
+
+    let mut qmodel = QuantizedModel::new(Box::new(float_model));
+    let eval = test.head(budget.eval_samples);
+    let clean_accuracy = qmodel.accuracy(eval.images(), eval.labels(), 32).percent();
+    Prepared { kind, qmodel, train, test, clean_accuracy, budget }
+}
+
+/// Generates (or loads from the artifact cache) `budget.rounds` PBFA profiles of
+/// `budget.n_bits` flips each against the prepared model.
+///
+/// The clean model is restored after every round, as in the paper's repeated-attack
+/// methodology.
+pub fn pbfa_profiles(prepared: &mut Prepared) -> Vec<AttackProfile> {
+    let budget = prepared.budget;
+    let cache = artifacts_dir().join(format!(
+        "profiles_{}_n{}_r{}_c2.txt",
+        prepared.kind.id(),
+        budget.n_bits,
+        budget.rounds
+    ));
+    if let Ok(profiles) = profile_cache::load(&cache) {
+        if profiles.len() == budget.rounds {
+            return profiles;
+        }
+    }
+
+    let snapshot = prepared.qmodel.snapshot();
+    let attack = Pbfa::new(PbfaConfig::new(budget.n_bits).with_candidates_per_layer(2));
+    let mut profiles = Vec::with_capacity(budget.rounds);
+    for round in 0..budget.rounds {
+        let batch = prepared.attacker_batch(round);
+        let profile = attack.attack(&mut prepared.qmodel, batch.images(), batch.labels());
+        prepared.qmodel.restore(&snapshot);
+        eprintln!(
+            "[harness] {} PBFA round {}/{}: loss {:.3} -> {:.3}",
+            prepared.kind.name(),
+            round + 1,
+            budget.rounds,
+            profile.loss_before,
+            profile.loss_after
+        );
+        profiles.push(profile);
+    }
+    profile_cache::save(&cache, &profiles).expect("artifact directory is writable");
+    profiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_matches_documented_values() {
+        let b = Budget::default();
+        assert_eq!(b.rounds, 8);
+        assert_eq!(b.n_bits, 10);
+        assert!(b.eval_samples >= 100);
+    }
+
+    #[test]
+    fn group_sweeps_match_the_paper() {
+        assert_eq!(ModelKind::ResNet20Like.group_sweep(), &[4, 8, 16, 32, 64]);
+        assert_eq!(ModelKind::ResNet18Like.group_sweep(), &[64, 128, 256, 512, 1024]);
+        assert_eq!(ModelKind::ResNet20Like.table3_groups(), &[8, 16, 32]);
+        assert_eq!(ModelKind::ResNet18Like.table3_groups(), &[128, 256, 512]);
+    }
+
+    #[test]
+    fn model_ids_are_distinct_and_stable() {
+        assert_ne!(ModelKind::ResNet20Like.id(), ModelKind::ResNet18Like.id());
+        assert!(ModelKind::ResNet20Like.name().contains("ResNet-20"));
+        assert!(ModelKind::ResNet18Like.name().contains("ResNet-18"));
+    }
+}

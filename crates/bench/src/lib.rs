@@ -1,0 +1,18 @@
+//! Experiment harness reproducing every table and figure of the RADAR paper.
+//!
+//! The harness prepares width-reduced but architecturally faithful ResNet-20 / ResNet-18
+//! models on synthetic data (see DESIGN.md for the substitutions), generates PBFA attack
+//! profiles once per model, caches everything under `artifacts/`, and exposes one
+//! function per paper table/figure in [`experiments`]. The `src/bin/*` binaries are thin
+//! wrappers; `run_all` regenerates every result in one go.
+//!
+//! Budgets (rounds, epochs, evaluation samples) are controlled through environment
+//! variables documented on [`harness::Budget`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod profile_cache;
+pub mod report;

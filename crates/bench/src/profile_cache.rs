@@ -1,0 +1,118 @@
+//! A tiny line-oriented on-disk cache for attack profiles, so the expensive PBFA rounds
+//! are generated once and shared by every experiment binary.
+//!
+//! Format: one `round <loss_before> <loss_after>` line per attack round followed by one
+//! `flip <layer> <weight> <bit> <direction> <weight_before>` line per committed flip.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use radar_attack::{AttackProfile, BitFlip, FlipDirection};
+
+/// Saves profiles to `path`.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save(path: &Path, profiles: &[AttackProfile]) -> std::io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    for profile in profiles {
+        writeln!(w, "round {} {}", profile.loss_before, profile.loss_after)?;
+        for f in &profile.flips {
+            let dir = match f.direction {
+                FlipDirection::ZeroToOne => "01",
+                FlipDirection::OneToZero => "10",
+            };
+            writeln!(w, "flip {} {} {} {} {}", f.layer, f.weight, f.bit, dir, f.weight_before)?;
+        }
+    }
+    w.flush()
+}
+
+/// Loads profiles from `path`.
+///
+/// # Errors
+///
+/// Returns an I/O error if the file cannot be read, or `InvalidData` if a line is
+/// malformed.
+pub fn load(path: &Path) -> std::io::Result<Vec<AttackProfile>> {
+    let r = BufReader::new(std::fs::File::open(path)?);
+    let bad = |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_owned());
+    let mut profiles: Vec<AttackProfile> = Vec::new();
+    for line in r.lines() {
+        let line = line?;
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.as_slice() {
+            ["round", before, after] => profiles.push(AttackProfile {
+                flips: Vec::new(),
+                loss_before: before.parse().map_err(|_| bad("bad loss_before"))?,
+                loss_after: after.parse().map_err(|_| bad("bad loss_after"))?,
+            }),
+            ["flip", layer, weight, bit, dir, before] => {
+                let profile = profiles.last_mut().ok_or_else(|| bad("flip before any round"))?;
+                profile.flips.push(BitFlip {
+                    layer: layer.parse().map_err(|_| bad("bad layer"))?,
+                    weight: weight.parse().map_err(|_| bad("bad weight"))?,
+                    bit: bit.parse().map_err(|_| bad("bad bit"))?,
+                    direction: match *dir {
+                        "01" => FlipDirection::ZeroToOne,
+                        "10" => FlipDirection::OneToZero,
+                        _ => return Err(bad("bad direction")),
+                    },
+                    weight_before: before.parse().map_err(|_| bad("bad weight_before"))?,
+                });
+            }
+            [] => {}
+            _ => return Err(bad("unrecognized line")),
+        }
+    }
+    Ok(profiles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profiles() -> Vec<AttackProfile> {
+        vec![
+            AttackProfile {
+                flips: vec![
+                    BitFlip { layer: 1, weight: 42, bit: 7, direction: FlipDirection::ZeroToOne, weight_before: 5 },
+                    BitFlip { layer: 3, weight: 7, bit: 6, direction: FlipDirection::OneToZero, weight_before: -9 },
+                ],
+                loss_before: 0.5,
+                loss_after: 4.25,
+            },
+            AttackProfile { flips: vec![], loss_before: 1.0, loss_after: 1.0 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_profiles() {
+        let dir = std::env::temp_dir().join("radar_profile_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.txt");
+        let profiles = sample_profiles();
+        save(&path, &profiles).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded, profiles);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_file_is_rejected() {
+        let dir = std::env::temp_dir().join("radar_profile_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("malformed.txt");
+        std::fs::write(&path, "flip 1 2 3 01 4\n").unwrap();
+        assert!(load(&path).is_err());
+        std::fs::write(&path, "round 0.1 0.2\nnonsense line\n").unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(load(Path::new("/nonexistent/profiles.txt")).is_err());
+    }
+}

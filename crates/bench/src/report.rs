@@ -1,0 +1,77 @@
+//! Small helpers for formatting experiment tables and persisting them under
+//! `artifacts/results/`.
+
+use std::path::PathBuf;
+
+use crate::harness::artifacts_dir;
+
+/// A plain-text experiment report (one per paper table/figure).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Report {
+    title: String,
+    lines: Vec<String>,
+}
+
+impl Report {
+    /// Creates a report with a title line.
+    pub fn new(title: &str) -> Self {
+        Report { title: title.to_owned(), lines: Vec::new() }
+    }
+
+    /// Appends one line.
+    pub fn line(&mut self, line: impl Into<String>) -> &mut Self {
+        self.lines.push(line.into());
+        self
+    }
+
+    /// Appends a row of columns separated for fixed-width reading.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        self.lines.push(cells.iter().map(|c| format!("{c:>14}")).collect::<Vec<_>>().join(" "));
+        self
+    }
+
+    /// Renders the report as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("=== {} ===\n", self.title));
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the report to stdout and writes it to `artifacts/results/<name>.txt`.
+    pub fn print_and_save(&self, name: &str) -> PathBuf {
+        let text = self.render();
+        println!("{text}");
+        let path = artifacts_dir().join("results").join(format!("{name}.txt"));
+        std::fs::write(&path, &text).expect("artifact results directory is writable");
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_title_and_rows() {
+        let mut r = Report::new("Table X");
+        r.line("header");
+        r.row(&["a".to_owned(), "b".to_owned()]);
+        let text = r.render();
+        assert!(text.contains("=== Table X ==="));
+        assert!(text.contains("header"));
+        assert!(text.contains('a'));
+    }
+
+    #[test]
+    fn rows_are_right_aligned() {
+        let mut r = Report::new("t");
+        r.row(&["1".to_owned(), "22".to_owned()]);
+        let line = r.render().lines().nth(1).unwrap().to_owned();
+        assert!(line.ends_with("22"));
+        assert!(line.len() >= 28);
+    }
+}

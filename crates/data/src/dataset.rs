@@ -1,0 +1,168 @@
+use radar_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A labelled image dataset held in memory: images `(N, C, H, W)` plus integer labels.
+///
+/// # Example
+///
+/// ```
+/// use radar_data::Dataset;
+/// use radar_tensor::Tensor;
+///
+/// let ds = Dataset::new(Tensor::zeros(&[4, 3, 8, 8]), vec![0, 1, 2, 3]).unwrap();
+/// assert_eq!(ds.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+}
+
+/// Error returned when constructing a [`Dataset`] from mismatched images and labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MismatchedLabelsError {
+    /// Number of images provided.
+    pub images: usize,
+    /// Number of labels provided.
+    pub labels: usize,
+}
+
+impl std::fmt::Display for MismatchedLabelsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dataset has {} images but {} labels", self.images, self.labels)
+    }
+}
+
+impl std::error::Error for MismatchedLabelsError {}
+
+impl Dataset {
+    /// Creates a dataset from an image tensor and matching labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MismatchedLabelsError`] if the label count differs from the number of
+    /// images (the first dimension of `images`).
+    pub fn new(images: Tensor, labels: Vec<usize>) -> Result<Self, MismatchedLabelsError> {
+        if images.dims()[0] != labels.len() {
+            return Err(MismatchedLabelsError { images: images.dims()[0], labels: labels.len() });
+        }
+        Ok(Dataset { images, labels })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The full image tensor `(N, C, H, W)`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// The labels, one per image.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Copies out the subset at the given sample indices (used for attacker batches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let n = self.len();
+        let sample = self.images.numel() / n.max(1);
+        let mut dims = self.images.dims().to_vec();
+        dims[0] = indices.len();
+        let mut data = Vec::with_capacity(indices.len() * sample);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < n, "index {i} out of bounds for dataset of {n} samples");
+            data.extend_from_slice(&self.images.data()[i * sample..(i + 1) * sample]);
+            labels.push(self.labels[i]);
+        }
+        Dataset {
+            images: Tensor::from_vec(data, &dims).expect("subset shape is consistent"),
+            labels,
+        }
+    }
+
+    /// Samples `count` examples uniformly at random without replacement (or all of them
+    /// if `count >= len`). This is the "small dataset with roughly similar distribution"
+    /// the PBFA attacker is assumed to hold.
+    pub fn sample<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Dataset {
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        indices.shuffle(rng);
+        indices.truncate(count.min(self.len()));
+        self.subset(&indices)
+    }
+
+    /// Takes the first `count` samples (deterministic subset for evaluation budgets).
+    pub fn head(&self, count: usize) -> Dataset {
+        let indices: Vec<usize> = (0..count.min(self.len())).collect();
+        self.subset(&indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset(n: usize) -> Dataset {
+        let images = Tensor::from_vec((0..n * 3 * 2 * 2).map(|v| v as f32).collect(), &[n, 3, 2, 2]).unwrap();
+        let labels = (0..n).map(|i| i % 4).collect();
+        Dataset::new(images, labels).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_mismatched_labels() {
+        let err = Dataset::new(Tensor::zeros(&[3, 1, 2, 2]), vec![0, 1]).unwrap_err();
+        assert_eq!(err.images, 3);
+        assert_eq!(err.labels, 2);
+    }
+
+    #[test]
+    fn subset_picks_correct_samples() {
+        let ds = dataset(5);
+        let sub = ds.subset(&[4, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.labels(), &[0, 0]);
+        assert_eq!(sub.images().data()[0], ds.images().data()[4 * 12]);
+    }
+
+    #[test]
+    fn sample_without_replacement_has_unique_items() {
+        let ds = dataset(20);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = ds.sample(10, &mut rng);
+        assert_eq!(s.len(), 10);
+        // First pixel of each sampled image identifies the source index uniquely.
+        let mut firsts: Vec<f32> = (0..10).map(|i| s.images().data()[i * 12]).collect();
+        firsts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        firsts.dedup();
+        assert_eq!(firsts.len(), 10);
+    }
+
+    #[test]
+    fn sample_more_than_len_returns_all() {
+        let ds = dataset(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(ds.sample(10, &mut rng).len(), 3);
+    }
+
+    #[test]
+    fn head_is_deterministic_prefix() {
+        let ds = dataset(6);
+        let h = ds.head(2);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.images().data()[0], ds.images().data()[0]);
+    }
+}

@@ -1,0 +1,27 @@
+//! Synthetic image datasets standing in for CIFAR-10 and ImageNet in the RADAR
+//! reproduction.
+//!
+//! The RADAR defense never inspects images; it needs (a) a trained quantized model whose
+//! accuracy collapses under PBFA and (b) a small attacker-held batch from the same
+//! distribution. [`SyntheticSpec`] generates deterministic, class-conditional image
+//! datasets that satisfy both at laptop scale. The substitution is documented in
+//! DESIGN.md.
+//!
+//! # Example
+//!
+//! ```
+//! use radar_data::SyntheticSpec;
+//!
+//! let (train, test) = SyntheticSpec::tiny().generate();
+//! assert_eq!(train.len(), 64);
+//! assert_eq!(test.images().dims()[1], 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod generator;
+
+pub use dataset::{Dataset, MismatchedLabelsError};
+pub use generator::SyntheticSpec;

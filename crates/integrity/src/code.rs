@@ -1,0 +1,64 @@
+/// A per-group integrity code: maps a group of stored `i8` weights to a small check
+/// value whose mismatch indicates corruption.
+///
+/// Both the comparison codes (CRC, Hamming SEC-DED) and RADAR's signature fit this
+/// shape; the benchmark harness uses the trait to sweep schemes with one code path.
+pub trait GroupCode {
+    /// Number of check bits stored per group.
+    fn check_bits(&self) -> u32;
+
+    /// Computes the check value of a group of weights.
+    fn encode(&self, group: &[i8]) -> u64;
+
+    /// Whether corruption is detected, given the stored (golden) check value and the
+    /// group's current contents.
+    fn detects(&self, golden: u64, group: &[i8]) -> bool {
+        self.encode(group) != golden
+    }
+
+    /// Human-readable scheme name used in benchmark tables.
+    fn name(&self) -> String;
+
+    /// Storage overhead in bytes for protecting `total_weights` weights grouped into
+    /// groups of `group_size` (per-layer padding ignored, matching the paper's
+    /// accounting).
+    fn storage_bytes(&self, total_weights: usize, group_size: usize) -> usize {
+        let groups = total_weights.div_ceil(group_size);
+        (groups * self.check_bits() as usize).div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ParityCode;
+
+    impl GroupCode for ParityCode {
+        fn check_bits(&self) -> u32 {
+            1
+        }
+        fn encode(&self, group: &[i8]) -> u64 {
+            group.iter().fold(0u64, |acc, &w| acc ^ (w as u8 as u64)) & 1
+        }
+        fn name(&self) -> String {
+            "parity".to_owned()
+        }
+    }
+
+    #[test]
+    fn default_detects_compares_encodings() {
+        let code = ParityCode;
+        let group = [1i8, 2, 3];
+        let golden = code.encode(&group);
+        assert!(!code.detects(golden, &group));
+        assert!(code.detects(golden, &[1, 2, 2]));
+    }
+
+    #[test]
+    fn storage_bytes_rounds_up() {
+        let code = ParityCode;
+        // 1000 weights in groups of 8 -> 125 groups -> 125 bits -> 16 bytes.
+        assert_eq!(code.storage_bytes(1000, 8), 16);
+    }
+}

@@ -1,0 +1,148 @@
+use crate::code::GroupCode;
+
+/// Hamming SEC-DED (single-error-correcting, double-error-detecting) check bits over a
+/// group of weight bytes, treated as one long codeword.
+///
+/// For `m` data bits the code stores `r` parity bits with `2^r ≥ m + r + 1`, plus one
+/// overall parity bit — e.g. 7 + 1 bits for a 64-bit group (G = 8 weights) and 13 + 1
+/// for a 4096-bit group (G = 512), matching the counts quoted in Section VII.B.
+///
+/// # Example
+///
+/// ```
+/// use radar_integrity::{GroupCode, HammingSecDed};
+///
+/// let code = HammingSecDed::new();
+/// assert_eq!(code.parity_bits_for(64), 7 + 1);
+/// assert_eq!(code.parity_bits_for(4096), 13 + 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct HammingSecDed {
+    /// Group size (weights) used only for storage accounting via [`GroupCode`].
+    nominal_group_bits: u32,
+}
+
+impl HammingSecDed {
+    /// Creates the code.
+    pub fn new() -> Self {
+        HammingSecDed { nominal_group_bits: 64 }
+    }
+
+    /// Number of check bits (Hamming parity bits plus the SEC-DED overall parity) needed
+    /// for `data_bits` data bits.
+    pub fn parity_bits_for(&self, data_bits: usize) -> u32 {
+        let mut r = 0u32;
+        while (1usize << r) < data_bits + r as usize + 1 {
+            r += 1;
+        }
+        r + 1 // plus overall parity for double-error detection
+    }
+
+    /// Reads bit `i` of the group, LSB-first within each byte.
+    fn data_bit(group: &[i8], i: usize) -> bool {
+        (group[i / 8] as u8 >> (i % 8)) & 1 == 1
+    }
+
+    /// Computes the syndrome-style check word: each Hamming parity bit covers the data
+    /// bit positions whose (1-based) index has the corresponding bit set, and the final
+    /// bit is the overall parity.
+    fn check_word(&self, group: &[i8]) -> u64 {
+        let data_bits = group.len() * 8;
+        let r = self.parity_bits_for(data_bits) - 1;
+        let mut word = 0u64;
+        for p in 0..r {
+            let mut parity = false;
+            for i in 0..data_bits {
+                if (i + 1) & (1 << p) != 0 && Self::data_bit(group, i) {
+                    parity = !parity;
+                }
+            }
+            if parity {
+                word |= 1 << p;
+            }
+        }
+        let mut overall = false;
+        for i in 0..data_bits {
+            if Self::data_bit(group, i) {
+                overall = !overall;
+            }
+        }
+        if overall {
+            word |= 1 << r;
+        }
+        word
+    }
+}
+
+impl GroupCode for HammingSecDed {
+    fn check_bits(&self) -> u32 {
+        self.parity_bits_for(self.nominal_group_bits as usize)
+    }
+
+    fn encode(&self, group: &[i8]) -> u64 {
+        self.check_word(group)
+    }
+
+    fn name(&self) -> String {
+        "Hamming SEC-DED".to_owned()
+    }
+
+    fn storage_bytes(&self, total_weights: usize, group_size: usize) -> usize {
+        let groups = total_weights.div_ceil(group_size);
+        let bits_per_group = self.parity_bits_for(group_size * 8) as usize;
+        (groups * bits_per_group).div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_bit_counts_match_the_paper() {
+        let code = HammingSecDed::new();
+        // "Hamming code requires 7 bits for 64 bits of data … and 13 bits for 4096 bits"
+        // (plus the SEC-DED overall parity bit).
+        assert_eq!(code.parity_bits_for(64), 8);
+        assert_eq!(code.parity_bits_for(4096), 14);
+    }
+
+    #[test]
+    fn detects_single_and_double_bit_flips() {
+        let code = HammingSecDed::new();
+        let group: Vec<i8> = (0..8).map(|i| (i * 31 - 100) as i8).collect();
+        let golden = code.encode(&group);
+        // Single flips.
+        for bit in 0..64 {
+            let mut corrupted = group.clone();
+            corrupted[bit / 8] = (corrupted[bit / 8] as u8 ^ (1 << (bit % 8))) as i8;
+            assert!(code.detects(golden, &corrupted), "missed single flip at {bit}");
+        }
+        // Double flips (all pairs).
+        for a in 0..64 {
+            for b in a + 1..64 {
+                let mut corrupted = group.clone();
+                corrupted[a / 8] = (corrupted[a / 8] as u8 ^ (1 << (a % 8))) as i8;
+                corrupted[b / 8] = (corrupted[b / 8] as u8 ^ (1 << (b % 8))) as i8;
+                assert!(code.detects(golden, &corrupted), "missed double flip {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn storage_is_larger_than_radar_two_bits_per_group() {
+        let code = HammingSecDed::new();
+        let weights = 270_000; // ResNet-20 scale
+        let hamming = code.storage_bytes(weights, 8);
+        let radar_bits = weights.div_ceil(8) * 2;
+        assert!(hamming * 8 > radar_bits * 3, "Hamming should cost several times RADAR's 2 bits/group");
+    }
+
+    #[test]
+    fn encode_changes_when_data_changes() {
+        let code = HammingSecDed::new();
+        let a = code.encode(&[0, 0, 0, 0, 0, 0, 0, 0]);
+        let b = code.encode(&[0, 0, 0, 0, 0, 0, 0, 1]);
+        assert_ne!(a, b);
+    }
+}

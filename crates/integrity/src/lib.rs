@@ -1,0 +1,29 @@
+//! Comparison data-integrity codes for the RADAR evaluation.
+//!
+//! Section VII.B of the paper compares RADAR with generic integrity schemes: Cyclic
+//! Redundancy Checks (CRC-7/CRC-10/CRC-13, Koopman polynomials) and Hamming SEC-DED.
+//! This crate implements both behind a common [`GroupCode`] trait so the benchmark
+//! harness can sweep schemes uniformly and account for their storage and compute cost.
+//!
+//! # Example
+//!
+//! ```
+//! use radar_integrity::{Crc, GroupCode};
+//!
+//! let crc = Crc::crc13();
+//! let mut group = vec![1i8, -5, 100, 0, 42];
+//! let golden = crc.encode(&group);
+//! group[2] ^= 0x40; // a bit flip
+//! assert_ne!(crc.encode(&group), golden);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod code;
+mod crc;
+mod hamming;
+
+pub use code::GroupCode;
+pub use crc::Crc;
+pub use hamming::HammingSecDed;

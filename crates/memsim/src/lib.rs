@@ -1,0 +1,34 @@
+//! DRAM device model and rowhammer-style run-time fault injection.
+//!
+//! The RADAR threat model assumes the DNN's quantized weights live in DRAM main memory
+//! (they are too large for on-chip SRAM) and that the attacker flips the PBFA-identified
+//! bits there at run time via rowhammer. This crate provides:
+//!
+//! * [`WeightDram`] — a bank/row/column DRAM image of a model's weight bytes, with
+//!   address translation, bit-precise corruption and a `fetch_into` path modelling the
+//!   DRAM → on-chip transfer that precedes RADAR's check.
+//! * [`RowhammerInjector`] — mounts an [`AttackProfile`](radar_attack::AttackProfile)
+//!   onto the stored image, optionally with a per-flip success probability.
+//!
+//! # Example
+//!
+//! ```
+//! use radar_memsim::{DramGeometry, RowhammerInjector, WeightDram};
+//! use radar_nn::{resnet20, ResNetConfig};
+//! use radar_quant::QuantizedModel;
+//!
+//! let model = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(10))));
+//! let dram = WeightDram::load(&model, DramGeometry::default());
+//! let addr = dram.address_of(dram.offset_of(0, 0));
+//! assert!(addr.bank < dram.geometry().banks);
+//! let _injector = RowhammerInjector::default();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dram;
+mod rowhammer;
+
+pub use dram::{DramAddress, DramGeometry, WeightDram};
+pub use rowhammer::{MountReport, RowhammerInjector};

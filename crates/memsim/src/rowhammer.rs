@@ -1,0 +1,162 @@
+use radar_attack::AttackProfile;
+use radar_quant::QuantizedModel;
+use rand::Rng;
+
+use crate::dram::WeightDram;
+
+/// Outcome of mounting one attack profile through the DRAM model.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MountReport {
+    /// Number of bit flips that landed (the aggressor pattern succeeded).
+    pub flips_landed: usize,
+    /// Number of bit flips that failed to land (cell not susceptible this time).
+    pub flips_missed: usize,
+    /// Distinct DRAM rows the attacker had to hammer.
+    pub rows_hammered: usize,
+}
+
+/// A rowhammer-style fault injector that mounts a PBFA "vulnerable bit profile" onto
+/// the weight bytes stored in the DRAM model at run time (step ② of the paper's threat
+/// model).
+///
+/// Real rowhammer does not flip every targeted cell on every attempt; `success_rate`
+/// models that (1.0 reproduces the paper's assumption that the attacker keeps hammering
+/// until the profile is fully mounted).
+///
+/// # Example
+///
+/// ```
+/// use radar_memsim::RowhammerInjector;
+///
+/// let injector = RowhammerInjector::new(1.0);
+/// assert_eq!(injector.success_rate(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowhammerInjector {
+    success_rate: f64,
+}
+
+impl RowhammerInjector {
+    /// Creates an injector with the given per-flip success probability in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `success_rate` is not within `[0, 1]`.
+    pub fn new(success_rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&success_rate), "success rate must be within [0, 1]");
+        RowhammerInjector { success_rate }
+    }
+
+    /// The per-flip success probability.
+    pub fn success_rate(&self) -> f64 {
+        self.success_rate
+    }
+
+    /// Mounts `profile` onto the stored weight image.
+    pub fn mount<R: Rng + ?Sized>(
+        &self,
+        dram: &mut WeightDram,
+        profile: &AttackProfile,
+        rng: &mut R,
+    ) -> MountReport {
+        let mut report = MountReport::default();
+        let mut rows = std::collections::HashSet::new();
+        for flip in &profile.flips {
+            let offset = dram.offset_of(flip.layer, flip.weight);
+            let addr = dram.address_of(offset);
+            rows.insert((addr.bank, addr.row));
+            if self.success_rate >= 1.0 || rng.gen_bool(self.success_rate) {
+                dram.flip_bit(offset, flip.bit);
+                report.flips_landed += 1;
+            } else {
+                report.flips_missed += 1;
+            }
+        }
+        report.rows_hammered = rows.len();
+        report
+    }
+
+    /// Convenience for the full run-time pipeline: mount the profile in DRAM, then
+    /// fetch the (now corrupted) weights into the model, as an inference pass would.
+    pub fn mount_and_fetch<R: Rng + ?Sized>(
+        &self,
+        dram: &mut WeightDram,
+        model: &mut QuantizedModel,
+        profile: &AttackProfile,
+        rng: &mut R,
+    ) -> MountReport {
+        let report = self.mount(dram, profile, rng);
+        dram.fetch_into(model);
+        report
+    }
+}
+
+impl Default for RowhammerInjector {
+    fn default() -> Self {
+        RowhammerInjector::new(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::DramGeometry;
+    use radar_attack::{BitFlip, FlipDirection};
+    use radar_nn::{resnet20, ResNetConfig};
+    use radar_quant::MSB;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (QuantizedModel, WeightDram, AttackProfile) {
+        let model = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(4))));
+        let dram = WeightDram::load(&model, DramGeometry::default());
+        let profile = AttackProfile {
+            flips: vec![
+                BitFlip { layer: 0, weight: 3, bit: MSB, direction: FlipDirection::ZeroToOne, weight_before: 0 },
+                BitFlip { layer: 5, weight: 11, bit: MSB, direction: FlipDirection::ZeroToOne, weight_before: 0 },
+            ],
+            loss_before: 0.0,
+            loss_after: 0.0,
+        };
+        (model, dram, profile)
+    }
+
+    #[test]
+    fn full_success_rate_lands_every_flip() {
+        let (mut model, mut dram, profile) = setup();
+        let before = model.snapshot();
+        let mut rng = StdRng::seed_from_u64(0);
+        let report = RowhammerInjector::default().mount_and_fetch(&mut dram, &mut model, &profile, &mut rng);
+        assert_eq!(report.flips_landed, 2);
+        assert_eq!(report.flips_missed, 0);
+        assert!(report.rows_hammered >= 1);
+        assert_ne!(model.snapshot(), before);
+    }
+
+    #[test]
+    fn zero_success_rate_lands_nothing() {
+        let (mut model, mut dram, profile) = setup();
+        let before = model.snapshot();
+        let mut rng = StdRng::seed_from_u64(0);
+        let report = RowhammerInjector::new(0.0).mount_and_fetch(&mut dram, &mut model, &profile, &mut rng);
+        assert_eq!(report.flips_landed, 0);
+        assert_eq!(report.flips_missed, 2);
+        assert_eq!(model.snapshot(), before);
+    }
+
+    #[test]
+    fn mounted_flips_match_direct_model_flips() {
+        let (mut model, mut dram, profile) = setup();
+        let mut reference = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(4))));
+        profile.apply(&mut reference);
+        let mut rng = StdRng::seed_from_u64(0);
+        RowhammerInjector::default().mount_and_fetch(&mut dram, &mut model, &profile, &mut rng);
+        assert_eq!(model.snapshot(), reference.snapshot());
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn invalid_success_rate_panics() {
+        RowhammerInjector::new(1.5);
+    }
+}

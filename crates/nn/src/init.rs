@@ -1,0 +1,53 @@
+//! Weight initialization helpers.
+
+use radar_tensor::Tensor;
+use rand::Rng;
+
+/// He (Kaiming) normal initialization: elements drawn from `N(0, 2 / fan_in)`.
+///
+/// `fan_in` is the number of input connections per output unit (for a convolution,
+/// `C_in * K * K`; for a linear layer, the input feature count).
+///
+/// # Panics
+///
+/// Panics if `fan_in` is zero.
+///
+/// # Example
+///
+/// ```
+/// use radar_nn::he_normal;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let w = he_normal(&mut rng, &[16, 3, 3, 3], 27);
+/// assert_eq!(w.numel(), 16 * 27);
+/// ```
+pub fn he_normal<R: Rng + ?Sized>(rng: &mut R, dims: &[usize], fan_in: usize) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be non-zero");
+    let std = (2.0 / fan_in as f32).sqrt();
+    Tensor::rand_normal(rng, dims, 0.0, std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_normal_std_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let w = he_normal(&mut rng, &[10_000], 8);
+        let mean = w.mean();
+        let var = w.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / 10_000.0;
+        let expected = 2.0 / 8.0;
+        assert!((var - expected).abs() < 0.05, "var {var} vs expected {expected}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fan_in must be non-zero")]
+    fn zero_fan_in_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        he_normal(&mut rng, &[4], 0);
+    }
+}

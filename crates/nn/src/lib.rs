@@ -1,0 +1,62 @@
+//! From-scratch neural-network substrate for the RADAR reproduction.
+//!
+//! The RADAR paper evaluates its defense on 8-bit quantized ResNet-20 (CIFAR-10) and
+//! ResNet-18 (ImageNet) models and needs, for the PBFA attacker, gradients of the loss
+//! with respect to every weight. This crate provides exactly that, with no external
+//! deep-learning dependency:
+//!
+//! * [`Layer`] — a trait-object-friendly layer abstraction with hand-derived forward and
+//!   backward passes ([`Conv2d`], [`Linear`], [`BatchNorm2d`], [`Relu`], [`MaxPool2d`],
+//!   [`GlobalAvgPool`], [`Flatten`], [`Sequential`], [`ResidualBlock`]).
+//! * [`SoftmaxCrossEntropy`] — classification loss with its gradient.
+//! * [`Sgd`] and [`Adam`] optimizers plus a small [`Trainer`] loop.
+//! * [`resnet20`] / [`resnet18`] — faithful block structure of the paper's two models,
+//!   with configurable base width so experiments stay laptop-scale.
+//! * Parameter inspection ([`Param`], [`Layer::visit_params`]) used by the quantization
+//!   and attack crates, and a simple binary checkpoint format ([`save_params`],
+//!   [`load_params`]).
+//!
+//! # Example
+//!
+//! ```
+//! use radar_nn::{resnet20, ResNetConfig, Layer};
+//! use radar_tensor::Tensor;
+//!
+//! let mut model = resnet20(&ResNetConfig::tiny(10));
+//! let x = Tensor::zeros(&[1, 3, 8, 8]);
+//! let logits = model.forward(&x, false);
+//! assert_eq!(logits.dims(), &[1, 10]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activations;
+mod batchnorm;
+mod conv;
+mod init;
+mod layer;
+mod linear;
+mod loss;
+mod metrics;
+mod optim;
+mod pooling;
+mod resnet;
+mod sequential;
+mod serialize;
+mod trainer;
+
+pub use activations::Relu;
+pub use batchnorm::BatchNorm2d;
+pub use conv::Conv2d;
+pub use init::he_normal;
+pub use layer::{Layer, Param};
+pub use linear::Linear;
+pub use loss::SoftmaxCrossEntropy;
+pub use metrics::{accuracy, evaluate_logits, Accuracy};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use pooling::{Flatten, GlobalAvgPool, MaxPool2d};
+pub use resnet::{resnet18, resnet20, ResNetConfig, ResidualBlock};
+pub use sequential::Sequential;
+pub use serialize::{load_params, save_params, SerializeError};
+pub use trainer::{TrainReport, Trainer};

@@ -1,0 +1,144 @@
+use radar_tensor::Tensor;
+
+/// Softmax cross-entropy loss over a batch of logits.
+///
+/// # Example
+///
+/// ```
+/// use radar_nn::SoftmaxCrossEntropy;
+/// use radar_tensor::Tensor;
+///
+/// let loss = SoftmaxCrossEntropy::new();
+/// let logits = Tensor::from_vec(vec![2.0, 0.0, 0.0, 0.0, 2.0, 0.0], &[2, 3]).unwrap();
+/// let (value, grad) = loss.forward_backward(&logits, &[0, 1]);
+/// assert!(value > 0.0);
+/// assert_eq!(grad.dims(), &[2, 3]);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Creates the loss function.
+    pub fn new() -> Self {
+        SoftmaxCrossEntropy
+    }
+
+    /// Computes softmax probabilities row-wise (numerically stabilized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is not 2-D.
+    pub fn softmax(&self, logits: &Tensor) -> Tensor {
+        assert_eq!(logits.shape().rank(), 2, "softmax expects (N, classes), got {}", logits.shape());
+        let (n, c) = (logits.dims()[0], logits.dims()[1]);
+        let mut out = vec![0.0f32; n * c];
+        for i in 0..n {
+            let row = &logits.data()[i * c..(i + 1) * c];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|&x| (x - m).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            for j in 0..c {
+                out[i * c + j] = exps[j] / sum;
+            }
+        }
+        Tensor::from_vec(out, &[n, c]).expect("softmax output shape is consistent")
+    }
+
+    /// Computes the mean cross-entropy loss for integer class labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the batch size or any label is out of range.
+    pub fn loss(&self, logits: &Tensor, labels: &[usize]) -> f32 {
+        let probs = self.softmax(logits);
+        let (n, c) = (logits.dims()[0], logits.dims()[1]);
+        assert_eq!(labels.len(), n, "label count {} != batch size {n}", labels.len());
+        let mut total = 0.0;
+        for (i, &label) in labels.iter().enumerate() {
+            assert!(label < c, "label {label} out of range for {c} classes");
+            total -= (probs.data()[i * c + label] + 1e-12).ln();
+        }
+        total / n as f32
+    }
+
+    /// Computes the loss value and the gradient of the mean loss with respect to the
+    /// logits in one pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`loss`](Self::loss).
+    pub fn forward_backward(&self, logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+        let probs = self.softmax(logits);
+        let (n, c) = (logits.dims()[0], logits.dims()[1]);
+        assert_eq!(labels.len(), n, "label count {} != batch size {n}", labels.len());
+        let mut grad = probs.clone().into_vec();
+        let mut total = 0.0;
+        for (i, &label) in labels.iter().enumerate() {
+            assert!(label < c, "label {label} out of range for {c} classes");
+            total -= (probs.data()[i * c + label] + 1e-12).ln();
+            grad[i * c + label] -= 1.0;
+        }
+        for g in &mut grad {
+            *g /= n as f32;
+        }
+        (
+            total / n as f32,
+            Tensor::from_vec(grad, &[n, c]).expect("loss grad shape is consistent"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let p = loss.softmax(&logits);
+        for i in 0..2 {
+            let s: f32 = p.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn uniform_logits_give_log_c_loss() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::zeros(&[4, 10]);
+        let l = loss.loss(&logits, &[0, 3, 5, 9]);
+        assert!((l - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0], &[1, 3]).unwrap();
+        assert!(loss.loss(&logits, &[0]) < 1e-3);
+        assert!(loss.loss(&logits, &[1]) > 5.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![0.5, -0.2, 1.0, 0.1, 0.0, -1.0], &[2, 3]).unwrap();
+        let labels = [2usize, 0usize];
+        let (base, grad) = loss.forward_backward(&logits, &labels);
+        let eps = 1e-3;
+        for idx in 0..6 {
+            let mut l2 = logits.clone();
+            l2.data_mut()[idx] += eps;
+            let plus = loss.loss(&l2, &labels);
+            let fd = (plus - base) / eps;
+            assert!((grad.data()[idx] - fd).abs() < 1e-2, "idx {idx}: {} vs {fd}", grad.data()[idx]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_label_panics() {
+        let loss = SoftmaxCrossEntropy::new();
+        loss.loss(&Tensor::zeros(&[1, 3]), &[3]);
+    }
+}

@@ -1,0 +1,144 @@
+use radar_tensor::Tensor;
+
+use crate::layer::Layer;
+
+/// Classification accuracy over a labelled set.
+///
+/// # Example
+///
+/// ```
+/// use radar_nn::Accuracy;
+///
+/// let acc = Accuracy { correct: 30, total: 40 };
+/// assert_eq!(acc.ratio(), 0.75);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Accuracy {
+    /// Number of correctly classified samples.
+    pub correct: usize,
+    /// Total number of samples evaluated.
+    pub total: usize,
+}
+
+impl Accuracy {
+    /// Accuracy as a fraction in `[0, 1]`. Returns 0 when no samples were evaluated.
+    pub fn ratio(&self) -> f32 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f32 / self.total as f32
+        }
+    }
+
+    /// Accuracy as a percentage in `[0, 100]`.
+    pub fn percent(&self) -> f32 {
+        self.ratio() * 100.0
+    }
+}
+
+impl std::fmt::Display for Accuracy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{} ({:.2}%)", self.correct, self.total, self.percent())
+    }
+}
+
+/// Counts correct top-1 predictions given logits and integer labels.
+///
+/// # Panics
+///
+/// Panics if `logits` is not 2-D or the label count differs from the batch size.
+pub fn evaluate_logits(logits: &Tensor, labels: &[usize]) -> Accuracy {
+    assert_eq!(logits.shape().rank(), 2, "expected (N, classes) logits, got {}", logits.shape());
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), n, "label count {} != batch size {n}", labels.len());
+    let mut correct = 0;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let mut best = 0;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        if best == label {
+            correct += 1;
+        }
+    }
+    Accuracy { correct, total: n }
+}
+
+/// Evaluates top-1 accuracy of `model` on `(images, labels)` in evaluation mode,
+/// processing `batch_size` samples at a time.
+///
+/// `images` is `(N, C, H, W)` and `labels.len()` must equal `N`.
+///
+/// # Panics
+///
+/// Panics if the label count does not match the image count or `batch_size` is zero.
+pub fn accuracy(model: &mut dyn Layer, images: &Tensor, labels: &[usize], batch_size: usize) -> Accuracy {
+    assert!(batch_size > 0, "batch_size must be non-zero");
+    let n = images.dims()[0];
+    assert_eq!(labels.len(), n, "label count {} != image count {n}", labels.len());
+    let sample = images.numel() / n.max(1);
+    let mut total = Accuracy::default();
+    let mut start = 0;
+    while start < n {
+        let end = (start + batch_size).min(n);
+        let count = end - start;
+        let mut dims = images.dims().to_vec();
+        dims[0] = count;
+        let batch = Tensor::from_vec(
+            images.data()[start * sample..end * sample].to_vec(),
+            &dims,
+        )
+        .expect("batch slicing preserves shape");
+        let logits = model.forward(&batch, false);
+        let acc = evaluate_logits(&logits, &labels[start..end]);
+        total.correct += acc.correct;
+        total.total += acc.total;
+        start = end;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn evaluate_logits_counts_correct_predictions() {
+        let logits = Tensor::from_vec(vec![2.0, 1.0, 0.0, 0.0, 1.0, 2.0], &[2, 3]).unwrap();
+        let acc = evaluate_logits(&logits, &[0, 2]);
+        assert_eq!(acc.correct, 2);
+        let acc = evaluate_logits(&logits, &[1, 1]);
+        assert_eq!(acc.correct, 0);
+    }
+
+    #[test]
+    fn ratio_and_percent() {
+        let acc = Accuracy { correct: 1, total: 4 };
+        assert_eq!(acc.ratio(), 0.25);
+        assert_eq!(acc.percent(), 25.0);
+        assert_eq!(Accuracy::default().ratio(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_batches_cover_all_samples() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = Sequential::new();
+        model.push(Linear::new(&mut rng, 4, 3));
+        let images = Tensor::rand_normal(&mut rng, &[10, 4], 0.0, 1.0);
+        let labels = vec![0usize; 10];
+        let acc = accuracy(&mut model, &images, &labels, 3);
+        assert_eq!(acc.total, 10);
+    }
+
+    #[test]
+    fn display_includes_percentage() {
+        let s = Accuracy { correct: 3, total: 4 }.to_string();
+        assert!(s.contains("75.00%"), "{s}");
+    }
+}

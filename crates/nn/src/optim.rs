@@ -1,0 +1,220 @@
+use radar_tensor::Tensor;
+
+use crate::layer::Layer;
+
+/// A gradient-based optimizer that updates all parameters of a [`Layer`] tree.
+///
+/// State (momentum buffers, Adam moments) is indexed by the stable parameter visit
+/// order, so the same optimizer instance must always be used with the same model.
+pub trait Optimizer {
+    /// Applies one update step using the gradients currently stored in the model.
+    fn step(&mut self, model: &mut dyn Layer);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (e.g. for a decay schedule).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with momentum and decoupled weight decay.
+///
+/// # Example
+///
+/// ```
+/// use radar_nn::{Layer, Linear, Optimizer, Sgd};
+/// use radar_tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut model = Linear::new(&mut rng, 2, 2);
+/// let mut opt = Sgd::new(0.1, 0.9, 0.0);
+/// model.forward(&Tensor::ones(&[1, 2]), true);
+/// model.backward(&Tensor::ones(&[1, 2]));
+/// opt.step(&mut model);
+/// assert_eq!(opt.learning_rate(), 0.1);
+/// ```
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd { lr, momentum, weight_decay, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, model: &mut dyn Layer) {
+        let mut idx = 0;
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let wd = self.weight_decay;
+        let velocity = &mut self.velocity;
+        model.visit_params("", &mut |_, p| {
+            if velocity.len() <= idx {
+                velocity.push(Tensor::zeros(p.value.dims()));
+            }
+            let v = &mut velocity[idx];
+            for ((vi, &gi), wi) in
+                v.data_mut().iter_mut().zip(p.grad.data().iter()).zip(p.value.data().iter())
+            {
+                *vi = momentum * *vi + gi + wd * *wi;
+            }
+            p.value.add_scaled_inplace(v, -lr);
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard `beta` defaults (0.9, 0.999).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, model: &mut dyn Layer) {
+        self.t += 1;
+        let mut idx = 0;
+        let (lr, b1, b2, eps, wd, t) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay, self.t);
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        let bc1 = 1.0 - b1.powi(t as i32);
+        let bc2 = 1.0 - b2.powi(t as i32);
+        model.visit_params("", &mut |_, p| {
+            if ms.len() <= idx {
+                ms.push(Tensor::zeros(p.value.dims()));
+                vs.push(Tensor::zeros(p.value.dims()));
+            }
+            let m = &mut ms[idx];
+            let v = &mut vs[idx];
+            for i in 0..p.value.numel() {
+                let g = p.grad.data()[i] + wd * p.value.data()[i];
+                m.data_mut()[i] = b1 * m.data()[i] + (1.0 - b1) * g;
+                v.data_mut()[i] = b2 * v.data()[i] + (1.0 - b2) * g * g;
+                let m_hat = m.data()[i] / bc1;
+                let v_hat = v.data()[i] / bc2;
+                p.value.data_mut()[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, SoftmaxCrossEntropy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Train a tiny linear classifier on a separable toy problem and check the loss drops.
+    fn train_with<O: Optimizer>(mut opt: O) -> (f32, f32) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = Linear::new(&mut rng, 2, 2);
+        let loss_fn = SoftmaxCrossEntropy::new();
+        // Class 0 near (1, 0); class 1 near (-1, 0).
+        let xs = Tensor::from_vec(vec![1.0, 0.1, 1.2, -0.2, -0.9, 0.2, -1.1, -0.1], &[4, 2]).unwrap();
+        let labels = [0usize, 0, 1, 1];
+        let initial = loss_fn.loss(&model.forward(&xs, false), &labels);
+        for _ in 0..200 {
+            model.zero_grad();
+            let logits = model.forward(&xs, true);
+            let (_, grad) = loss_fn.forward_backward(&logits, &labels);
+            model.backward(&grad);
+            opt.step(&mut model);
+        }
+        let fin = loss_fn.loss(&model.forward(&xs, false), &labels);
+        (initial, fin)
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let (initial, fin) = train_with(Sgd::new(0.5, 0.9, 0.0));
+        assert!(fin < initial * 0.2, "initial {initial}, final {fin}");
+    }
+
+    #[test]
+    fn adam_reduces_loss() {
+        let (initial, fin) = train_with(Adam::new(0.05, 0.0));
+        assert!(fin < initial * 0.2, "initial {initial}, final {fin}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = Linear::new(&mut rng, 4, 4);
+        let norm_before = {
+            let mut n = 0.0;
+            model.visit_params("", &mut |_, p| n += p.value.norm_sq());
+            n
+        };
+        // Zero gradients + weight decay should shrink parameters.
+        let mut opt = Sgd::new(0.1, 0.0, 0.1);
+        for _ in 0..10 {
+            model.zero_grad();
+            opt.step(&mut model);
+        }
+        let mut norm_after = 0.0;
+        model.visit_params("", &mut |_, p| norm_after += p.value.norm_sq());
+        assert!(norm_after < norm_before);
+    }
+
+    #[test]
+    fn set_learning_rate_updates() {
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn non_positive_lr_panics() {
+        Sgd::new(0.0, 0.0, 0.0);
+    }
+}

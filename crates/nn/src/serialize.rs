@@ -1,0 +1,304 @@
+//! A small self-describing binary checkpoint format for model parameters.
+//!
+//! The format is: magic `b"RNNP"`, `u32` parameter count, then for each parameter the
+//! UTF-8 name (length-prefixed), the rank, the dimensions and the raw little-endian
+//! `f32` data. It exists so experiment binaries can train a model once and share it.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use radar_tensor::Tensor;
+
+use crate::layer::Layer;
+
+const MAGIC: &[u8; 4] = b"RNNP";
+
+/// Errors produced while saving or loading checkpoints.
+#[derive(Debug)]
+pub enum SerializeError {
+    /// An underlying I/O error.
+    Io(io::Error),
+    /// The file did not start with the expected magic bytes.
+    BadMagic,
+    /// The checkpoint does not contain a parameter the model expects.
+    MissingParam(String),
+    /// A stored parameter's shape does not match the model's parameter.
+    ShapeMismatch {
+        /// Parameter path.
+        name: String,
+        /// Shape expected by the model.
+        expected: Vec<usize>,
+        /// Shape found in the checkpoint.
+        found: Vec<usize>,
+    },
+    /// The checkpoint contains malformed data (e.g. a non-UTF-8 name).
+    Corrupt(String),
+}
+
+impl fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerializeError::Io(e) => write!(f, "i/o error: {e}"),
+            SerializeError::BadMagic => write!(f, "not a RNNP checkpoint (bad magic)"),
+            SerializeError::MissingParam(name) => write!(f, "checkpoint is missing parameter '{name}'"),
+            SerializeError::ShapeMismatch { name, expected, found } => {
+                write!(f, "shape mismatch for '{name}': expected {expected:?}, found {found:?}")
+            }
+            SerializeError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+        }
+    }
+}
+
+impl Error for SerializeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SerializeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SerializeError {
+    fn from(e: io::Error) -> Self {
+        SerializeError::Io(e)
+    }
+}
+
+/// Saves all parameters of `model` to `path`.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be created or written.
+pub fn save_params(model: &mut dyn Layer, path: &Path) -> Result<(), SerializeError> {
+    let mut entries: Vec<(String, Vec<usize>, Vec<f32>)> = Vec::new();
+    model.visit_params("", &mut |name, p| {
+        entries.push((name.to_owned(), p.value.dims().to_vec(), p.value.data().to_vec()));
+    });
+    // Non-trainable buffers (e.g. batch-norm running statistics) are stored as rank-1
+    // entries alongside the parameters; names never collide because layers use distinct
+    // parameter and buffer names.
+    model.visit_buffers("", &mut |name, buf| {
+        entries.push((name.to_owned(), vec![buf.len()], buf.clone()));
+    });
+
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(entries.len() as u32).to_le_bytes())?;
+    for (name, dims, data) in entries {
+        let name_bytes = name.as_bytes();
+        w.write_all(&(name_bytes.len() as u32).to_le_bytes())?;
+        w.write_all(name_bytes)?;
+        w.write_all(&(dims.len() as u32).to_le_bytes())?;
+        for d in &dims {
+            w.write_all(&(*d as u64).to_le_bytes())?;
+        }
+        for v in &data {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads parameters saved by [`save_params`] into `model`.
+///
+/// Parameters are matched by path name; every parameter the model declares must be
+/// present with a matching shape. Extra parameters in the checkpoint are ignored.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, malformed data, missing parameters or shape
+/// mismatches.
+pub fn load_params(model: &mut dyn Layer, path: &Path) -> Result<(), SerializeError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(SerializeError::BadMagic);
+    }
+    let count = read_u32(&mut r)? as usize;
+    let mut stored: HashMap<String, Tensor> = HashMap::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u32(&mut r)? as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        r.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| SerializeError::Corrupt("parameter name is not UTF-8".into()))?;
+        let rank = read_u32(&mut r)? as usize;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            dims.push(u64::from_le_bytes(b) as usize);
+        }
+        let numel: usize = dims.iter().product();
+        let mut data = vec![0.0f32; numel];
+        for v in &mut data {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            *v = f32::from_le_bytes(b);
+        }
+        let tensor = Tensor::from_vec(data, &dims)
+            .map_err(|e| SerializeError::Corrupt(format!("inconsistent tensor entry: {e}")))?;
+        stored.insert(name, tensor);
+    }
+
+    let mut failure: Option<SerializeError> = None;
+    model.visit_params("", &mut |name, p| {
+        if failure.is_some() {
+            return;
+        }
+        match stored.get(name) {
+            None => failure = Some(SerializeError::MissingParam(name.to_owned())),
+            Some(t) if t.dims() != p.value.dims() => {
+                failure = Some(SerializeError::ShapeMismatch {
+                    name: name.to_owned(),
+                    expected: p.value.dims().to_vec(),
+                    found: t.dims().to_vec(),
+                })
+            }
+            Some(t) => p.value = t.clone(),
+        }
+    });
+    // Buffers are restored when present. Checkpoints written before buffers existed are
+    // still loadable for parameter-only use, but models with batch-norm layers need the
+    // buffers, so their absence is an error too.
+    model.visit_buffers("", &mut |name, buf| {
+        if failure.is_some() {
+            return;
+        }
+        match stored.get(name) {
+            None => failure = Some(SerializeError::MissingParam(name.to_owned())),
+            Some(t) if t.numel() != buf.len() => {
+                failure = Some(SerializeError::ShapeMismatch {
+                    name: name.to_owned(),
+                    expected: vec![buf.len()],
+                    found: t.dims().to_vec(),
+                })
+            }
+            Some(t) => *buf = t.data().to_vec(),
+        }
+    });
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, io::Error> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Layer, Linear, Relu, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Sequential::new();
+        m.push(Linear::new(&mut rng, 4, 8));
+        m.push(Relu::new());
+        m.push(Linear::new(&mut rng, 8, 2));
+        m
+    }
+
+    #[test]
+    fn save_load_roundtrip_restores_weights() {
+        let dir = std::env::temp_dir().join("radar_nn_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.rnnp");
+
+        let mut source = model(1);
+        save_params(&mut source, &path).unwrap();
+
+        let mut target = model(2);
+        // Different seed ⇒ different weights before loading.
+        let x = radar_tensor::Tensor::ones(&[1, 4]);
+        let before = target.forward(&x, false);
+        load_params(&mut target, &path).unwrap();
+        let after = target.forward(&x, false);
+        let reference = source.forward(&x, false);
+        assert_ne!(before.data(), reference.data());
+        assert_eq!(after.data(), reference.data());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn loading_into_wrong_architecture_fails() {
+        let dir = std::env::temp_dir().join("radar_nn_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wrong_arch.rnnp");
+
+        let mut source = model(1);
+        save_params(&mut source, &path).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut other = Sequential::new();
+        other.push(Linear::new(&mut rng, 5, 2));
+        let err = load_params(&mut other, &path).unwrap_err();
+        assert!(matches!(err, SerializeError::MissingParam(_) | SerializeError::ShapeMismatch { .. }));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let dir = std::env::temp_dir().join("radar_nn_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad_magic.rnnp");
+        std::fs::write(&path, b"NOPE0000").unwrap();
+        let mut m = model(1);
+        assert!(matches!(load_params(&mut m, &path), Err(SerializeError::BadMagic)));
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod buffer_tests {
+    use super::*;
+    use crate::{resnet20, Layer, ResNetConfig};
+    use radar_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Batch-norm running statistics must survive a save/load roundtrip, otherwise a
+    /// reloaded model evaluates at chance level (regression test for the bug found while
+    /// building the experiment harness).
+    #[test]
+    fn batchnorm_running_stats_roundtrip_through_checkpoints() {
+        let dir = std::env::temp_dir().join("radar_nn_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bn_buffers.rnnp");
+
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut source = resnet20(&ResNetConfig::tiny(4));
+        // A few training-mode passes move the running statistics away from (0, 1).
+        for _ in 0..3 {
+            let x = Tensor::rand_normal(&mut rng, &[4, 3, 8, 8], 1.0, 2.0);
+            source.forward(&x, true);
+        }
+        let probe = Tensor::rand_normal(&mut rng, &[2, 3, 8, 8], 1.0, 2.0);
+        let reference = source.forward(&probe, false);
+        save_params(&mut source, &path).unwrap();
+
+        let mut reloaded = resnet20(&ResNetConfig::tiny(4));
+        load_params(&mut reloaded, &path).unwrap();
+        let output = reloaded.forward(&probe, false);
+        let max_diff = output
+            .data()
+            .iter()
+            .zip(reference.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_diff < 1e-5, "reloaded model diverges by {max_diff}");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

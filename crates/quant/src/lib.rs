@@ -1,0 +1,34 @@
+//! 8-bit weight quantization and bit-level manipulation for the RADAR reproduction.
+//!
+//! The RADAR threat model assumes DNN weights are stored in DRAM as 8-bit
+//! two's-complement integers with a per-layer scale, and that a rowhammer attacker can
+//! flip individual bits of those stored bytes. This crate provides:
+//!
+//! * [`QuantizedTensor`] — symmetric per-tensor 8-bit quantization with bit-level
+//!   accessors (`bit`, `flip_bit`, `flip_delta`).
+//! * [`QuantizedModel`] — a model whose convolution/linear weights live in quantized
+//!   form; forward passes, losses, accuracies and weight gradients always reflect the
+//!   current (possibly attacked) integer values.
+//!
+//! # Example
+//!
+//! ```
+//! use radar_nn::{resnet20, ResNetConfig};
+//! use radar_quant::{QuantizedModel, MSB};
+//! use radar_tensor::Tensor;
+//!
+//! let mut qmodel = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(10))));
+//! let before = qmodel.forward(&Tensor::ones(&[1, 3, 8, 8]));
+//! qmodel.flip_bit(0, 0, MSB); // what a rowhammer attacker does
+//! let after = qmodel.forward(&Tensor::ones(&[1, 3, 8, 8]));
+//! assert_ne!(before.data(), after.data());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod qmodel;
+mod qtensor;
+
+pub use qmodel::{QuantizedLayer, QuantizedModel, WeightSnapshot};
+pub use qtensor::{QuantizedTensor, MSB, WEIGHT_BITS};

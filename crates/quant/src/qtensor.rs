@@ -1,0 +1,239 @@
+use radar_tensor::Tensor;
+
+/// Number of bits in a quantized weight.
+pub const WEIGHT_BITS: u32 = 8;
+
+/// Bit index of the most significant (sign) bit of an 8-bit two's-complement weight.
+pub const MSB: u32 = 7;
+
+/// An 8-bit symmetrically quantized tensor: `float ≈ int8 * scale`.
+///
+/// This is the representation the RADAR paper protects: weights stored in DRAM as
+/// two's-complement `i8` values with one floating-point scale per layer. Bit-level
+/// accessors expose exactly the operations a rowhammer attacker performs (flipping a
+/// single bit of a stored weight).
+///
+/// # Example
+///
+/// ```
+/// use radar_quant::QuantizedTensor;
+/// use radar_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![0.5, -1.0, 0.25, 1.0], &[2, 2]).unwrap();
+/// let q = QuantizedTensor::quantize(&t);
+/// let back = q.dequantize();
+/// assert!(back.data().iter().zip(t.data()).all(|(a, b)| (a - b).abs() < 0.01));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedTensor {
+    values: Vec<i8>,
+    scale: f32,
+    dims: Vec<usize>,
+}
+
+impl QuantizedTensor {
+    /// Quantizes a float tensor with a symmetric per-tensor scale (`max_abs / 127`).
+    ///
+    /// An all-zero tensor gets a scale of 1.0 so dequantization is well defined.
+    pub fn quantize(tensor: &Tensor) -> Self {
+        let max_abs = tensor.max_abs();
+        let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+        let values = tensor
+            .data()
+            .iter()
+            .map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        QuantizedTensor { values, scale, dims: tensor.dims().to_vec() }
+    }
+
+    /// Builds a quantized tensor from raw `i8` values and an explicit scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the shape or `scale` is not positive.
+    pub fn from_values(values: Vec<i8>, dims: &[usize], scale: f32) -> Self {
+        let numel: usize = dims.iter().product();
+        assert_eq!(values.len(), numel, "value count {} does not match shape ({numel})", values.len());
+        assert!(scale > 0.0, "scale must be positive");
+        QuantizedTensor { values, scale, dims: dims.to_vec() }
+    }
+
+    /// Reconstructs the float tensor (`int8 * scale`).
+    pub fn dequantize(&self) -> Tensor {
+        let data = self.values.iter().map(|&q| q as f32 * self.scale).collect();
+        Tensor::from_vec(data, &self.dims).expect("quantized dims are consistent")
+    }
+
+    /// The per-tensor scale factor.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The tensor shape.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of quantized weights.
+    pub fn numel(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The stored `i8` values.
+    pub fn values(&self) -> &[i8] {
+        &self.values
+    }
+
+    /// Mutable access to the stored `i8` values (used by the DRAM model to write back
+    /// fetched bytes).
+    pub fn values_mut(&mut self) -> &mut [i8] {
+        &mut self.values
+    }
+
+    /// The weight at flat index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn value(&self, idx: usize) -> i8 {
+        self.values[idx]
+    }
+
+    /// Overwrites the weight at flat index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn set_value(&mut self, idx: usize, value: i8) {
+        self.values[idx] = value;
+    }
+
+    /// Reads bit `bit` (0 = LSB, 7 = sign/MSB) of the weight at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds or `bit >= 8`.
+    pub fn bit(&self, idx: usize, bit: u32) -> bool {
+        assert!(bit < WEIGHT_BITS, "bit index {bit} out of range");
+        (self.values[idx] as u8 >> bit) & 1 == 1
+    }
+
+    /// Flips bit `bit` of the weight at `idx`, returning the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds or `bit >= 8`.
+    pub fn flip_bit(&mut self, idx: usize, bit: u32) -> i8 {
+        assert!(bit < WEIGHT_BITS, "bit index {bit} out of range");
+        let flipped = (self.values[idx] as u8 ^ (1 << bit)) as i8;
+        self.values[idx] = flipped;
+        flipped
+    }
+
+    /// The effect on the dequantized value of flipping bit `bit` of weight `idx`,
+    /// without modifying the tensor.
+    ///
+    /// Setting a bit adds `scale * 2^bit` (or `-scale * 2^7` for the sign bit); clearing
+    /// it subtracts the same amount.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds or `bit >= 8`.
+    pub fn flip_delta(&self, idx: usize, bit: u32) -> f32 {
+        assert!(bit < WEIGHT_BITS, "bit index {bit} out of range");
+        let magnitude = if bit == MSB { -(1i32 << MSB) } else { 1i32 << bit };
+        let sign = if self.bit(idx, bit) { -1.0 } else { 1.0 };
+        sign * magnitude as f32 * self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_dequantize_error_is_bounded_by_half_scale() {
+        let t = Tensor::from_vec(vec![0.9, -0.5, 0.123, -0.999, 0.0, 0.333], &[6]).unwrap();
+        let q = QuantizedTensor::quantize(&t);
+        let back = q.dequantize();
+        for (a, b) in back.data().iter().zip(t.data()) {
+            assert!((a - b).abs() <= q.scale() * 0.5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_cleanly() {
+        let q = QuantizedTensor::quantize(&Tensor::zeros(&[4]));
+        assert_eq!(q.scale(), 1.0);
+        assert!(q.values().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn max_value_maps_to_127() {
+        let t = Tensor::from_vec(vec![2.0, -2.0, 1.0], &[3]).unwrap();
+        let q = QuantizedTensor::quantize(&t);
+        assert_eq!(q.values(), &[127, -127, 64]);
+    }
+
+    #[test]
+    fn bit_read_matches_twos_complement() {
+        let q = QuantizedTensor::from_values(vec![5, -1], &[2], 1.0);
+        // 5 = 0b0000_0101
+        assert!(q.bit(0, 0));
+        assert!(!q.bit(0, 1));
+        assert!(q.bit(0, 2));
+        assert!(!q.bit(0, 7));
+        // -1 = 0b1111_1111
+        for b in 0..8 {
+            assert!(q.bit(1, b));
+        }
+    }
+
+    #[test]
+    fn msb_flip_moves_small_weight_to_extreme_value() {
+        // The paper's Observation 3: a small positive weight becomes very negative.
+        let mut q = QuantizedTensor::from_values(vec![5, -10], &[2], 1.0);
+        assert_eq!(i32::from(q.flip_bit(0, MSB)), 5 - 128);
+        assert_eq!(i32::from(q.flip_bit(1, MSB)), -10 + 128);
+    }
+
+    #[test]
+    fn flip_is_an_involution() {
+        let mut q = QuantizedTensor::from_values(vec![42], &[1], 0.5);
+        for bit in 0..8 {
+            q.flip_bit(0, bit);
+            q.flip_bit(0, bit);
+            assert_eq!(q.value(0), 42);
+        }
+    }
+
+    #[test]
+    fn flip_delta_predicts_dequantized_change() {
+        let q = QuantizedTensor::from_values(vec![5, -10, 100, -100], &[4], 0.02);
+        for idx in 0..4 {
+            for bit in 0..8 {
+                let mut q2 = q.clone();
+                let before = q2.dequantize().data()[idx];
+                q2.flip_bit(idx, bit);
+                let after = q2.dequantize().data()[idx];
+                let delta = q.flip_delta(idx, bit);
+                assert!(
+                    (after - before - delta).abs() < 1e-5,
+                    "idx {idx} bit {bit}: {after} - {before} != {delta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bit index 8 out of range")]
+    fn bit_out_of_range_panics() {
+        QuantizedTensor::from_values(vec![0], &[1], 1.0).bit(0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn non_positive_scale_panics() {
+        QuantizedTensor::from_values(vec![0], &[1], 0.0);
+    }
+}

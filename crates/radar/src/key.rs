@@ -1,0 +1,108 @@
+use rand::Rng;
+
+/// The per-layer secret key used to mask weights during checksum computation.
+///
+/// The paper uses an `N_k = 16`-bit key per layer; bit `t mod 16` decides whether the
+/// `t`-th weight of a group enters the sum directly or as its two's complement
+/// (Algorithm 1, lines 4–9). The key is assumed to live in secure on-chip storage and
+/// to be unknown to the attacker.
+///
+/// # Example
+///
+/// ```
+/// use radar_core::SecretKey;
+///
+/// let key = SecretKey::new(0b1010_1010_1010_1010);
+/// assert!(key.keeps_sign(1));
+/// assert!(!key.keeps_sign(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SecretKey {
+    bits: u16,
+}
+
+/// Number of bits in a [`SecretKey`] (the paper's `N_k`).
+pub const KEY_BITS: u32 = 16;
+
+impl SecretKey {
+    /// Creates a key from its 16-bit value.
+    pub fn new(bits: u16) -> Self {
+        SecretKey { bits }
+    }
+
+    /// Draws a uniformly random key.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        SecretKey { bits: rng.gen() }
+    }
+
+    /// The key that never masks (all bits set): checksum degenerates to a plain sum.
+    /// Used for the masking ablation.
+    pub fn identity() -> Self {
+        SecretKey { bits: u16::MAX }
+    }
+
+    /// The raw key bits.
+    pub fn bits(&self) -> u16 {
+        self.bits
+    }
+
+    /// Whether the weight at position `t` of a group keeps its sign (`key bit = 1`) or
+    /// is negated (`key bit = 0`, the paper's "two's complement" branch).
+    pub fn keeps_sign(&self, t: usize) -> bool {
+        (self.bits >> (t as u32 % KEY_BITS)) & 1 == 1
+    }
+
+    /// The multiplicative mask (+1 or −1) applied to the weight at position `t`.
+    pub fn mask(&self, t: usize) -> i32 {
+        if self.keeps_sign(t) {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+impl Default for SecretKey {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mask_follows_key_bits() {
+        let key = SecretKey::new(0b0000_0000_0000_0101);
+        assert_eq!(key.mask(0), 1);
+        assert_eq!(key.mask(1), -1);
+        assert_eq!(key.mask(2), 1);
+        assert_eq!(key.mask(3), -1);
+    }
+
+    #[test]
+    fn key_repeats_every_sixteen_positions() {
+        let key = SecretKey::new(0xBEEF);
+        for t in 0..16 {
+            assert_eq!(key.mask(t), key.mask(t + 16));
+            assert_eq!(key.mask(t), key.mask(t + 32));
+        }
+    }
+
+    #[test]
+    fn identity_key_never_negates() {
+        let key = SecretKey::identity();
+        assert!((0..64).all(|t| key.mask(t) == 1));
+    }
+
+    #[test]
+    fn random_keys_differ_across_draws() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let keys: std::collections::HashSet<u16> =
+            (0..32).map(|_| SecretKey::random(&mut rng).bits()).collect();
+        assert!(keys.len() > 16, "random keys should rarely collide, got {} unique", keys.len());
+    }
+}

@@ -1,0 +1,57 @@
+//! RADAR: Run-time Adversarial Weight Attack Detection and Accuracy Recovery.
+//!
+//! This crate is the paper's primary contribution. It protects the 8-bit quantized
+//! weights of a DNN against the Progressive Bit-Flip Attack by:
+//!
+//! 1. **Grouping** each layer's weights into groups of `G`, optionally *interleaving*
+//!    them so group members are originally far apart ([`GroupLayout`], [`Grouping`]).
+//! 2. **Masking** each group with a per-layer 16-bit secret key that decides whether a
+//!    weight enters the checksum directly or negated ([`SecretKey`]).
+//! 3. **Signing** each group with a 2-bit (or 3-bit) signature obtained by binarizing
+//!    the masked addition checksum ([`SignatureBits`], [`group_signature`]); the golden
+//!    signatures live in secure on-chip memory ([`SignatureStore`]).
+//! 4. **Detecting** at run time by recomputing and comparing signatures
+//!    ([`RadarProtection::detect`]) and **recovering** by zeroing every weight of a
+//!    flagged group ([`RadarProtection::recover`]).
+//!
+//! [`ProtectedModel`] embeds the whole flow into the inference path.
+//!
+//! # Example
+//!
+//! ```
+//! use radar_core::{RadarConfig, RadarProtection};
+//! use radar_nn::{resnet20, ResNetConfig};
+//! use radar_quant::{QuantizedModel, MSB};
+//!
+//! # fn main() {
+//! let mut model = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(10))));
+//! let mut radar = RadarProtection::new(&model, RadarConfig::paper_default(64));
+//!
+//! // Rowhammer flips the MSB of a stored weight at run time…
+//! model.flip_bit(0, 5, MSB);
+//!
+//! // …RADAR flags the group and zeroes it out.
+//! let (report, recovery) = radar.detect_and_recover(&mut model);
+//! assert!(report.attack_detected());
+//! assert!(recovery.weights_zeroed > 0);
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod grouping;
+mod key;
+mod protected;
+mod protection;
+mod signature;
+mod store;
+
+pub use config::RadarConfig;
+pub use grouping::{GroupLayout, Grouping};
+pub use key::{SecretKey, KEY_BITS};
+pub use protected::{ProtectedModel, ProtectionStats};
+pub use protection::{DetectionReport, FlaggedGroup, LayerProtection, RadarProtection, RecoveryReport};
+pub use signature::{binarize, group_signature, masked_sum, SignatureBits};
+pub use store::SignatureStore;

@@ -1,0 +1,355 @@
+use radar_quant::QuantizedModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::RadarConfig;
+use crate::grouping::GroupLayout;
+use crate::key::SecretKey;
+use crate::signature::group_signature;
+use crate::store::SignatureStore;
+
+/// Per-layer protection state: the layer's secret key and group layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerProtection {
+    key: SecretKey,
+    layout: GroupLayout,
+}
+
+impl LayerProtection {
+    /// The layer's secret key.
+    pub fn key(&self) -> SecretKey {
+        self.key
+    }
+
+    /// The layer's group layout.
+    pub fn layout(&self) -> GroupLayout {
+        self.layout
+    }
+}
+
+/// A group whose run-time signature disagreed with the golden signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlaggedGroup {
+    /// Index of the protected layer.
+    pub layer: usize,
+    /// Group index within the layer.
+    pub group: usize,
+}
+
+/// Result of one run-time detection pass.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DetectionReport {
+    /// All groups whose signatures mismatched, in `(layer, group)` order.
+    pub flagged: Vec<FlaggedGroup>,
+}
+
+impl DetectionReport {
+    /// Whether any group was flagged (i.e. an attack was detected).
+    pub fn attack_detected(&self) -> bool {
+        !self.flagged.is_empty()
+    }
+
+    /// Number of flagged groups.
+    pub fn num_flagged(&self) -> usize {
+        self.flagged.len()
+    }
+
+    /// Whether a specific `(layer, group)` was flagged.
+    pub fn contains(&self, layer: usize, group: usize) -> bool {
+        self.flagged.iter().any(|f| f.layer == layer && f.group == group)
+    }
+}
+
+/// Result of the zero-out recovery pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Number of groups whose weights were zeroed.
+    pub groups_zeroed: usize,
+    /// Total number of weights set to zero.
+    pub weights_zeroed: usize,
+}
+
+/// The RADAR defense: golden signatures plus run-time detection and recovery.
+///
+/// Construction corresponds to the offline signing step (Algorithm 1 on the clean
+/// model, with the golden signatures and per-layer keys stored "on chip");
+/// [`detect`](Self::detect) and [`recover`](Self::recover) are the run-time steps
+/// embedded in inference.
+///
+/// # Example
+///
+/// ```
+/// use radar_core::{RadarConfig, RadarProtection};
+/// use radar_nn::{resnet20, ResNetConfig};
+/// use radar_quant::{QuantizedModel, MSB};
+///
+/// let mut model = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(10))));
+/// let mut radar = RadarProtection::new(&model, RadarConfig::paper_default(32));
+/// assert!(!radar.detect(&model).attack_detected());
+///
+/// model.flip_bit(0, 0, MSB); // rowhammer!
+/// let report = radar.detect(&model);
+/// assert!(report.attack_detected());
+/// radar.recover(&mut model, &report);
+/// assert!(!radar.detect(&model).attack_detected());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadarProtection {
+    config: RadarConfig,
+    layers: Vec<LayerProtection>,
+    golden: SignatureStore,
+}
+
+impl RadarProtection {
+    /// Signs the (clean) `model` under `config`, producing the golden signature store.
+    pub fn new(model: &QuantizedModel, config: RadarConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.key_seed);
+        let mut layers = Vec::with_capacity(model.num_layers());
+        let mut golden = SignatureStore::new(config.signature_bits);
+        for layer in model.layers() {
+            let key = if config.masking { SecretKey::random(&mut rng) } else { SecretKey::identity() };
+            let layout = GroupLayout::new(layer.len(), config.group_size, config.grouping);
+            let protection = LayerProtection { key, layout };
+            golden.push_layer(Self::layer_signatures(&protection, layer.weights().values(), &config));
+            layers.push(protection);
+        }
+        RadarProtection { config, layers, golden }
+    }
+
+    /// The scheme configuration.
+    pub fn config(&self) -> &RadarConfig {
+        &self.config
+    }
+
+    /// Per-layer protection state.
+    pub fn layers(&self) -> &[LayerProtection] {
+        &self.layers
+    }
+
+    /// The golden signature store (what would be kept in secure on-chip memory).
+    pub fn golden(&self) -> &SignatureStore {
+        &self.golden
+    }
+
+    /// Signature storage overhead in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.golden.storage_bytes()
+    }
+
+    /// Signature storage overhead in kilobytes.
+    pub fn storage_kb(&self) -> f64 {
+        self.golden.storage_kb()
+    }
+
+    /// Computes the signatures of every group of one layer from its current weights.
+    fn layer_signatures(protection: &LayerProtection, values: &[i8], config: &RadarConfig) -> Vec<u8> {
+        let layout = protection.layout;
+        let mut signatures = Vec::with_capacity(layout.num_groups());
+        let mut group_values = Vec::with_capacity(layout.group_size());
+        for g in 0..layout.num_groups() {
+            group_values.clear();
+            for &idx in &layout.members(g) {
+                group_values.push(values[idx]);
+            }
+            signatures.push(group_signature(&group_values, &protection.key, config.signature_bits));
+        }
+        signatures
+    }
+
+    /// Runs the detection pass: recomputes every group signature from the model's
+    /// current (possibly corrupted) weights and compares with the golden store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` does not have the same layer sizes as the model used at
+    /// construction time.
+    pub fn detect(&self, model: &QuantizedModel) -> DetectionReport {
+        assert_eq!(model.num_layers(), self.layers.len(), "model layer count changed since signing");
+        let mut report = DetectionReport::default();
+        for (layer_idx, (layer, protection)) in model.layers().iter().zip(&self.layers).enumerate() {
+            assert_eq!(
+                layer.len(),
+                protection.layout.len(),
+                "layer {layer_idx} size changed since signing"
+            );
+            let fresh = Self::layer_signatures(protection, layer.weights().values(), &self.config);
+            for (group, &sig) in fresh.iter().enumerate() {
+                if sig != self.golden.signature(layer_idx, group) {
+                    report.flagged.push(FlaggedGroup { layer: layer_idx, group });
+                }
+            }
+        }
+        report
+    }
+
+    /// The group a given weight belongs to under this protection's layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn group_of(&self, layer: usize, weight: usize) -> usize {
+        self.layers[layer].layout().group_of(weight)
+    }
+
+    /// Counts how many of the given `(layer, weight)` locations fall inside flagged
+    /// groups — the paper's "number of detected bit-flips" metric (Fig. 4 / Fig. 7).
+    pub fn count_covered(&self, report: &DetectionReport, locations: &[(usize, usize)]) -> usize {
+        locations
+            .iter()
+            .filter(|&&(layer, weight)| report.contains(layer, self.group_of(layer, weight)))
+            .count()
+    }
+
+    /// Zero-out recovery (Section V): every weight of every flagged group is set to 0,
+    /// de-interleaving back to the original weight positions.
+    ///
+    /// The golden signature of each zeroed group is refreshed afterwards so subsequent
+    /// verification passes accept the recovered state instead of re-flagging it (the
+    /// paper leaves this bookkeeping implicit; without it every later inference would
+    /// report the same, already-mitigated attack again).
+    pub fn recover(&mut self, model: &mut QuantizedModel, report: &DetectionReport) -> RecoveryReport {
+        let mut recovery = RecoveryReport::default();
+        for flagged in &report.flagged {
+            let protection = self.layers[flagged.layer];
+            let members = protection.layout().members(flagged.group);
+            let weights = model.layer_weights_mut(flagged.layer);
+            for &idx in &members {
+                weights.set_value(idx, 0);
+            }
+            // Re-sign the zeroed group (its masked sum is 0, but go through the normal
+            // path so 3-bit signatures and future recovery strategies stay correct).
+            let zeroed = vec![0i8; members.len()];
+            let sig = group_signature(&zeroed, &protection.key, self.config.signature_bits);
+            self.golden.set_signature(flagged.layer, flagged.group, sig);
+            recovery.groups_zeroed += 1;
+            recovery.weights_zeroed += members.len();
+        }
+        recovery
+    }
+
+    /// Convenience: detection immediately followed by recovery, as embedded in the
+    /// inference pass.
+    pub fn detect_and_recover(&mut self, model: &mut QuantizedModel) -> (DetectionReport, RecoveryReport) {
+        let report = self.detect(model);
+        let recovery = self.recover(model, &report);
+        (report, recovery)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::Grouping;
+    use radar_nn::{resnet20, ResNetConfig};
+    use radar_quant::MSB;
+
+    fn model() -> QuantizedModel {
+        QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(4))))
+    }
+
+    #[test]
+    fn clean_model_raises_no_flags() {
+        let m = model();
+        for cfg in [
+            RadarConfig::paper_default(16),
+            RadarConfig::without_interleave(64),
+            RadarConfig::paper_default(32).with_masking(false),
+            RadarConfig::paper_default(32).with_three_bit_signature(),
+        ] {
+            let radar = RadarProtection::new(&m, cfg);
+            assert!(!radar.detect(&m).attack_detected(), "false positive under {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn single_msb_flip_is_always_detected() {
+        let mut m = model();
+        let radar = RadarProtection::new(&m, RadarConfig::paper_default(64));
+        for &(layer, weight) in &[(0usize, 0usize), (3, 17), (10, 101)] {
+            let snapshot = m.snapshot();
+            m.flip_bit(layer, weight, MSB);
+            let report = radar.detect(&m);
+            assert!(report.contains(layer, radar.group_of(layer, weight)));
+            assert_eq!(radar.count_covered(&report, &[(layer, weight)]), 1);
+            m.restore(&snapshot);
+        }
+    }
+
+    #[test]
+    fn recovery_zeroes_exactly_the_flagged_groups() {
+        let mut m = model();
+        let mut radar = RadarProtection::new(&m, RadarConfig::paper_default(16));
+        m.flip_bit(2, 5, MSB);
+        let (report, recovery) = radar.detect_and_recover(&mut m);
+        assert_eq!(report.num_flagged(), 1);
+        assert_eq!(recovery.groups_zeroed, 1);
+        assert!(recovery.weights_zeroed <= 16);
+        assert_eq!(m.layer(2).weights().value(5), 0);
+        // The zeroed group is re-signed, so a second verification pass is clean.
+        assert!(!radar.detect(&m).attack_detected());
+    }
+
+    #[test]
+    fn storage_overhead_scales_inversely_with_group_size() {
+        let m = model();
+        let small = RadarProtection::new(&m, RadarConfig::paper_default(16));
+        let large = RadarProtection::new(&m, RadarConfig::paper_default(256));
+        assert!(small.storage_bytes() > large.storage_bytes());
+        // 2 bits per group.
+        assert_eq!(small.golden().storage_bits(), 2 * small.golden().total_groups());
+    }
+
+    #[test]
+    fn three_bit_signature_uses_more_storage() {
+        let m = model();
+        let two = RadarProtection::new(&m, RadarConfig::paper_default(64));
+        let three = RadarProtection::new(&m, RadarConfig::paper_default(64).with_three_bit_signature());
+        assert!(three.golden().storage_bits() > two.golden().storage_bits());
+    }
+
+    #[test]
+    fn paired_flips_evade_unmasked_contiguous_checksum_but_not_interleaved() {
+        let mut m = model();
+        let g = 32;
+        let layer = 0;
+        let plain = RadarProtection::new(&m, RadarConfig::without_interleave(g).with_masking(false));
+        let interleaved = RadarProtection::new(&m, RadarConfig::paper_default(g).with_masking(false));
+
+        // Find two weights that share a contiguous group but not an interleaved group,
+        // with opposite MSB states (the Section VIII evasion pair).
+        let values = m.layer(layer).weights().values().to_vec();
+        let mut pair = None;
+        'outer: for group_start in (0..values.len() - g).step_by(g) {
+            for i in group_start..group_start + g {
+                for j in i + 1..group_start + g {
+                    if (values[i] < 0) != (values[j] < 0)
+                        && interleaved.group_of(layer, i) != interleaved.group_of(layer, j)
+                    {
+                        pair = Some((i, j));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let (i, j) = pair.expect("model has a suitable mixed-sign pair");
+
+        m.flip_bit(layer, i, MSB);
+        m.flip_bit(layer, j, MSB);
+
+        // The unmasked, un-interleaved checksum misses the paired flips entirely.
+        let plain_report = plain.detect(&m);
+        assert_eq!(plain.count_covered(&plain_report, &[(layer, i), (layer, j)]), 0);
+        // Interleaving separates the pair into different groups, so both are caught.
+        let int_report = interleaved.detect(&m);
+        assert_eq!(interleaved.count_covered(&int_report, &[(layer, i), (layer, j)]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "changed since signing")]
+    fn detecting_with_mismatched_model_panics() {
+        let m = model();
+        let radar = RadarProtection::new(&m, RadarConfig::paper_default(32));
+        let other = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::new(4, 8, 3, 1))));
+        radar.detect(&other);
+    }
+}

@@ -1,0 +1,177 @@
+use crate::signature::SignatureBits;
+
+/// The golden signatures of every group of every protected layer, as they would be held
+/// in secure on-chip memory.
+///
+/// Signatures are stored bit-packed so the reported storage overhead matches what the
+/// paper accounts for (2 or 3 bits per group).
+///
+/// # Example
+///
+/// ```
+/// use radar_core::{SignatureBits, SignatureStore};
+///
+/// let mut store = SignatureStore::new(SignatureBits::Two);
+/// store.push_layer(vec![0b01, 0b10, 0b11]);
+/// assert_eq!(store.signature(0, 2), 0b11);
+/// assert_eq!(store.total_groups(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureStore {
+    bits: SignatureBits,
+    layers: Vec<PackedLayer>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PackedLayer {
+    packed: Vec<u8>,
+    groups: usize,
+}
+
+impl SignatureStore {
+    /// Creates an empty store for signatures of the given width.
+    pub fn new(bits: SignatureBits) -> Self {
+        SignatureStore { bits, layers: Vec::new() }
+    }
+
+    /// Signature width.
+    pub fn signature_bits(&self) -> SignatureBits {
+        self.bits
+    }
+
+    /// Appends one layer's group signatures (unpacked, one per group).
+    pub fn push_layer(&mut self, signatures: Vec<u8>) {
+        let width = self.bits.bits() as usize;
+        let groups = signatures.len();
+        let mut packed = vec![0u8; (groups * width).div_ceil(8)];
+        for (g, &sig) in signatures.iter().enumerate() {
+            for b in 0..width {
+                if (sig >> b) & 1 == 1 {
+                    let bit_index = g * width + b;
+                    packed[bit_index / 8] |= 1 << (bit_index % 8);
+                }
+            }
+        }
+        self.layers.push(PackedLayer { packed, groups });
+    }
+
+    /// Number of protected layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of groups in `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of bounds.
+    pub fn groups_in_layer(&self, layer: usize) -> usize {
+        self.layers[layer].groups
+    }
+
+    /// Total number of groups across all layers.
+    pub fn total_groups(&self) -> usize {
+        self.layers.iter().map(|l| l.groups).sum()
+    }
+
+    /// Reads back the signature of `(layer, group)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn signature(&self, layer: usize, group: usize) -> u8 {
+        let l = &self.layers[layer];
+        assert!(group < l.groups, "group {group} out of bounds for layer {layer} ({} groups)", l.groups);
+        let width = self.bits.bits() as usize;
+        let mut sig = 0u8;
+        for b in 0..width {
+            let bit_index = group * width + b;
+            if (l.packed[bit_index / 8] >> (bit_index % 8)) & 1 == 1 {
+                sig |= 1 << b;
+            }
+        }
+        sig
+    }
+
+    /// Overwrites the signature of `(layer, group)`; used when recovery re-signs a
+    /// zeroed group so later verification passes accept the recovered state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn set_signature(&mut self, layer: usize, group: usize, sig: u8) {
+        let width = self.bits.bits() as usize;
+        let l = &mut self.layers[layer];
+        assert!(group < l.groups, "group {group} out of bounds for layer {layer} ({} groups)", l.groups);
+        for b in 0..width {
+            let bit_index = group * width + b;
+            if (sig >> b) & 1 == 1 {
+                l.packed[bit_index / 8] |= 1 << (bit_index % 8);
+            } else {
+                l.packed[bit_index / 8] &= !(1 << (bit_index % 8));
+            }
+        }
+    }
+
+    /// Total signature storage in bits (the paper's storage-overhead metric).
+    pub fn storage_bits(&self) -> usize {
+        self.total_groups() * self.bits.bits() as usize
+    }
+
+    /// Total signature storage in bytes (rounded up per layer, as packed).
+    pub fn storage_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.packed.len()).sum()
+    }
+
+    /// Total signature storage in kilobytes (1 KB = 1024 bytes).
+    pub fn storage_kb(&self) -> f64 {
+        self.storage_bytes() as f64 / 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_two_bit_signatures() {
+        let mut store = SignatureStore::new(SignatureBits::Two);
+        let sigs: Vec<u8> = (0..37).map(|i| (i % 4) as u8).collect();
+        store.push_layer(sigs.clone());
+        for (g, &expected) in sigs.iter().enumerate() {
+            assert_eq!(store.signature(0, g), expected);
+        }
+    }
+
+    #[test]
+    fn roundtrip_three_bit_signatures() {
+        let mut store = SignatureStore::new(SignatureBits::Three);
+        let sigs: Vec<u8> = (0..19).map(|i| (i % 8) as u8).collect();
+        store.push_layer(sigs.clone());
+        for (g, &expected) in sigs.iter().enumerate() {
+            assert_eq!(store.signature(0, g), expected);
+        }
+    }
+
+    #[test]
+    fn storage_accounting_matches_group_count() {
+        let mut store = SignatureStore::new(SignatureBits::Two);
+        store.push_layer(vec![0; 1000]);
+        store.push_layer(vec![0; 24]);
+        assert_eq!(store.total_groups(), 1024);
+        assert_eq!(store.storage_bits(), 2048);
+        assert_eq!(store.storage_bytes(), 250 + 6);
+        assert!((store.storage_kb() - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn multiple_layers_are_independent() {
+        let mut store = SignatureStore::new(SignatureBits::Two);
+        store.push_layer(vec![0b11, 0b00]);
+        store.push_layer(vec![0b01]);
+        assert_eq!(store.num_layers(), 2);
+        assert_eq!(store.groups_in_layer(0), 2);
+        assert_eq!(store.groups_in_layer(1), 1);
+        assert_eq!(store.signature(1, 0), 0b01);
+    }
+}

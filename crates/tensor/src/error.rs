@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or reshaping tensors.
+///
+/// Elementwise and linear-algebra operations panic on shape mismatch instead (the
+/// mismatch is a programming error, not a recoverable condition); constructors that take
+/// user-provided buffers return this error so callers can validate external data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided data length does not match the number of elements implied by the
+    /// requested shape.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A reshape was requested to a shape with a different number of elements.
+    ReshapeMismatch {
+        /// Element count of the existing tensor.
+        from: usize,
+        /// Element count of the requested shape.
+        to: usize,
+    },
+    /// A shape with a zero-sized dimension was provided where it is not allowed.
+    EmptyDimension,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape ({expected} elements)")
+            }
+            TensorError::ReshapeMismatch { from, to } => {
+                write!(f, "cannot reshape tensor with {from} elements into shape with {to} elements")
+            }
+            TensorError::EmptyDimension => write!(f, "shape contains a zero-sized dimension"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TensorError::LengthMismatch { expected: 4, actual: 3 };
+        assert_eq!(e.to_string(), "data length 3 does not match shape (4 elements)");
+    }
+
+    #[test]
+    fn display_reshape_mismatch() {
+        let e = TensorError::ReshapeMismatch { from: 6, to: 8 };
+        assert!(e.to_string().contains("6 elements"));
+        assert!(e.to_string().contains("8 elements"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

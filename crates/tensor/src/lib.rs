@@ -1,0 +1,38 @@
+//! Minimal CPU tensor library used by the RADAR reproduction.
+//!
+//! This crate provides an owned, contiguous, row-major `f32` [`Tensor`] with the small
+//! set of operations that the neural-network substrate ([`radar-nn`]) needs: elementwise
+//! arithmetic, 2-D matrix multiplication, im2col/col2im lowering for convolutions and
+//! pooling helpers. It intentionally avoids views, broadcasting rules beyond the simple
+//! cases used here and generic element types; the goal is a dependable, easy-to-audit
+//! substrate rather than a general array library.
+//!
+//! # Example
+//!
+//! ```
+//! use radar_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), radar_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`radar-nn`]: https://example.com/radar-repro
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conv;
+mod error;
+mod ops;
+mod shape;
+mod tensor;
+
+pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;

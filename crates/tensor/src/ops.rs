@@ -1,0 +1,200 @@
+//! Arithmetic and linear-algebra operations on [`Tensor`].
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Elementwise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Adds `other` into `self` in place, scaled by `alpha` (`self += alpha * other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_scaled_inplace(&mut self, other: &Tensor, alpha: f32) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch in add_scaled_inplace: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data().iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by a scalar, returning a new tensor.
+    pub fn scale(&self, alpha: f32) -> Tensor {
+        self.map(|x| x * alpha)
+    }
+
+    /// 2-D matrix multiplication: `self` is `(m, k)`, `other` is `(k, n)`, result is `(m, n)`.
+    ///
+    /// Uses a cache-friendly i-k-j loop order over contiguous rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the inner dimensions do not match.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape().rank(), 2, "matmul lhs must be 2-D, got {}", self.shape());
+        assert_eq!(other.shape().rank(), 2, "matmul rhs must be 2-D, got {}", other.shape());
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul inner dimension mismatch: {} vs {}", self.shape(), other.shape());
+
+        let mut out = vec![0.0f32; m * n];
+        let a = self.data();
+        let b = other.data();
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ip * b_pj;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n]).expect("matmul output shape is consistent by construction")
+    }
+
+    /// Transpose of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn transpose2d(&self) -> Tensor {
+        assert_eq!(self.shape().rank(), 2, "transpose2d requires a 2-D tensor, got {}", self.shape());
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data()[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m]).expect("transpose output shape is consistent by construction")
+    }
+
+    /// Sum over rows of a 2-D tensor, producing a length-`n` tensor of column sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn sum_rows(&self) -> Tensor {
+        assert_eq!(self.shape().rank(), 2, "sum_rows requires a 2-D tensor, got {}", self.shape());
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0f32; n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j] += self.data()[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n]).expect("sum_rows output shape is consistent by construction")
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn norm_sq(&self) -> f32 {
+        self.data().iter().map(|&x| x * x).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn add_sub_mul() {
+        let a = t(&[1.0, 2.0, 3.0], &[3]);
+        let b = t(&[4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.add(&b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn add_scaled_inplace_accumulates() {
+        let mut a = t(&[1.0, 1.0], &[2]);
+        let g = t(&[2.0, 4.0], &[2]);
+        a.add_scaled_inplace(&g, -0.5);
+        assert_eq!(a.data(), &[0.0, -1.0]);
+    }
+
+    #[test]
+    fn scale_multiplies() {
+        assert_eq!(t(&[1.0, -2.0], &[2]).scale(3.0).data(), &[3.0, -6.0]);
+    }
+
+    #[test]
+    fn matmul_small_known_result() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(a.matmul(&Tensor::eye(2)).data(), a.data());
+        assert_eq!(Tensor::eye(2).matmul(&a).data(), a.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_dimension_mismatch_panics() {
+        t(&[1.0, 2.0], &[1, 2]).matmul(&t(&[1.0], &[1, 1]));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let at = a.transpose2d();
+        assert_eq!(at.dims(), &[3, 2]);
+        assert_eq!(at.get(&[2, 1]), a.get(&[1, 2]));
+        assert_eq!(at.transpose2d(), a);
+    }
+
+    #[test]
+    fn sum_rows_sums_columns() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(a.sum_rows().data(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn norm_sq_is_sum_of_squares() {
+        assert_eq!(t(&[3.0, 4.0], &[2]).norm_sq(), 25.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests of the tensor substrate: linear-algebra identities and the
+//! im2col/col2im adjoint relation that the convolution backward pass relies on.
+
+use proptest::prelude::*;
+use radar_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
+
+fn small_matrix() -> impl Strategy<Value = (Vec<f32>, usize, usize)> {
+    (1usize..9, 1usize..9)
+        .prop_flat_map(|(m, n)| (prop::collection::vec(-4.0f32..4.0, m * n), Just(m), Just(n)))
+}
+
+proptest! {
+    /// `A · I = A` and `I · A = A`.
+    #[test]
+    fn matmul_identity((data, m, n) in small_matrix()) {
+        let a = Tensor::from_vec(data, &[m, n]).expect("shape matches");
+        let right = a.matmul(&Tensor::eye(n));
+        let left = Tensor::eye(m).matmul(&a);
+        for (x, y) in right.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+        for (x, y) in left.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Transposition is an involution and `(A·B)ᵀ = Bᵀ·Aᵀ`.
+    #[test]
+    fn transpose_properties(
+        (a_data, m, k) in small_matrix(),
+        b_cols in 1usize..8,
+        b_seed in prop::collection::vec(-2.0f32..2.0, 1..800),
+    ) {
+        let a = Tensor::from_vec(a_data, &[m, k]).expect("shape matches");
+        prop_assert_eq!(a.transpose2d().transpose2d(), a.clone());
+
+        let b_data: Vec<f32> = (0..k * b_cols).map(|i| b_seed[i % b_seed.len()]).collect();
+        let b = Tensor::from_vec(b_data, &[k, b_cols]).expect("shape matches");
+        let lhs = a.matmul(&b).transpose2d();
+        let rhs = b.transpose2d().matmul(&a.transpose2d());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Matrix multiplication distributes over addition: `A·(B + C) = A·B + A·C`.
+    #[test]
+    fn matmul_distributes_over_addition(
+        (a_data, m, k) in small_matrix(),
+        extra in prop::collection::vec(-2.0f32..2.0, 1..200),
+    ) {
+        let n = 3usize;
+        let a = Tensor::from_vec(a_data, &[m, k]).expect("shape matches");
+        let b_data: Vec<f32> = (0..k * n).map(|i| extra[i % extra.len()]).collect();
+        let c_data: Vec<f32> = (0..k * n).map(|i| extra[(i * 7 + 1) % extra.len()]).collect();
+        let b = Tensor::from_vec(b_data, &[k, n]).expect("shape matches");
+        let c = Tensor::from_vec(c_data, &[k, n]).expect("shape matches");
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// `<im2col(x), y> == <x, col2im(y)>`: col2im is the exact adjoint of im2col, which
+    /// is what makes the convolution weight/input gradients correct.
+    #[test]
+    fn im2col_col2im_are_adjoint(
+        n in 1usize..3,
+        c in 1usize..3,
+        h in 3usize..8,
+        w in 3usize..8,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        seed in prop::collection::vec(-2.0f32..2.0, 16..64),
+    ) {
+        prop_assume!(h + 2 * padding >= kernel && w + 2 * padding >= kernel);
+        let geom = Conv2dGeometry::new(kernel, kernel, stride, padding);
+        let x_data: Vec<f32> = (0..n * c * h * w).map(|i| seed[i % seed.len()]).collect();
+        let x = Tensor::from_vec(x_data, &[n, c, h, w]).expect("shape matches");
+        let cols = im2col(&x, &geom);
+        let y = cols.map(|v| 0.5 * v + 0.25);
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(&a, &b)| a * b).sum();
+        let back = col2im(&y, &geom, n, c, h, w);
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(&a, &b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+}

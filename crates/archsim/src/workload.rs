@@ -12,15 +12,30 @@ pub struct LayerWorkload {
 impl LayerWorkload {
     /// A convolution layer: `c_out × c_in × k × k` weights applied at `h_out × w_out`
     /// output positions.
-    pub fn conv(name: &str, c_in: usize, c_out: usize, k: usize, h_out: usize, w_out: usize) -> Self {
+    pub fn conv(
+        name: &str,
+        c_in: usize,
+        c_out: usize,
+        k: usize,
+        h_out: usize,
+        w_out: usize,
+    ) -> Self {
         let weight_count = c_out * c_in * k * k;
-        LayerWorkload { name: name.to_owned(), weight_count, macs: (weight_count * h_out * w_out) as u64 }
+        LayerWorkload {
+            name: name.to_owned(),
+            weight_count,
+            macs: (weight_count * h_out * w_out) as u64,
+        }
     }
 
     /// A fully-connected layer.
     pub fn linear(name: &str, in_features: usize, out_features: usize) -> Self {
         let weight_count = in_features * out_features;
-        LayerWorkload { name: name.to_owned(), weight_count, macs: weight_count as u64 }
+        LayerWorkload {
+            name: name.to_owned(),
+            weight_count,
+            macs: weight_count as u64,
+        }
     }
 }
 
@@ -48,7 +63,10 @@ pub struct NetworkWorkload {
 impl NetworkWorkload {
     /// Creates a workload from an explicit layer list.
     pub fn new(name: &str, layers: Vec<LayerWorkload>) -> Self {
-        NetworkWorkload { name: name.to_owned(), layers }
+        NetworkWorkload {
+            name: name.to_owned(),
+            layers,
+        }
     }
 
     /// Network name.
@@ -74,13 +92,38 @@ impl NetworkWorkload {
     /// The paper's ResNet-20 on CIFAR-10 (32×32 RGB inputs, 10 classes).
     pub fn resnet20_cifar() -> Self {
         let mut layers = vec![LayerWorkload::conv("stem", 3, 16, 3, 32, 32)];
-        let stage = |layers: &mut Vec<LayerWorkload>, idx: usize, c_in: usize, c_out: usize, size: usize| {
+        let stage = |layers: &mut Vec<LayerWorkload>,
+                     idx: usize,
+                     c_in: usize,
+                     c_out: usize,
+                     size: usize| {
             for b in 0..3 {
                 let cin = if b == 0 { c_in } else { c_out };
-                layers.push(LayerWorkload::conv(&format!("s{idx}b{b}c1"), cin, c_out, 3, size, size));
-                layers.push(LayerWorkload::conv(&format!("s{idx}b{b}c2"), c_out, c_out, 3, size, size));
+                layers.push(LayerWorkload::conv(
+                    &format!("s{idx}b{b}c1"),
+                    cin,
+                    c_out,
+                    3,
+                    size,
+                    size,
+                ));
+                layers.push(LayerWorkload::conv(
+                    &format!("s{idx}b{b}c2"),
+                    c_out,
+                    c_out,
+                    3,
+                    size,
+                    size,
+                ));
                 if b == 0 && c_in != c_out {
-                    layers.push(LayerWorkload::conv(&format!("s{idx}b{b}proj"), c_in, c_out, 1, size, size));
+                    layers.push(LayerWorkload::conv(
+                        &format!("s{idx}b{b}proj"),
+                        c_in,
+                        c_out,
+                        1,
+                        size,
+                        size,
+                    ));
                 }
             }
         };
@@ -94,13 +137,38 @@ impl NetworkWorkload {
     /// The paper's ResNet-18 on ImageNet (224×224 RGB inputs, 1000 classes).
     pub fn resnet18_imagenet() -> Self {
         let mut layers = vec![LayerWorkload::conv("stem", 3, 64, 7, 112, 112)];
-        let stage = |layers: &mut Vec<LayerWorkload>, idx: usize, c_in: usize, c_out: usize, size: usize| {
+        let stage = |layers: &mut Vec<LayerWorkload>,
+                     idx: usize,
+                     c_in: usize,
+                     c_out: usize,
+                     size: usize| {
             for b in 0..2 {
                 let cin = if b == 0 { c_in } else { c_out };
-                layers.push(LayerWorkload::conv(&format!("s{idx}b{b}c1"), cin, c_out, 3, size, size));
-                layers.push(LayerWorkload::conv(&format!("s{idx}b{b}c2"), c_out, c_out, 3, size, size));
+                layers.push(LayerWorkload::conv(
+                    &format!("s{idx}b{b}c1"),
+                    cin,
+                    c_out,
+                    3,
+                    size,
+                    size,
+                ));
+                layers.push(LayerWorkload::conv(
+                    &format!("s{idx}b{b}c2"),
+                    c_out,
+                    c_out,
+                    3,
+                    size,
+                    size,
+                ));
                 if b == 0 && c_in != c_out {
-                    layers.push(LayerWorkload::conv(&format!("s{idx}b{b}proj"), c_in, c_out, 1, size, size));
+                    layers.push(LayerWorkload::conv(
+                        &format!("s{idx}b{b}proj"),
+                        c_in,
+                        c_out,
+                        1,
+                        size,
+                        size,
+                    ));
                 }
             }
         };
@@ -121,18 +189,34 @@ mod tests {
     fn resnet20_parameter_count_matches_the_real_network() {
         let w = NetworkWorkload::resnet20_cifar();
         // ~0.27 M parameters (conv + fc weights).
-        assert!(w.total_weights() > 260_000 && w.total_weights() < 280_000, "{}", w.total_weights());
+        assert!(
+            w.total_weights() > 260_000 && w.total_weights() < 280_000,
+            "{}",
+            w.total_weights()
+        );
         // ~41 M MACs per 32x32 inference.
-        assert!(w.total_macs() > 35_000_000 && w.total_macs() < 45_000_000, "{}", w.total_macs());
+        assert!(
+            w.total_macs() > 35_000_000 && w.total_macs() < 45_000_000,
+            "{}",
+            w.total_macs()
+        );
     }
 
     #[test]
     fn resnet18_parameter_count_matches_the_real_network() {
         let w = NetworkWorkload::resnet18_imagenet();
         // ~11.2 M conv/fc weights (11.7 M total including BN, which is not quantized).
-        assert!(w.total_weights() > 10_500_000 && w.total_weights() < 12_000_000, "{}", w.total_weights());
+        assert!(
+            w.total_weights() > 10_500_000 && w.total_weights() < 12_000_000,
+            "{}",
+            w.total_weights()
+        );
         // ~1.8 G MACs per 224x224 inference.
-        assert!(w.total_macs() > 1_500_000_000 && w.total_macs() < 2_100_000_000, "{}", w.total_macs());
+        assert!(
+            w.total_macs() > 1_500_000_000 && w.total_macs() < 2_100_000_000,
+            "{}",
+            w.total_macs()
+        );
     }
 
     #[test]

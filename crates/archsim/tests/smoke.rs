@@ -1,0 +1,64 @@
+//! Smoke test: the analytical timing model orders schemes the way Table IV expects —
+//! RADAR's checksum adds far less overhead than CRC, and everything beats re-running
+//! inference.
+
+use radar_archsim::{simulate, ArchParams, DetectionScheme, NetworkWorkload};
+
+#[test]
+fn radar_overhead_is_small_on_both_paper_workloads() {
+    for workload in [
+        NetworkWorkload::resnet20_cifar(),
+        NetworkWorkload::resnet18_imagenet(),
+    ] {
+        let params = ArchParams::default();
+        let baseline = simulate(&workload, &params, DetectionScheme::None);
+        let radar = simulate(
+            &workload,
+            &params,
+            DetectionScheme::Radar {
+                group_size: 512,
+                interleaved: true,
+            },
+        );
+        assert_eq!(baseline.overhead_fraction(), 0.0);
+        assert!(radar.total_seconds() > baseline.total_seconds());
+        assert!(
+            radar.overhead_percent() < 2.0,
+            "{}: RADAR overhead {}% exceeds the paper's ~1% ballpark",
+            workload.name(),
+            radar.overhead_percent()
+        );
+    }
+}
+
+#[test]
+fn interleaving_and_smaller_groups_cost_more() {
+    let workload = NetworkWorkload::resnet20_cifar();
+    let params = ArchParams::cortex_m4f();
+    let plain = simulate(
+        &workload,
+        &params,
+        DetectionScheme::Radar {
+            group_size: 512,
+            interleaved: false,
+        },
+    );
+    let interleaved = simulate(
+        &workload,
+        &params,
+        DetectionScheme::Radar {
+            group_size: 512,
+            interleaved: true,
+        },
+    );
+    let small_groups = simulate(
+        &workload,
+        &params,
+        DetectionScheme::Radar {
+            group_size: 16,
+            interleaved: true,
+        },
+    );
+    assert!(interleaved.total_seconds() >= plain.total_seconds());
+    assert!(small_groups.total_seconds() > interleaved.total_seconds());
+}

@@ -35,8 +35,14 @@ impl KnowledgeableAttacker {
     ///
     /// Panics if `n_pbfa_bits` or `assumed_group_size` is zero.
     pub fn new(n_pbfa_bits: usize, assumed_group_size: usize) -> Self {
-        assert!(assumed_group_size > 0, "assumed group size must be non-zero");
-        KnowledgeableAttacker { pbfa: Pbfa::new(PbfaConfig::new(n_pbfa_bits)), assumed_group_size }
+        assert!(
+            assumed_group_size > 0,
+            "assumed group size must be non-zero"
+        );
+        KnowledgeableAttacker {
+            pbfa: Pbfa::new(PbfaConfig::new(n_pbfa_bits)),
+            assumed_group_size,
+        }
     }
 
     /// The group size the attacker assumes the defense uses.
@@ -50,7 +56,12 @@ impl KnowledgeableAttacker {
     /// # Panics
     ///
     /// Panics if `labels.len()` does not match the batch size.
-    pub fn attack(&self, model: &mut QuantizedModel, images: &Tensor, labels: &[usize]) -> AttackProfile {
+    pub fn attack(
+        &self,
+        model: &mut QuantizedModel,
+        images: &Tensor,
+        labels: &[usize],
+    ) -> AttackProfile {
         let mut profile = self.pbfa.attack(model, images, labels);
         let mut compensators = Vec::new();
         for flip in &profile.flips {
@@ -83,9 +94,18 @@ impl KnowledgeableAttacker {
             }
             if weights.bit(idx, MSB) == want_msb_set {
                 let before = weights.value(idx);
-                let direction =
-                    if want_msb_set { FlipDirection::OneToZero } else { FlipDirection::ZeroToOne };
-                return Some(BitFlip { layer: flip.layer, weight: idx, bit: MSB, direction, weight_before: before });
+                let direction = if want_msb_set {
+                    FlipDirection::OneToZero
+                } else {
+                    FlipDirection::ZeroToOne
+                };
+                return Some(BitFlip {
+                    layer: flip.layer,
+                    weight: idx,
+                    bit: MSB,
+                    direction,
+                    weight_before: before,
+                });
             }
         }
         None
@@ -112,7 +132,10 @@ mod tests {
     fn adds_compensating_flips() {
         let (mut model, images, labels) = setup();
         let profile = KnowledgeableAttacker::new(4, 16).attack(&mut model, &images, &labels);
-        assert!(profile.len() > 4, "expected compensators beyond the 4 PBFA flips");
+        assert!(
+            profile.len() > 4,
+            "expected compensators beyond the 4 PBFA flips"
+        );
         assert!(profile.len() <= 8);
     }
 
@@ -139,11 +162,18 @@ mod tests {
             }
             let start = group * g;
             let end = (start + g).min(model.layer(layer).len());
-            let sum_attacked: i32 =
-                model.layer(layer).weights().values()[start..end].iter().map(|&v| v as i32).sum();
-            let sum_clean: i32 =
-                clean.layer(layer).weights().values()[start..end].iter().map(|&v| v as i32).sum();
-            assert_eq!(sum_attacked, sum_clean, "group ({layer}, {group}) sum changed");
+            let sum_attacked: i32 = model.layer(layer).weights().values()[start..end]
+                .iter()
+                .map(|&v| v as i32)
+                .sum();
+            let sum_clean: i32 = clean.layer(layer).weights().values()[start..end]
+                .iter()
+                .map(|&v| v as i32)
+                .sum();
+            assert_eq!(
+                sum_attacked, sum_clean,
+                "group ({layer}, {group}) sum changed"
+            );
         }
     }
 

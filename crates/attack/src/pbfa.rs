@@ -37,13 +37,20 @@ impl PbfaConfig {
     /// Panics if `n_bits` is zero.
     pub fn new(n_bits: usize) -> Self {
         assert!(n_bits > 0, "n_bits must be non-zero");
-        PbfaConfig { n_bits, allowed_bits: (0..WEIGHT_BITS).collect(), candidates_per_layer: 1 }
+        PbfaConfig {
+            n_bits,
+            allowed_bits: (0..WEIGHT_BITS).collect(),
+            candidates_per_layer: 1,
+        }
     }
 
     /// PBFA restricted to the MSB-1 position (bit 6), used for the Section VIII
     /// "avoid flipping MSB" experiment.
     pub fn msb1_only(n_bits: usize) -> Self {
-        PbfaConfig { allowed_bits: vec![MSB - 1], ..Self::new(n_bits) }
+        PbfaConfig {
+            allowed_bits: vec![MSB - 1],
+            ..Self::new(n_bits)
+        }
     }
 
     /// Returns a copy evaluating `k` candidates per layer exactly.
@@ -97,7 +104,12 @@ impl Pbfa {
     /// # Panics
     ///
     /// Panics if `labels.len()` does not match the batch size.
-    pub fn attack(&self, model: &mut QuantizedModel, images: &Tensor, labels: &[usize]) -> AttackProfile {
+    pub fn attack(
+        &self,
+        model: &mut QuantizedModel,
+        images: &Tensor,
+        labels: &[usize],
+    ) -> AttackProfile {
         let mut profile = AttackProfile::default();
         let mut flipped: HashSet<(usize, usize, u32)> = HashSet::new();
         profile.loss_before = model.loss(images, labels);
@@ -120,8 +132,14 @@ impl Pbfa {
                     model.flip_bit(layer_idx, weight_idx, bit);
                     let loss = model.loss(images, labels);
                     model.flip_bit(layer_idx, weight_idx, bit); // restore
-                    let flip = BitFlip { layer: layer_idx, weight: weight_idx, bit, direction, weight_before: before };
-                    if best.as_ref().map_or(true, |(l, _)| loss > *l) {
+                    let flip = BitFlip {
+                        layer: layer_idx,
+                        weight: weight_idx,
+                        bit,
+                        direction,
+                        weight_before: before,
+                    };
+                    if best.as_ref().is_none_or(|(l, _)| loss > *l) {
                         best = Some((loss, flip));
                     }
                 }
@@ -151,7 +169,8 @@ impl Pbfa {
         flipped: &HashSet<(usize, usize, u32)>,
     ) -> Vec<(usize, u32)> {
         let weights = model.layer(layer_idx).weights();
-        let mut top: Vec<(f32, usize, u32)> = Vec::with_capacity(self.config.candidates_per_layer + 1);
+        let mut top: Vec<(f32, usize, u32)> =
+            Vec::with_capacity(self.config.candidates_per_layer + 1);
         for (weight_idx, &g) in grad.data().iter().enumerate() {
             if g == 0.0 {
                 continue;
@@ -219,7 +238,10 @@ mod tests {
         let profile = Pbfa::new(PbfaConfig::new(5)).attack(&mut model, &images, &labels);
         let mut seen = HashSet::new();
         for f in &profile.flips {
-            assert!(seen.insert((f.layer, f.weight, f.bit)), "duplicate flip {f:?}");
+            assert!(
+                seen.insert((f.layer, f.weight, f.bit)),
+                "duplicate flip {f:?}"
+            );
         }
     }
 
@@ -236,7 +258,11 @@ mod tests {
         let (mut model, images, labels) = setup();
         let profile = Pbfa::new(PbfaConfig::new(6)).attack(&mut model, &images, &labels);
         let msb_count = profile.flips.iter().filter(|f| f.is_msb()).count();
-        assert!(msb_count * 2 >= profile.len(), "only {msb_count}/{} flips on MSB", profile.len());
+        assert!(
+            msb_count * 2 >= profile.len(),
+            "only {msb_count}/{} flips on MSB",
+            profile.len()
+        );
     }
 
     #[test]

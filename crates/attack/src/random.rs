@@ -31,7 +31,10 @@ impl RandomBitFlip {
     /// Panics if `n_bits` is zero.
     pub fn new(n_bits: usize) -> Self {
         assert!(n_bits > 0, "n_bits must be non-zero");
-        RandomBitFlip { n_bits, msb_only: false }
+        RandomBitFlip {
+            n_bits,
+            msb_only: false,
+        }
     }
 
     /// Restricts flips to MSB positions (used by the miss-rate experiment, which
@@ -48,7 +51,11 @@ impl RandomBitFlip {
 
     /// Flips the configured number of random bits in `model`, weighting layer selection
     /// by layer size so every stored bit is equally likely.
-    pub fn attack<R: Rng + ?Sized>(&self, model: &mut QuantizedModel, rng: &mut R) -> AttackProfile {
+    pub fn attack<R: Rng + ?Sized>(
+        &self,
+        model: &mut QuantizedModel,
+        rng: &mut R,
+    ) -> AttackProfile {
         let total: usize = model.total_weights();
         let mut profile = AttackProfile::default();
         for _ in 0..self.n_bits {
@@ -58,7 +65,11 @@ impl RandomBitFlip {
                 global -= model.layer(layer).len();
                 layer += 1;
             }
-            let bit = if self.msb_only { MSB } else { rng.gen_range(0..WEIGHT_BITS) };
+            let bit = if self.msb_only {
+                MSB
+            } else {
+                rng.gen_range(0..WEIGHT_BITS)
+            };
             let before = model.layer(layer).weights().value(global);
             let direction = if model.layer(layer).weights().bit(global, bit) {
                 FlipDirection::OneToZero
@@ -66,7 +77,13 @@ impl RandomBitFlip {
                 FlipDirection::ZeroToOne
             };
             model.flip_bit(layer, global, bit);
-            profile.flips.push(BitFlip { layer, weight: global, bit, direction, weight_before: before });
+            profile.flips.push(BitFlip {
+                layer,
+                weight: global,
+                bit,
+                direction,
+                weight_before: before,
+            });
         }
         profile
     }
@@ -104,8 +121,12 @@ mod tests {
         let mut m = model();
         let mut rng = StdRng::seed_from_u64(2);
         let profile = RandomBitFlip::new(200).attack(&mut m, &mut rng);
-        let distinct: std::collections::HashSet<u32> = profile.flips.iter().map(|f| f.bit).collect();
-        assert!(distinct.len() >= 6, "expected most bit positions to appear, got {distinct:?}");
+        let distinct: std::collections::HashSet<u32> =
+            profile.flips.iter().map(|f| f.bit).collect();
+        assert!(
+            distinct.len() >= 6,
+            "expected most bit positions to appear, got {distinct:?}"
+        );
     }
 
     #[test]

@@ -110,7 +110,9 @@ pub fn multi_bit_group_proportion(profiles: &[AttackProfile], group_size: usize)
         use std::collections::HashMap;
         let mut per_group: HashMap<(usize, usize), usize> = HashMap::new();
         for flip in &profile.flips {
-            *per_group.entry((flip.layer, flip.weight / group_size)).or_default() += 1;
+            *per_group
+                .entry((flip.layer, flip.weight / group_size))
+                .or_default() += 1;
         }
         for flip in &profile.flips {
             total += 1;
@@ -131,12 +133,28 @@ mod tests {
     use super::*;
     use crate::profile::BitFlip;
 
-    fn flip(layer: usize, weight: usize, bit: u32, direction: FlipDirection, before: i8) -> BitFlip {
-        BitFlip { layer, weight, bit, direction, weight_before: before }
+    fn flip(
+        layer: usize,
+        weight: usize,
+        bit: u32,
+        direction: FlipDirection,
+        before: i8,
+    ) -> BitFlip {
+        BitFlip {
+            layer,
+            weight,
+            bit,
+            direction,
+            weight_before: before,
+        }
     }
 
     fn profile(flips: Vec<BitFlip>) -> AttackProfile {
-        AttackProfile { flips, loss_before: 0.0, loss_after: 0.0 }
+        AttackProfile {
+            flips,
+            loss_before: 0.0,
+            loss_after: 0.0,
+        }
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Smoke test: the random bit-flip adversary produces valid, seeded-deterministic
+//! profiles whose recorded metadata matches the corruption it applied.
+
+use radar_attack::{FlipDirection, RandomBitFlip};
+use radar_nn::{resnet20, ResNetConfig};
+use radar_quant::{QuantizedModel, MSB};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn model() -> QuantizedModel {
+    QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(4))))
+}
+
+#[test]
+fn random_attack_is_deterministic_under_a_seed() {
+    let mut a = model();
+    let mut b = model();
+    let profile_a = RandomBitFlip::new(5).attack(&mut a, &mut StdRng::seed_from_u64(42));
+    let profile_b = RandomBitFlip::new(5).attack(&mut b, &mut StdRng::seed_from_u64(42));
+    assert_eq!(profile_a, profile_b);
+    assert_eq!(profile_a.len(), 5);
+}
+
+#[test]
+fn profile_metadata_matches_applied_corruption() {
+    let reference = model();
+    let mut attacked = model();
+    let profile = RandomBitFlip::new(8).attack(&mut attacked, &mut StdRng::seed_from_u64(9));
+
+    for flip in &profile.flips {
+        assert!(flip.layer < attacked.num_layers());
+        assert!(flip.weight < attacked.layer(flip.layer).len());
+        assert_eq!(
+            flip.weight_before,
+            reference.layer(flip.layer).weights().value(flip.weight),
+            "weight_before must record the pre-attack value"
+        );
+        let expected_direction = if flip.weight_before as u8 >> flip.bit & 1 == 1 {
+            FlipDirection::OneToZero
+        } else {
+            FlipDirection::ZeroToOne
+        };
+        assert_eq!(flip.direction, expected_direction);
+    }
+}
+
+#[test]
+fn msb_only_mode_targets_sign_bits() {
+    let mut m = model();
+    let profile = RandomBitFlip::new(6)
+        .msb_only()
+        .attack(&mut m, &mut StdRng::seed_from_u64(1));
+    assert!(profile.flips.iter().all(|f| f.bit == MSB && f.is_msb()));
+}

@@ -18,10 +18,13 @@ fn bench_masked_sum(c: &mut Criterion) {
 
 fn bench_layer_signing(c: &mut Criterion) {
     // Sign a 64k-weight layer (≈ one mid-sized conv layer of ResNet-18) end to end.
-    let weights: Vec<i8> = (0..65_536).map(|i| (i as i32 % 251 - 125) as i8).collect();
+    let weights: Vec<i8> = (0..65_536).map(|i| (i % 251 - 125) as i8).collect();
     let key = SecretKey::new(0xBEEF);
     let mut group = c.benchmark_group("layer_signing_64k");
-    for (name, grouping) in [("contiguous", Grouping::Contiguous), ("interleaved", Grouping::interleaved())] {
+    for (name, grouping) in [
+        ("contiguous", Grouping::Contiguous),
+        ("interleaved", Grouping::interleaved()),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let layout = GroupLayout::new(weights.len(), 512, grouping);

@@ -6,7 +6,7 @@ use radar_core::{group_signature, SecretKey, SignatureBits};
 use radar_integrity::{Crc, GroupCode, HammingSecDed};
 
 fn bench_codes(c: &mut Criterion) {
-    let group_512: Vec<i8> = (0..512).map(|i| (i as i32 % 251 - 125) as i8).collect();
+    let group_512: Vec<i8> = (0..512).map(|i| (i % 251 - 125) as i8).collect();
     let key = SecretKey::new(0x1234);
     let crc13 = Crc::crc13();
     let crc7 = Crc::crc7();
@@ -21,7 +21,9 @@ fn bench_codes(c: &mut Criterion) {
     });
     g.bench_function("crc13", |b| b.iter(|| crc13.encode(black_box(&group_512))));
     g.bench_function("crc7", |b| b.iter(|| crc7.encode(black_box(&group_512))));
-    g.bench_function("hamming_secded", |b| b.iter(|| hamming.encode(black_box(&group_512))));
+    g.bench_function("hamming_secded", |b| {
+        b.iter(|| hamming.encode(black_box(&group_512)))
+    });
     g.finish();
 }
 

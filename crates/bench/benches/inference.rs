@@ -18,8 +18,12 @@ fn bench_inference(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group("batch1_inference_resnet20_tiny");
-    group.bench_function("unprotected", |b| b.iter(|| black_box(unprotected.forward(&input))));
-    group.bench_function("radar_protected", |b| b.iter(|| black_box(protected.forward(&input))));
+    group.bench_function("unprotected", |b| {
+        b.iter(|| black_box(unprotected.forward(&input)))
+    });
+    group.bench_function("radar_protected", |b| {
+        b.iter(|| black_box(protected.forward(&input)))
+    });
     group.finish();
 }
 

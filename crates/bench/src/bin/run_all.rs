@@ -13,14 +13,21 @@ fn main() {
     timing::table4().print_and_save("table4_time_overhead");
     timing::table5().print_and_save("table5_crc_comparison");
     detection::missrate(
-        std::env::var("RADAR_MISSRATE_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(200_000),
+        std::env::var("RADAR_MISSRATE_TRIALS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200_000),
     )
     .print_and_save("missrate_toy_layer");
 
     // Model-based experiments.
     for kind in [ModelKind::ResNet20Like, ModelKind::ResNet18Like] {
         let mut prepared = prepare(kind, budget);
-        eprintln!("[run_all] {} clean accuracy: {:.2}%", kind.name(), prepared.clean_accuracy);
+        eprintln!(
+            "[run_all] {} clean accuracy: {:.2}%",
+            kind.name(),
+            prepared.clean_accuracy
+        );
         let profiles = pbfa_profiles(&mut prepared);
         characterize::table1(&prepared, &profiles).print_and_save(&format!("table1_{}", kind.id()));
         characterize::table2(&prepared, &profiles).print_and_save(&format!("table2_{}", kind.id()));

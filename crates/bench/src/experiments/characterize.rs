@@ -14,7 +14,12 @@ pub fn table1(prepared: &Prepared, profiles: &[AttackProfile]) -> Report {
         profiles.len(),
         prepared.kind.name()
     ));
-    report.row(&["MSB (0->1)".into(), "MSB (1->0)".into(), "others".into(), "MSB fraction".into()]);
+    report.row(&[
+        "MSB (0->1)".into(),
+        "MSB (1->0)".into(),
+        "others".into(),
+        "MSB fraction".into(),
+    ]);
     report.row(&[
         counts.msb_zero_to_one.to_string(),
         counts.msb_one_to_zero.to_string(),
@@ -31,7 +36,13 @@ pub fn table2(prepared: &Prepared, profiles: &[AttackProfile]) -> Report {
         "Table II — targeted weight value ranges ({})",
         prepared.kind.name()
     ));
-    report.row(&["(-128,-32)".into(), "(-32,0)".into(), "(0,32)".into(), "(32,127)".into(), "small frac".into()]);
+    report.row(&[
+        "(-128,-32)".into(),
+        "(-32,0)".into(),
+        "(0,32)".into(),
+        "(32,127)".into(),
+        "small frac".into(),
+    ]);
     report.row(&[
         counts.very_negative.to_string(),
         counts.small_negative.to_string(),

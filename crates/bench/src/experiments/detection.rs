@@ -2,7 +2,9 @@
 //! Monte-Carlo miss-rate study on a toy layer.
 
 use radar_attack::AttackProfile;
-use radar_core::{group_signature, GroupLayout, Grouping, RadarConfig, RadarProtection, SecretKey, SignatureBits};
+use radar_core::{
+    group_signature, GroupLayout, Grouping, RadarConfig, RadarProtection, SecretKey, SignatureBits,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -11,14 +13,19 @@ use crate::harness::Prepared;
 use crate::report::Report;
 
 /// Average number of injected flips that fall inside flagged groups, over all profiles.
-pub fn average_detected(prepared: &mut Prepared, profiles: &[AttackProfile], config: RadarConfig) -> f64 {
+pub fn average_detected(
+    prepared: &mut Prepared,
+    profiles: &[AttackProfile],
+    config: RadarConfig,
+) -> f64 {
     let radar = RadarProtection::new(&prepared.qmodel, config);
     let snapshot = prepared.qmodel.snapshot();
     let mut total = 0usize;
     for profile in profiles {
         profile.apply(&mut prepared.qmodel);
         let report = radar.detect(&prepared.qmodel);
-        let locations: Vec<(usize, usize)> = profile.flips.iter().map(|f| (f.layer, f.weight)).collect();
+        let locations: Vec<(usize, usize)> =
+            profile.flips.iter().map(|f| (f.layer, f.weight)).collect();
         total += radar.count_covered(&report, &locations);
         prepared.qmodel.restore(&snapshot);
     }
@@ -88,8 +95,11 @@ pub fn missrate(trials: usize) -> Report {
             if !any_flagged {
                 undetected_rounds += 1;
             }
-            missed_flips +=
-                indices.iter().take(10).filter(|&&i| !flagged[layout.group_of(i)]).count();
+            missed_flips += indices
+                .iter()
+                .take(10)
+                .filter(|&&i| !flagged[layout.group_of(i)])
+                .count();
         }
         report.row(&[
             g.to_string(),

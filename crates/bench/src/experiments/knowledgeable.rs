@@ -11,7 +11,11 @@ use crate::report::Report;
 
 /// Generates (or loads) knowledgeable-attacker profiles that assume contiguous groups of
 /// `assumed_group_size`.
-fn knowledgeable_profiles(prepared: &mut Prepared, assumed_group_size: usize, rounds: usize) -> Vec<AttackProfile> {
+fn knowledgeable_profiles(
+    prepared: &mut Prepared,
+    assumed_group_size: usize,
+    rounds: usize,
+) -> Vec<AttackProfile> {
     let cache = artifacts_dir().join(format!(
         "profiles_{}_knowledgeable_g{}_n{}_r{}.txt",
         prepared.kind.id(),
@@ -48,7 +52,7 @@ fn knowledgeable_profiles(prepared: &mut Prepared, assumed_group_size: usize, ro
 /// sweeping the group size. The attacker assumes the same group size the defense uses
 /// but knows neither the key nor the interleaving.
 pub fn fig7(prepared: &mut Prepared) -> Report {
-    let rounds = prepared.budget.rounds.min(3).max(1);
+    let rounds = prepared.budget.rounds.clamp(1, 3);
     let mut report = Report::new(&format!(
         "Fig. 7 — knowledgeable attacker (paired flips) on {} ({rounds} rounds)",
         prepared.kind.name()
@@ -67,12 +71,22 @@ pub fn fig7(prepared: &mut Prepared) -> Report {
             profiles.iter().map(|p| p.len() as f64).sum::<f64>() / profiles.len().max(1) as f64;
         let plain_cfg = RadarConfig::without_interleave(g);
         let inter_cfg = RadarConfig::paper_default(g);
-        let det_plain = crate::experiments::detection::average_detected(prepared, &profiles, plain_cfg);
-        let det_inter = crate::experiments::detection::average_detected(prepared, &profiles, inter_cfg);
-        let acc_plain =
-            crate::experiments::recovery::recovered_accuracy(prepared, &profiles, plain_cfg, usize::MAX);
-        let acc_inter =
-            crate::experiments::recovery::recovered_accuracy(prepared, &profiles, inter_cfg, usize::MAX);
+        let det_plain =
+            crate::experiments::detection::average_detected(prepared, &profiles, plain_cfg);
+        let det_inter =
+            crate::experiments::detection::average_detected(prepared, &profiles, inter_cfg);
+        let acc_plain = crate::experiments::recovery::recovered_accuracy(
+            prepared,
+            &profiles,
+            plain_cfg,
+            usize::MAX,
+        );
+        let acc_inter = crate::experiments::recovery::recovered_accuracy(
+            prepared,
+            &profiles,
+            inter_cfg,
+            usize::MAX,
+        );
         report.row(&[
             g.to_string(),
             format!("{avg_flips:.1}"),
@@ -110,7 +124,11 @@ pub fn msb1(prepared: &mut Prepared) -> Report {
         prepared.budget.n_bits
     ));
 
-    let g = *prepared.kind.table3_groups().last().expect("table3 groups are non-empty");
+    let g = *prepared
+        .kind
+        .table3_groups()
+        .last()
+        .expect("table3 groups are non-empty");
     for &n_bits in &[10usize, 20, 30] {
         let cache = artifacts_dir().join(format!(
             "profiles_{}_msb1_n{}.txt",

@@ -23,7 +23,12 @@ pub fn recovered_accuracy(
             prepared.qmodel.flip_bit(flip.layer, flip.weight, flip.bit);
         }
         radar.detect_and_recover(&mut prepared.qmodel);
-        total += f64::from(prepared.qmodel.accuracy(eval.images(), eval.labels(), 32).percent());
+        total += f64::from(
+            prepared
+                .qmodel
+                .accuracy(eval.images(), eval.labels(), 32)
+                .percent(),
+        );
         prepared.qmodel.restore(&snapshot);
     }
     total / profiles.len().max(1) as f64
@@ -31,7 +36,11 @@ pub fn recovered_accuracy(
 
 /// Test accuracy (percent) of the attacked model without any defense, averaged over the
 /// profiles, using the first `n_bits` flips of each profile.
-pub fn attacked_accuracy(prepared: &mut Prepared, profiles: &[AttackProfile], n_bits: usize) -> f64 {
+pub fn attacked_accuracy(
+    prepared: &mut Prepared,
+    profiles: &[AttackProfile],
+    n_bits: usize,
+) -> f64 {
     let eval = prepared.eval_set();
     let snapshot = prepared.qmodel.snapshot();
     let mut total = 0.0;
@@ -39,7 +48,12 @@ pub fn attacked_accuracy(prepared: &mut Prepared, profiles: &[AttackProfile], n_
         for flip in profile.flips.iter().take(n_bits) {
             prepared.qmodel.flip_bit(flip.layer, flip.weight, flip.bit);
         }
-        total += f64::from(prepared.qmodel.accuracy(eval.images(), eval.labels(), 32).percent());
+        total += f64::from(
+            prepared
+                .qmodel
+                .accuracy(eval.images(), eval.labels(), 32)
+                .percent(),
+        );
         prepared.qmodel.restore(&snapshot);
     }
     total / profiles.len().max(1) as f64
@@ -54,12 +68,24 @@ pub fn table3(prepared: &mut Prepared, profiles: &[AttackProfile]) -> Report {
         prepared.clean_accuracy,
         profiles.len()
     ));
-    report.row(&["N_BF".into(), "no defense".into(), "G".into(), "w/o interleave".into(), "interleave".into()]);
+    report.row(&[
+        "N_BF".into(),
+        "no defense".into(),
+        "G".into(),
+        "w/o interleave".into(),
+        "interleave".into(),
+    ]);
     for &n_bits in &[5usize, 10] {
         let baseline = attacked_accuracy(prepared, profiles, n_bits);
         for &g in prepared.kind.table3_groups() {
-            let plain = recovered_accuracy(prepared, profiles, RadarConfig::without_interleave(g), n_bits);
-            let inter = recovered_accuracy(prepared, profiles, RadarConfig::paper_default(g), n_bits);
+            let plain = recovered_accuracy(
+                prepared,
+                profiles,
+                RadarConfig::without_interleave(g),
+                n_bits,
+            );
+            let inter =
+                recovered_accuracy(prepared, profiles, RadarConfig::paper_default(g), n_bits);
             report.row(&[
                 n_bits.to_string(),
                 format!("{baseline:.2}%"),

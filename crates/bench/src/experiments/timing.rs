@@ -8,7 +8,10 @@ use crate::report::Report;
 
 /// The `(workload, RADAR group size)` pairs the paper evaluates in Tables IV and V.
 fn settings() -> Vec<(NetworkWorkload, usize)> {
-    vec![(NetworkWorkload::resnet20_cifar(), 8), (NetworkWorkload::resnet18_imagenet(), 512)]
+    vec![
+        (NetworkWorkload::resnet20_cifar(), 8),
+        (NetworkWorkload::resnet18_imagenet(), 512),
+    ]
 }
 
 /// Table IV: inference-time overhead of RADAR, without and with interleaving.
@@ -25,8 +28,22 @@ pub fn table4() -> Report {
     ]);
     for (workload, g) in settings() {
         let original = simulate(&workload, &params, DetectionScheme::None);
-        let plain = simulate(&workload, &params, DetectionScheme::Radar { group_size: g, interleaved: false });
-        let inter = simulate(&workload, &params, DetectionScheme::Radar { group_size: g, interleaved: true });
+        let plain = simulate(
+            &workload,
+            &params,
+            DetectionScheme::Radar {
+                group_size: g,
+                interleaved: false,
+            },
+        );
+        let inter = simulate(
+            &workload,
+            &params,
+            DetectionScheme::Radar {
+                group_size: g,
+                interleaved: true,
+            },
+        );
         report.row(&[
             workload.name().to_owned(),
             format!("{:.1}ms", original.inference_seconds * 1e3),
@@ -53,9 +70,22 @@ pub fn table5() -> Report {
     for (workload, g) in settings() {
         let weights = workload.total_weights();
         let crc = if g == 8 { Crc::crc7() } else { Crc::crc13() };
-        let crc_report = simulate(&workload, &params, DetectionScheme::Crc { width: crc.width(), group_size: g });
-        let radar_report =
-            simulate(&workload, &params, DetectionScheme::Radar { group_size: g, interleaved: true });
+        let crc_report = simulate(
+            &workload,
+            &params,
+            DetectionScheme::Crc {
+                width: crc.width(),
+                group_size: g,
+            },
+        );
+        let radar_report = simulate(
+            &workload,
+            &params,
+            DetectionScheme::Radar {
+                group_size: g,
+                interleaved: true,
+            },
+        );
         let radar_storage_kb = (weights.div_ceil(g) * 2) as f64 / 8.0 / 1024.0;
 
         report.row(&[
@@ -68,8 +98,14 @@ pub fn table5() -> Report {
         if g == 512 {
             // The paper also quotes CRC-10 for the "protect only MSBs" variant.
             let crc10 = Crc::crc10();
-            let crc10_report =
-                simulate(&workload, &params, DetectionScheme::Crc { width: 10, group_size: g });
+            let crc10_report = simulate(
+                &workload,
+                &params,
+                DetectionScheme::Crc {
+                    width: 10,
+                    group_size: g,
+                },
+            );
             report.row(&[
                 String::new(),
                 format!("{} (G={g})", crc10.name()),

@@ -5,7 +5,9 @@ use std::path::PathBuf;
 
 use radar_attack::{AttackProfile, Pbfa, PbfaConfig};
 use radar_data::{Dataset, SyntheticSpec};
-use radar_nn::{load_params, resnet18, resnet20, save_params, Adam, ResNetConfig, Sequential, Trainer};
+use radar_nn::{
+    load_params, resnet18, resnet20, save_params, Adam, ResNetConfig, Sequential, Trainer,
+};
 use radar_quant::QuantizedModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -95,7 +97,13 @@ pub struct Budget {
 
 impl Default for Budget {
     fn default() -> Self {
-        Budget { rounds: 8, epochs: 3, n_bits: 10, eval_samples: 400, attack_batch: 16 }
+        Budget {
+            rounds: 8,
+            epochs: 3,
+            n_bits: 10,
+            eval_samples: 400,
+            attack_batch: 16,
+        }
     }
 }
 
@@ -103,7 +111,10 @@ impl Budget {
     /// Reads the budget from the environment, falling back to defaults.
     pub fn from_env() -> Self {
         let get = |key: &str, default: usize| -> usize {
-            std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
         };
         let d = Budget::default();
         Budget {
@@ -170,10 +181,20 @@ pub fn prepare(kind: ModelKind, budget: Budget) -> Prepared {
     if checkpoint.exists() {
         load_params(&mut float_model, &checkpoint).expect("cached checkpoint matches architecture");
     } else {
-        eprintln!("[harness] training {} for {} epochs…", kind.name(), budget.epochs);
+        eprintln!(
+            "[harness] training {} for {} epochs…",
+            kind.name(),
+            budget.epochs
+        );
         let mut rng = StdRng::seed_from_u64(0x7EA1);
         let mut trainer = Trainer::new(Adam::new(2e-3, 1e-4), 32);
-        let report = trainer.fit(&mut float_model, train.images(), train.labels(), budget.epochs, &mut rng);
+        let report = trainer.fit(
+            &mut float_model,
+            train.images(),
+            train.labels(),
+            budget.epochs,
+            &mut rng,
+        );
         eprintln!(
             "[harness] {} trained: final loss {:.3}, train accuracy {}",
             kind.name(),
@@ -186,7 +207,14 @@ pub fn prepare(kind: ModelKind, budget: Budget) -> Prepared {
     let mut qmodel = QuantizedModel::new(Box::new(float_model));
     let eval = test.head(budget.eval_samples);
     let clean_accuracy = qmodel.accuracy(eval.images(), eval.labels(), 32).percent();
-    Prepared { kind, qmodel, train, test, clean_accuracy, budget }
+    Prepared {
+        kind,
+        qmodel,
+        train,
+        test,
+        clean_accuracy,
+        budget,
+    }
 }
 
 /// Generates (or loads from the artifact cache) `budget.rounds` PBFA profiles of
@@ -244,7 +272,10 @@ mod tests {
     #[test]
     fn group_sweeps_match_the_paper() {
         assert_eq!(ModelKind::ResNet20Like.group_sweep(), &[4, 8, 16, 32, 64]);
-        assert_eq!(ModelKind::ResNet18Like.group_sweep(), &[64, 128, 256, 512, 1024]);
+        assert_eq!(
+            ModelKind::ResNet18Like.group_sweep(),
+            &[64, 128, 256, 512, 1024]
+        );
         assert_eq!(ModelKind::ResNet20Like.table3_groups(), &[8, 16, 32]);
         assert_eq!(ModelKind::ResNet18Like.table3_groups(), &[128, 256, 512]);
     }

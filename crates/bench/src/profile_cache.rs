@@ -23,7 +23,11 @@ pub fn save(path: &Path, profiles: &[AttackProfile]) -> std::io::Result<()> {
                 FlipDirection::ZeroToOne => "01",
                 FlipDirection::OneToZero => "10",
             };
-            writeln!(w, "flip {} {} {} {} {}", f.layer, f.weight, f.bit, dir, f.weight_before)?;
+            writeln!(
+                w,
+                "flip {} {} {} {} {}",
+                f.layer, f.weight, f.bit, dir, f.weight_before
+            )?;
         }
     }
     w.flush()
@@ -49,7 +53,9 @@ pub fn load(path: &Path) -> std::io::Result<Vec<AttackProfile>> {
                 loss_after: after.parse().map_err(|_| bad("bad loss_after"))?,
             }),
             ["flip", layer, weight, bit, dir, before] => {
-                let profile = profiles.last_mut().ok_or_else(|| bad("flip before any round"))?;
+                let profile = profiles
+                    .last_mut()
+                    .ok_or_else(|| bad("flip before any round"))?;
                 profile.flips.push(BitFlip {
                     layer: layer.parse().map_err(|_| bad("bad layer"))?,
                     weight: weight.parse().map_err(|_| bad("bad weight"))?,
@@ -77,13 +83,29 @@ mod tests {
         vec![
             AttackProfile {
                 flips: vec![
-                    BitFlip { layer: 1, weight: 42, bit: 7, direction: FlipDirection::ZeroToOne, weight_before: 5 },
-                    BitFlip { layer: 3, weight: 7, bit: 6, direction: FlipDirection::OneToZero, weight_before: -9 },
+                    BitFlip {
+                        layer: 1,
+                        weight: 42,
+                        bit: 7,
+                        direction: FlipDirection::ZeroToOne,
+                        weight_before: 5,
+                    },
+                    BitFlip {
+                        layer: 3,
+                        weight: 7,
+                        bit: 6,
+                        direction: FlipDirection::OneToZero,
+                        weight_before: -9,
+                    },
                 ],
                 loss_before: 0.5,
                 loss_after: 4.25,
             },
-            AttackProfile { flips: vec![], loss_before: 1.0, loss_after: 1.0 },
+            AttackProfile {
+                flips: vec![],
+                loss_before: 1.0,
+                loss_after: 1.0,
+            },
         ]
     }
 

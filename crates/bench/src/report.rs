@@ -15,7 +15,10 @@ pub struct Report {
 impl Report {
     /// Creates a report with a title line.
     pub fn new(title: &str) -> Self {
-        Report { title: title.to_owned(), lines: Vec::new() }
+        Report {
+            title: title.to_owned(),
+            lines: Vec::new(),
+        }
     }
 
     /// Appends one line.
@@ -26,7 +29,13 @@ impl Report {
 
     /// Appends a row of columns separated for fixed-width reading.
     pub fn row(&mut self, cells: &[String]) -> &mut Self {
-        self.lines.push(cells.iter().map(|c| format!("{c:>14}")).collect::<Vec<_>>().join(" "));
+        self.lines.push(
+            cells
+                .iter()
+                .map(|c| format!("{c:>14}"))
+                .collect::<Vec<_>>()
+                .join(" "),
+        );
         self
     }
 

@@ -1,0 +1,47 @@
+//! Smoke test: the experiment harness plumbing — report rendering and the attack
+//! profile cache — works without running any expensive experiment.
+
+use radar_attack::{AttackProfile, BitFlip, FlipDirection};
+use radar_bench::profile_cache;
+use radar_bench::report::Report;
+
+#[test]
+fn report_renders_title_rows_and_lines() {
+    let mut report = Report::new("Smoke table");
+    report.line("context line");
+    report.row(&["G".into(), "detected".into()]);
+    report.row(&["64".into(), "1.00".into()]);
+    let text = report.render();
+    assert!(text.contains("Smoke table"));
+    assert!(text.contains("context line"));
+    assert!(text.contains("64"));
+}
+
+#[test]
+fn profile_cache_roundtrips_through_disk() {
+    let profile = AttackProfile {
+        flips: vec![
+            BitFlip {
+                layer: 1,
+                weight: 42,
+                bit: 7,
+                direction: FlipDirection::ZeroToOne,
+                weight_before: 17,
+            },
+            BitFlip {
+                layer: 0,
+                weight: 7,
+                bit: 6,
+                direction: FlipDirection::OneToZero,
+                weight_before: -90,
+            },
+        ],
+        loss_before: 0.25,
+        loss_after: 4.5,
+    };
+    let path = std::env::temp_dir().join("radar_bench_smoke_profiles.txt");
+    profile_cache::save(&path, std::slice::from_ref(&profile)).expect("temp dir is writable");
+    let loaded = profile_cache::load(&path).expect("cache file readable");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded, vec![profile]);
+}

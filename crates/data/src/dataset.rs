@@ -30,7 +30,11 @@ pub struct MismatchedLabelsError {
 
 impl std::fmt::Display for MismatchedLabelsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "dataset has {} images but {} labels", self.images, self.labels)
+        write!(
+            f,
+            "dataset has {} images but {} labels",
+            self.images, self.labels
+        )
     }
 }
 
@@ -45,7 +49,10 @@ impl Dataset {
     /// images (the first dimension of `images`).
     pub fn new(images: Tensor, labels: Vec<usize>) -> Result<Self, MismatchedLabelsError> {
         if images.dims()[0] != labels.len() {
-            return Err(MismatchedLabelsError { images: images.dims()[0], labels: labels.len() });
+            return Err(MismatchedLabelsError {
+                images: images.dims()[0],
+                labels: labels.len(),
+            });
         }
         Ok(Dataset { images, labels })
     }
@@ -117,7 +124,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn dataset(n: usize) -> Dataset {
-        let images = Tensor::from_vec((0..n * 3 * 2 * 2).map(|v| v as f32).collect(), &[n, 3, 2, 2]).unwrap();
+        let images = Tensor::from_vec(
+            (0..n * 3 * 2 * 2).map(|v| v as f32).collect(),
+            &[n, 3, 2, 2],
+        )
+        .unwrap();
         let labels = (0..n).map(|i| i % 4).collect();
         Dataset::new(images, labels).unwrap()
     }

@@ -145,16 +145,19 @@ impl SyntheticSpec {
                 for x in 0..s {
                     let xf = x as f32 / s as f32;
                     let yf = y as f32 / s as f32;
-                    let grating = (std::f32::consts::TAU * freq * (xf * theta.cos() + yf * theta.sin())
-                        + phase)
-                        .sin();
+                    let grating =
+                        (std::f32::consts::TAU * freq * (xf * theta.cos() + yf * theta.sin())
+                            + phase)
+                            .sin();
                     let d2 = (xf - blob_x) * (xf - blob_x) + (yf - blob_y) * (yf - blob_y);
                     let blob = (-d2 / (2.0 * blob_sigma * blob_sigma)).exp();
                     let noise = {
                         // Box–Muller on two uniforms from the stream.
                         let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
                         let u2: f32 = rng.gen_range(0.0..1.0);
-                        (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos() * self.noise_std
+                        (-2.0 * u1.ln()).sqrt()
+                            * (std::f32::consts::TAU * u2).cos()
+                            * self.noise_std
                     };
                     out.push(amplitude * (0.6 * grating * colour + 0.8 * blob * colour) + noise);
                 }
@@ -200,7 +203,7 @@ mod tests {
         let spec = SyntheticSpec::tiny();
         let (train, _) = spec.generate();
         for class in 0..spec.num_classes {
-            assert!(train.labels().iter().any(|&l| l == class), "class {class} missing");
+            assert!(train.labels().contains(&class), "class {class} missing");
         }
     }
 
@@ -213,7 +216,10 @@ mod tests {
         let sample = train.images().numel() / train.len();
         let img = |i: usize| &train.images().data()[i * sample..(i + 1) * sample];
         let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum::<f32>()
+            a.iter()
+                .zip(b)
+                .map(|(&x, &y)| (x - y) * (x - y))
+                .sum::<f32>()
         };
         // Samples i and i + num_classes share a class; i and i+1 do not.
         let mut within = 0.0;

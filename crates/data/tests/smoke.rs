@@ -1,0 +1,48 @@
+//! Smoke test: synthetic dataset generation is deterministic, correctly shaped, and
+//! the sampling helpers preserve image/label pairing.
+
+use radar_data::SyntheticSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn generation_is_deterministic_and_correctly_shaped() {
+    let spec = SyntheticSpec::tiny();
+    let (train_a, test_a) = spec.generate();
+    let (train_b, _) = spec.generate();
+
+    assert!(!train_a.is_empty());
+    assert!(!test_a.is_empty());
+    assert_eq!(
+        train_a.images().data(),
+        train_b.images().data(),
+        "same spec must generate identical data"
+    );
+    assert_eq!(train_a.labels(), train_b.labels());
+
+    let dims = train_a.images().dims();
+    assert_eq!(dims[0], train_a.len());
+    assert_eq!(dims[1], spec.channels);
+    assert_eq!(dims[2], spec.image_size);
+    assert_eq!(dims[3], spec.image_size);
+    assert!(train_a.labels().iter().all(|&l| l < spec.num_classes));
+}
+
+#[test]
+fn sample_and_subset_keep_pairs_together() {
+    let (train, _) = SyntheticSpec::tiny().generate();
+    let image_len = train.images().dims()[1..].iter().product::<usize>();
+
+    let subset = train.subset(&[2, 5]);
+    assert_eq!(subset.len(), 2);
+    assert_eq!(subset.labels()[0], train.labels()[2]);
+    assert_eq!(
+        &subset.images().data()[..image_len],
+        &train.images().data()[2 * image_len..3 * image_len]
+    );
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let sampled = train.sample(4, &mut rng);
+    assert_eq!(sampled.len(), 4);
+    assert!(sampled.labels().iter().all(|&l| l < 10));
+}

@@ -31,8 +31,14 @@ impl Crc {
     /// Panics if `width` is 0 or greater than 32, or if the polynomial does not fit in
     /// `width` bits.
     pub fn new(width: u32, poly: u64) -> Self {
-        assert!(width >= 1 && width <= 32, "CRC width must be between 1 and 32");
-        assert!(poly < (1u64 << width), "polynomial 0x{poly:x} does not fit in {width} bits");
+        assert!(
+            (1..=32).contains(&width),
+            "CRC width must be between 1 and 32"
+        );
+        assert!(
+            poly < (1u64 << width),
+            "polynomial 0x{poly:x} does not fit in {width} bits"
+        );
         Crc { width, poly }
     }
 
@@ -69,7 +75,11 @@ impl GroupCode for Crc {
 
     fn encode(&self, group: &[i8]) -> u64 {
         let top_bit = 1u64 << (self.width - 1);
-        let mask = if self.width == 64 { u64::MAX } else { (1u64 << self.width) - 1 };
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
         let mut crc = 0u64;
         for &byte in group {
             let byte = byte as u8;
@@ -114,7 +124,10 @@ mod tests {
             for bit in 0..8 {
                 let mut corrupted = group.clone();
                 corrupted[byte] = (corrupted[byte] as u8 ^ (1 << bit)) as i8;
-                assert!(crc.detects(golden, &corrupted), "missed flip at byte {byte} bit {bit}");
+                assert!(
+                    crc.detects(golden, &corrupted),
+                    "missed flip at byte {byte} bit {bit}"
+                );
             }
         }
     }
@@ -132,7 +145,10 @@ mod tests {
                 let mut corrupted = group.clone();
                 corrupted[a / 8] = (corrupted[a / 8] as u8 ^ (1 << (a % 8))) as i8;
                 corrupted[b / 8] = (corrupted[b / 8] as u8 ^ (1 << (b % 8))) as i8;
-                assert!(crc.detects(golden, &corrupted), "missed double flip {a},{b}");
+                assert!(
+                    crc.detects(golden, &corrupted),
+                    "missed double flip {a},{b}"
+                );
             }
         }
     }
@@ -144,7 +160,10 @@ mod tests {
         let crc = Crc::crc13();
         let bytes = crc.storage_bytes(11_170_000, 512);
         let kb = bytes as f64 / 1024.0;
-        assert!(kb > 30.0 && kb < 40.0, "CRC-13 storage {kb:.1} KB out of expected range");
+        assert!(
+            kb > 30.0 && kb < 40.0,
+            "CRC-13 storage {kb:.1} KB out of expected range"
+        );
     }
 
     #[test]

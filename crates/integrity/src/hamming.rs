@@ -25,7 +25,9 @@ pub struct HammingSecDed {
 impl HammingSecDed {
     /// Creates the code.
     pub fn new() -> Self {
-        HammingSecDed { nominal_group_bits: 64 }
+        HammingSecDed {
+            nominal_group_bits: 64,
+        }
     }
 
     /// Number of check bits (Hamming parity bits plus the SEC-DED overall parity) needed
@@ -116,7 +118,10 @@ mod tests {
         for bit in 0..64 {
             let mut corrupted = group.clone();
             corrupted[bit / 8] = (corrupted[bit / 8] as u8 ^ (1 << (bit % 8))) as i8;
-            assert!(code.detects(golden, &corrupted), "missed single flip at {bit}");
+            assert!(
+                code.detects(golden, &corrupted),
+                "missed single flip at {bit}"
+            );
         }
         // Double flips (all pairs).
         for a in 0..64 {
@@ -124,7 +129,10 @@ mod tests {
                 let mut corrupted = group.clone();
                 corrupted[a / 8] = (corrupted[a / 8] as u8 ^ (1 << (a % 8))) as i8;
                 corrupted[b / 8] = (corrupted[b / 8] as u8 ^ (1 << (b % 8))) as i8;
-                assert!(code.detects(golden, &corrupted), "missed double flip {a},{b}");
+                assert!(
+                    code.detects(golden, &corrupted),
+                    "missed double flip {a},{b}"
+                );
             }
         }
     }
@@ -135,7 +143,10 @@ mod tests {
         let weights = 270_000; // ResNet-20 scale
         let hamming = code.storage_bytes(weights, 8);
         let radar_bits = weights.div_ceil(8) * 2;
-        assert!(hamming * 8 > radar_bits * 3, "Hamming should cost several times RADAR's 2 bits/group");
+        assert!(
+            hamming * 8 > radar_bits * 3,
+            "Hamming should cost several times RADAR's 2 bits/group"
+        );
     }
 
     #[test]

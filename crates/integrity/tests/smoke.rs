@@ -1,0 +1,51 @@
+//! Smoke test: the comparison integrity codes encode deterministically and catch
+//! single-bit corruption, from outside the crate boundary.
+
+use radar_integrity::{Crc, GroupCode, HammingSecDed};
+
+fn sample_group() -> Vec<i8> {
+    (0..64).map(|i| (i * 7 % 251 - 125) as i8).collect()
+}
+
+#[test]
+fn crc_roundtrip_and_single_bit_detection() {
+    for crc in [Crc::crc7(), Crc::crc10(), Crc::crc13()] {
+        let group = sample_group();
+        let golden = crc.encode(&group);
+        assert_eq!(golden, crc.encode(&group), "encode must be deterministic");
+        assert!(golden < 1u64 << crc.width(), "checksum exceeds its width");
+        assert!(!crc.detects(golden, &group), "clean group must not flag");
+
+        for byte in [0usize, 17, 63] {
+            for bit in 0..8 {
+                let mut corrupted = group.clone();
+                corrupted[byte] = (corrupted[byte] as u8 ^ (1 << bit)) as i8;
+                assert!(
+                    crc.detects(golden, &corrupted),
+                    "CRC-{} missed a flip at byte {byte} bit {bit}",
+                    crc.width()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hamming_roundtrip_and_single_bit_detection() {
+    let hamming = HammingSecDed::new();
+    let group = sample_group();
+    let golden = hamming.encode(&group);
+    assert_eq!(golden, hamming.encode(&group));
+    assert!(!hamming.detects(golden, &group));
+
+    for byte in [3usize, 40] {
+        for bit in 0..8 {
+            let mut corrupted = group.clone();
+            corrupted[byte] = (corrupted[byte] as u8 ^ (1 << bit)) as i8;
+            assert!(
+                hamming.detects(golden, &corrupted),
+                "Hamming SEC-DED missed a flip at byte {byte} bit {bit}"
+            );
+        }
+    }
+}

@@ -16,7 +16,11 @@ pub struct DramGeometry {
 
 impl Default for DramGeometry {
     fn default() -> Self {
-        DramGeometry { banks: 8, rows_per_bank: 32_768, row_bytes: 8 * 1024 }
+        DramGeometry {
+            banks: 8,
+            rows_per_bank: 32_768,
+            row_bytes: 8 * 1024,
+        }
     }
 }
 
@@ -85,7 +89,11 @@ impl WeightDram {
             image.len(),
             geometry.capacity()
         );
-        WeightDram { geometry, layer_offsets, image }
+        WeightDram {
+            geometry,
+            layer_offsets,
+            image,
+        }
     }
 
     /// The device geometry.
@@ -146,11 +154,18 @@ impl WeightDram {
     ///
     /// Panics if `model` does not have the layer sizes this image was built from.
     pub fn fetch_into(&self, model: &mut QuantizedModel) {
-        assert_eq!(model.num_layers(), self.layer_offsets.len(), "layer count mismatch");
+        assert_eq!(
+            model.num_layers(),
+            self.layer_offsets.len(),
+            "layer count mismatch"
+        );
         for layer_idx in 0..self.layer_offsets.len() {
             let start = self.layer_offsets[layer_idx];
             let len = model.layer(layer_idx).len();
-            assert!(start + len <= self.image.len(), "layer {layer_idx} exceeds stored image");
+            assert!(
+                start + len <= self.image.len(),
+                "layer {layer_idx} exceeds stored image"
+            );
             let weights = model.layer_weights_mut(layer_idx);
             for (i, value) in weights.values_mut().iter_mut().enumerate() {
                 *value = self.image[start + i] as i8;
@@ -224,6 +239,13 @@ mod tests {
     #[should_panic(expected = "exceeds DRAM capacity")]
     fn oversized_image_panics() {
         let m = model();
-        WeightDram::load(&m, DramGeometry { banks: 1, rows_per_bank: 1, row_bytes: 16 });
+        WeightDram::load(
+            &m,
+            DramGeometry {
+                banks: 1,
+                rows_per_bank: 1,
+                row_bytes: 16,
+            },
+        );
     }
 }

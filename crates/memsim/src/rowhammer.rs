@@ -43,7 +43,10 @@ impl RowhammerInjector {
     ///
     /// Panics if `success_rate` is not within `[0, 1]`.
     pub fn new(success_rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&success_rate), "success rate must be within [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&success_rate),
+            "success rate must be within [0, 1]"
+        );
         RowhammerInjector { success_rate }
     }
 
@@ -112,8 +115,20 @@ mod tests {
         let dram = WeightDram::load(&model, DramGeometry::default());
         let profile = AttackProfile {
             flips: vec![
-                BitFlip { layer: 0, weight: 3, bit: MSB, direction: FlipDirection::ZeroToOne, weight_before: 0 },
-                BitFlip { layer: 5, weight: 11, bit: MSB, direction: FlipDirection::ZeroToOne, weight_before: 0 },
+                BitFlip {
+                    layer: 0,
+                    weight: 3,
+                    bit: MSB,
+                    direction: FlipDirection::ZeroToOne,
+                    weight_before: 0,
+                },
+                BitFlip {
+                    layer: 5,
+                    weight: 11,
+                    bit: MSB,
+                    direction: FlipDirection::ZeroToOne,
+                    weight_before: 0,
+                },
             ],
             loss_before: 0.0,
             loss_after: 0.0,
@@ -126,7 +141,8 @@ mod tests {
         let (mut model, mut dram, profile) = setup();
         let before = model.snapshot();
         let mut rng = StdRng::seed_from_u64(0);
-        let report = RowhammerInjector::default().mount_and_fetch(&mut dram, &mut model, &profile, &mut rng);
+        let report =
+            RowhammerInjector::default().mount_and_fetch(&mut dram, &mut model, &profile, &mut rng);
         assert_eq!(report.flips_landed, 2);
         assert_eq!(report.flips_missed, 0);
         assert!(report.rows_hammered >= 1);
@@ -138,7 +154,8 @@ mod tests {
         let (mut model, mut dram, profile) = setup();
         let before = model.snapshot();
         let mut rng = StdRng::seed_from_u64(0);
-        let report = RowhammerInjector::new(0.0).mount_and_fetch(&mut dram, &mut model, &profile, &mut rng);
+        let report =
+            RowhammerInjector::new(0.0).mount_and_fetch(&mut dram, &mut model, &profile, &mut rng);
         assert_eq!(report.flips_landed, 0);
         assert_eq!(report.flips_missed, 2);
         assert_eq!(model.snapshot(), before);

@@ -1,0 +1,76 @@
+//! Smoke test: weights load into the DRAM model, a rowhammer mount flips exactly the
+//! profiled bits, and fetching propagates the corruption back into the model.
+
+use radar_attack::{AttackProfile, BitFlip, FlipDirection};
+use radar_memsim::{DramGeometry, RowhammerInjector, WeightDram};
+use radar_nn::{resnet20, ResNetConfig};
+use radar_quant::{QuantizedModel, MSB};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn model() -> QuantizedModel {
+    QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(4))))
+}
+
+fn msb_profile(model: &QuantizedModel) -> AttackProfile {
+    let weight_before = model.layer(0).weights().value(3);
+    AttackProfile {
+        flips: vec![BitFlip {
+            layer: 0,
+            weight: 3,
+            bit: MSB,
+            direction: if weight_before >= 0 {
+                FlipDirection::ZeroToOne
+            } else {
+                FlipDirection::OneToZero
+            },
+            weight_before,
+        }],
+        loss_before: 0.0,
+        loss_after: 0.0,
+    }
+}
+
+#[test]
+fn dram_image_matches_model_weights() {
+    let m = model();
+    let dram = WeightDram::load(&m, DramGeometry::default());
+    assert_eq!(dram.weight_bytes(), m.total_weights());
+    let offset = dram.offset_of(0, 3);
+    assert_eq!(dram.read(offset) as i8, m.layer(0).weights().value(3));
+}
+
+#[test]
+fn mounted_flip_lands_in_dram_and_fetches_into_the_model() {
+    let mut m = model();
+    let original = m.layer(0).weights().value(3);
+    let mut dram = WeightDram::load(&m, DramGeometry::default());
+    let profile = msb_profile(&m);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let report = RowhammerInjector::new(1.0).mount_and_fetch(&mut dram, &mut m, &profile, &mut rng);
+    assert_eq!(report.flips_landed, 1);
+    assert_eq!(report.flips_missed, 0);
+    assert_eq!(report.rows_hammered, 1);
+
+    let corrupted = m.layer(0).weights().value(3);
+    assert_eq!(
+        corrupted,
+        (original as u8 ^ 0x80) as i8,
+        "the MSB flip must propagate from DRAM into the quantized model"
+    );
+}
+
+#[test]
+fn unreliable_injector_misses_deterministically() {
+    let m = model();
+    let mut dram = WeightDram::load(&m, DramGeometry::default());
+    let profile = msb_profile(&m);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let report = RowhammerInjector::new(0.0).mount(&mut dram, &profile, &mut rng);
+    assert_eq!(report.flips_landed, 0);
+    assert_eq!(report.flips_missed, 1);
+    let offset = dram.offset_of(0, 3);
+    assert_eq!(dram.read(offset) as i8, m.layer(0).weights().value(3));
+}

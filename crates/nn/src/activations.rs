@@ -33,8 +33,15 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let mask = self.mask.as_ref().expect("Relu::backward called before forward");
-        assert_eq!(mask.len(), grad_output.numel(), "Relu backward size mismatch");
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("Relu::backward called before forward");
+        assert_eq!(
+            mask.len(),
+            grad_output.numel(),
+            "Relu backward size mismatch"
+        );
         let data = grad_output
             .data()
             .iter()

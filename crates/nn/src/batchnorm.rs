@@ -77,9 +77,23 @@ impl BatchNorm2d {
 
 impl Layer for BatchNorm2d {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        assert_eq!(input.shape().rank(), 4, "BatchNorm2d expects (N, C, H, W), got {}", input.shape());
-        let (n, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
-        assert_eq!(c, self.channels, "BatchNorm2d channels {} != expected {}", c, self.channels);
+        assert_eq!(
+            input.shape().rank(),
+            4,
+            "BatchNorm2d expects (N, C, H, W), got {}",
+            input.shape()
+        );
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        assert_eq!(
+            c, self.channels,
+            "BatchNorm2d channels {} != expected {}",
+            c, self.channels
+        );
         let plane = h * w;
         let count = (n * plane) as f32;
 
@@ -139,7 +153,10 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("BatchNorm2d::backward called before forward");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm2d::backward called before forward");
         let [n, c, h, w] = cache.dims;
         let plane = h * w;
         let count = (n * plane) as f32;
@@ -156,12 +173,14 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
-        self.gamma
-            .grad
-            .add_scaled_inplace(&Tensor::from_vec(dgamma.clone(), &[c]).expect("gamma grad shape"), 1.0);
-        self.beta
-            .grad
-            .add_scaled_inplace(&Tensor::from_vec(dbeta.clone(), &[c]).expect("beta grad shape"), 1.0);
+        self.gamma.grad.add_scaled_inplace(
+            &Tensor::from_vec(dgamma.clone(), &[c]).expect("gamma grad shape"),
+            1.0,
+        );
+        self.beta.grad.add_scaled_inplace(
+            &Tensor::from_vec(dbeta.clone(), &[c]).expect("beta grad shape"),
+            1.0,
+        );
 
         let mut dx = vec![0.0f32; grad_output.numel()];
         if cache.train {
@@ -233,7 +252,8 @@ mod tests {
                 vals.extend_from_slice(&y.data()[base..base + plane]);
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 = vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
         }
@@ -275,8 +295,11 @@ mod tests {
         let x = Tensor::rand_normal(&mut rng, &[2, 2, 3, 3], 0.0, 1.0);
 
         // Loss = sum(bn(x) * w) with a fixed weighting to break symmetry.
-        let wgt: Vec<f32> = (0..x.numel()).map(|i| ((i % 5) as f32 - 2.0) * 0.3).collect();
-        let weighted_sum = |y: &Tensor| -> f32 { y.data().iter().zip(&wgt).map(|(&a, &b)| a * b).sum() };
+        let wgt: Vec<f32> = (0..x.numel())
+            .map(|i| ((i % 5) as f32 - 2.0) * 0.3)
+            .collect();
+        let weighted_sum =
+            |y: &Tensor| -> f32 { y.data().iter().zip(&wgt).map(|(&a, &b)| a * b).sum() };
 
         bn.zero_grad();
         let y = bn.forward(&x, true);
@@ -304,6 +327,9 @@ mod tests {
     #[test]
     fn visit_params_reports_gamma_beta() {
         let mut bn = BatchNorm2d::new(4);
-        assert_eq!((&mut bn as &mut dyn Layer).param_names(), vec!["gamma", "beta"]);
+        assert_eq!(
+            (&mut bn as &mut dyn Layer).param_names(),
+            vec!["gamma", "beta"]
+        );
     }
 }

@@ -48,10 +48,17 @@ impl Conv2d {
         stride: usize,
         padding: usize,
     ) -> Self {
-        assert!(in_channels > 0 && out_channels > 0, "channel counts must be non-zero");
+        assert!(
+            in_channels > 0 && out_channels > 0,
+            "channel counts must be non-zero"
+        );
         let fan_in = in_channels * kernel * kernel;
         Conv2d {
-            weight: Param::new(he_normal(rng, &[out_channels, in_channels, kernel, kernel], fan_in)),
+            weight: Param::new(he_normal(
+                rng,
+                &[out_channels, in_channels, kernel, kernel],
+                fan_in,
+            )),
             bias: Param::new(Tensor::zeros(&[out_channels])),
             in_channels,
             out_channels,
@@ -114,9 +121,23 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        assert_eq!(input.shape().rank(), 4, "Conv2d expects (N, C, H, W), got {}", input.shape());
-        let (n, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
-        assert_eq!(c, self.in_channels, "Conv2d input channels {} != expected {}", c, self.in_channels);
+        assert_eq!(
+            input.shape().rank(),
+            4,
+            "Conv2d expects (N, C, H, W), got {}",
+            input.shape()
+        );
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        assert_eq!(
+            c, self.in_channels,
+            "Conv2d input channels {} != expected {}",
+            c, self.in_channels
+        );
 
         let cols = im2col(input, &self.geom);
         let k = self.geom.kernel_h;
@@ -141,8 +162,13 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let cols = self.cached_cols.as_ref().expect("Conv2d::backward called before forward");
-        let [n, c, h, w] = self.cached_input_dims.expect("Conv2d::backward called before forward");
+        let cols = self
+            .cached_cols
+            .as_ref()
+            .expect("Conv2d::backward called before forward");
+        let [n, c, h, w] = self
+            .cached_input_dims
+            .expect("Conv2d::backward called before forward");
         let (ho, wo) = self.geom.output_size(h, w);
         let k = self.geom.kernel_h;
 
@@ -157,12 +183,13 @@ impl Layer for Conv2d {
         // db = row sums of grad2.
         let ncols = n * ho * wo;
         let mut grad_b = vec![0.0f32; self.out_channels];
-        for co in 0..self.out_channels {
-            grad_b[co] = grad2.data()[co * ncols..(co + 1) * ncols].iter().sum();
+        for (co, acc) in grad_b.iter_mut().enumerate() {
+            *acc = grad2.data()[co * ncols..(co + 1) * ncols].iter().sum();
         }
-        self.bias
-            .grad
-            .add_scaled_inplace(&Tensor::from_vec(grad_b, &[self.out_channels]).expect("bias grad shape"), 1.0);
+        self.bias.grad.add_scaled_inplace(
+            &Tensor::from_vec(grad_b, &[self.out_channels]).expect("bias grad shape"),
+            1.0,
+        );
 
         // dx = col2im(W^T @ grad2).
         let w2 = self
@@ -231,7 +258,10 @@ mod tests {
             conv.weight.value.data_mut()[idx] -= eps;
             let fd = (plus - base) / eps;
             let analytic = conv.weight.grad.data()[idx];
-            assert!((analytic - fd).abs() < 0.05 * (1.0 + fd.abs()), "idx {idx}: {analytic} vs {fd}");
+            assert!(
+                (analytic - fd).abs() < 0.05 * (1.0 + fd.abs()),
+                "idx {idx}: {analytic} vs {fd}"
+            );
         }
     }
 
@@ -253,7 +283,10 @@ mod tests {
             let plus: f32 = conv.forward(&x_plus, true).sum();
             let fd = (plus - base) / eps;
             let analytic = grad_in.data()[idx];
-            assert!((analytic - fd).abs() < 0.05 * (1.0 + fd.abs()), "idx {idx}: {analytic} vs {fd}");
+            assert!(
+                (analytic - fd).abs() < 0.05 * (1.0 + fd.abs()),
+                "idx {idx}: {analytic} vs {fd}"
+            );
         }
     }
 
@@ -263,6 +296,9 @@ mod tests {
         let mut conv = Conv2d::new(&mut rng, 2, 4, 3, 1, 1);
         let names = (&mut conv as &mut dyn Layer).param_names();
         assert_eq!(names, vec!["weight", "bias"]);
-        assert_eq!((&mut conv as &mut dyn Layer).param_count(), 4 * 2 * 3 * 3 + 4);
+        assert_eq!(
+            (&mut conv as &mut dyn Layer).param_count(),
+            4 * 2 * 3 * 3 + 4
+        );
     }
 }

@@ -39,9 +39,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let w = he_normal(&mut rng, &[10_000], 8);
         let mean = w.mean();
-        let var = w.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / 10_000.0;
+        let var = w
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / 10_000.0;
         let expected = 2.0 / 8.0;
-        assert!((var - expected).abs() < 0.05, "var {var} vs expected {expected}");
+        assert!(
+            (var - expected).abs() < 0.05,
+            "var {var} vs expected {expected}"
+        );
     }
 
     #[test]

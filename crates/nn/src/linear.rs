@@ -35,7 +35,10 @@ impl Linear {
     ///
     /// Panics if `in_features` or `out_features` is zero.
     pub fn new<R: Rng + ?Sized>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
-        assert!(in_features > 0 && out_features > 0, "feature counts must be non-zero");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "feature counts must be non-zero"
+        );
         Linear {
             weight: Param::new(he_normal(rng, &[out_features, in_features], in_features)),
             bias: Param::new(Tensor::zeros(&[out_features])),
@@ -63,7 +66,12 @@ impl Linear {
 
 impl Layer for Linear {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        assert_eq!(input.shape().rank(), 2, "Linear expects (N, in), got {}", input.shape());
+        assert_eq!(
+            input.shape().rank(),
+            2,
+            "Linear expects (N, in), got {}",
+            input.shape()
+        );
         assert_eq!(
             input.dims()[1],
             self.in_features,
@@ -150,13 +158,23 @@ mod tests {
         let plus: f32 = fc.forward(&x, true).sum();
         fc.weight.value = orig_w;
         let fd_w = (plus - base) / eps;
-        assert!((fc.weight.grad.data()[1] - fd_w).abs() < 1e-2, "{} vs {}", fc.weight.grad.data()[1], fd_w);
+        assert!(
+            (fc.weight.grad.data()[1] - fd_w).abs() < 1e-2,
+            "{} vs {}",
+            fc.weight.grad.data()[1],
+            fd_w
+        );
 
         let mut x_plus = x.clone();
         x_plus.data_mut()[2] += eps;
         let plus_x: f32 = fc.forward(&x_plus, true).sum();
         let fd_x = (plus_x - base) / eps;
-        assert!((grad_in.data()[2] - fd_x).abs() < 1e-2, "{} vs {}", grad_in.data()[2], fd_x);
+        assert!(
+            (grad_in.data()[2] - fd_x).abs() < 1e-2,
+            "{} vs {}",
+            grad_in.data()[2],
+            fd_x
+        );
     }
 
     #[test]

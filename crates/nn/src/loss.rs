@@ -29,7 +29,12 @@ impl SoftmaxCrossEntropy {
     ///
     /// Panics if `logits` is not 2-D.
     pub fn softmax(&self, logits: &Tensor) -> Tensor {
-        assert_eq!(logits.shape().rank(), 2, "softmax expects (N, classes), got {}", logits.shape());
+        assert_eq!(
+            logits.shape().rank(),
+            2,
+            "softmax expects (N, classes), got {}",
+            logits.shape()
+        );
         let (n, c) = (logits.dims()[0], logits.dims()[1]);
         let mut out = vec![0.0f32; n * c];
         for i in 0..n {
@@ -52,7 +57,12 @@ impl SoftmaxCrossEntropy {
     pub fn loss(&self, logits: &Tensor, labels: &[usize]) -> f32 {
         let probs = self.softmax(logits);
         let (n, c) = (logits.dims()[0], logits.dims()[1]);
-        assert_eq!(labels.len(), n, "label count {} != batch size {n}", labels.len());
+        assert_eq!(
+            labels.len(),
+            n,
+            "label count {} != batch size {n}",
+            labels.len()
+        );
         let mut total = 0.0;
         for (i, &label) in labels.iter().enumerate() {
             assert!(label < c, "label {label} out of range for {c} classes");
@@ -70,7 +80,12 @@ impl SoftmaxCrossEntropy {
     pub fn forward_backward(&self, logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
         let probs = self.softmax(logits);
         let (n, c) = (logits.dims()[0], logits.dims()[1]);
-        assert_eq!(labels.len(), n, "label count {} != batch size {n}", labels.len());
+        assert_eq!(
+            labels.len(),
+            n,
+            "label count {} != batch size {n}",
+            labels.len()
+        );
         let mut grad = probs.clone().into_vec();
         let mut total = 0.0;
         for (i, &label) in labels.iter().enumerate() {
@@ -131,7 +146,11 @@ mod tests {
             l2.data_mut()[idx] += eps;
             let plus = loss.loss(&l2, &labels);
             let fd = (plus - base) / eps;
-            assert!((grad.data()[idx] - fd).abs() < 1e-2, "idx {idx}: {} vs {fd}", grad.data()[idx]);
+            assert!(
+                (grad.data()[idx] - fd).abs() < 1e-2,
+                "idx {idx}: {} vs {fd}",
+                grad.data()[idx]
+            );
         }
     }
 

@@ -38,7 +38,13 @@ impl Accuracy {
 
 impl std::fmt::Display for Accuracy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}/{} ({:.2}%)", self.correct, self.total, self.percent())
+        write!(
+            f,
+            "{}/{} ({:.2}%)",
+            self.correct,
+            self.total,
+            self.percent()
+        )
     }
 }
 
@@ -48,9 +54,19 @@ impl std::fmt::Display for Accuracy {
 ///
 /// Panics if `logits` is not 2-D or the label count differs from the batch size.
 pub fn evaluate_logits(logits: &Tensor, labels: &[usize]) -> Accuracy {
-    assert_eq!(logits.shape().rank(), 2, "expected (N, classes) logits, got {}", logits.shape());
+    assert_eq!(
+        logits.shape().rank(),
+        2,
+        "expected (N, classes) logits, got {}",
+        logits.shape()
+    );
     let (n, c) = (logits.dims()[0], logits.dims()[1]);
-    assert_eq!(labels.len(), n, "label count {} != batch size {n}", labels.len());
+    assert_eq!(
+        labels.len(),
+        n,
+        "label count {} != batch size {n}",
+        labels.len()
+    );
     let mut correct = 0;
     for (i, &label) in labels.iter().enumerate() {
         let row = &logits.data()[i * c..(i + 1) * c];
@@ -75,10 +91,20 @@ pub fn evaluate_logits(logits: &Tensor, labels: &[usize]) -> Accuracy {
 /// # Panics
 ///
 /// Panics if the label count does not match the image count or `batch_size` is zero.
-pub fn accuracy(model: &mut dyn Layer, images: &Tensor, labels: &[usize], batch_size: usize) -> Accuracy {
+pub fn accuracy(
+    model: &mut dyn Layer,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+) -> Accuracy {
     assert!(batch_size > 0, "batch_size must be non-zero");
     let n = images.dims()[0];
-    assert_eq!(labels.len(), n, "label count {} != image count {n}", labels.len());
+    assert_eq!(
+        labels.len(),
+        n,
+        "label count {} != image count {n}",
+        labels.len()
+    );
     let sample = images.numel() / n.max(1);
     let mut total = Accuracy::default();
     let mut start = 0;
@@ -87,11 +113,8 @@ pub fn accuracy(model: &mut dyn Layer, images: &Tensor, labels: &[usize], batch_
         let count = end - start;
         let mut dims = images.dims().to_vec();
         dims[0] = count;
-        let batch = Tensor::from_vec(
-            images.data()[start * sample..end * sample].to_vec(),
-            &dims,
-        )
-        .expect("batch slicing preserves shape");
+        let batch = Tensor::from_vec(images.data()[start * sample..end * sample].to_vec(), &dims)
+            .expect("batch slicing preserves shape");
         let logits = model.forward(&batch, false);
         let acc = evaluate_logits(&logits, &labels[start..end]);
         total.correct += acc.correct;
@@ -119,7 +142,10 @@ mod tests {
 
     #[test]
     fn ratio_and_percent() {
-        let acc = Accuracy { correct: 1, total: 4 };
+        let acc = Accuracy {
+            correct: 1,
+            total: 4,
+        };
         assert_eq!(acc.ratio(), 0.25);
         assert_eq!(acc.percent(), 25.0);
         assert_eq!(Accuracy::default().ratio(), 0.0);
@@ -138,7 +164,11 @@ mod tests {
 
     #[test]
     fn display_includes_percentage() {
-        let s = Accuracy { correct: 3, total: 4 }.to_string();
+        let s = Accuracy {
+            correct: 3,
+            total: 4,
+        }
+        .to_string();
         assert!(s.contains("75.00%"), "{s}");
     }
 }

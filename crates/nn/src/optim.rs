@@ -50,7 +50,12 @@ impl Sgd {
     /// Panics if `lr` is not positive.
     pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Sgd { lr, momentum, weight_decay, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -66,8 +71,11 @@ impl Optimizer for Sgd {
                 velocity.push(Tensor::zeros(p.value.dims()));
             }
             let v = &mut velocity[idx];
-            for ((vi, &gi), wi) in
-                v.data_mut().iter_mut().zip(p.grad.data().iter()).zip(p.value.data().iter())
+            for ((vi, &gi), wi) in v
+                .data_mut()
+                .iter_mut()
+                .zip(p.grad.data().iter())
+                .zip(p.value.data().iter())
             {
                 *vi = momentum * *vi + gi + wd * *wi;
             }
@@ -106,7 +114,16 @@ impl Adam {
     /// Panics if `lr` is not positive.
     pub fn new(lr: f32, weight_decay: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
@@ -114,7 +131,14 @@ impl Optimizer for Adam {
     fn step(&mut self, model: &mut dyn Layer) {
         self.t += 1;
         let mut idx = 0;
-        let (lr, b1, b2, eps, wd, t) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay, self.t);
+        let (lr, b1, b2, eps, wd, t) = (
+            self.lr,
+            self.beta1,
+            self.beta2,
+            self.eps,
+            self.weight_decay,
+            self.t,
+        );
         let (ms, vs) = (&mut self.m, &mut self.v);
         let bc1 = 1.0 - b1.powi(t as i32);
         let bc2 = 1.0 - b2.powi(t as i32);
@@ -159,7 +183,8 @@ mod tests {
         let mut model = Linear::new(&mut rng, 2, 2);
         let loss_fn = SoftmaxCrossEntropy::new();
         // Class 0 near (1, 0); class 1 near (-1, 0).
-        let xs = Tensor::from_vec(vec![1.0, 0.1, 1.2, -0.2, -0.9, 0.2, -1.1, -0.1], &[4, 2]).unwrap();
+        let xs =
+            Tensor::from_vec(vec![1.0, 0.1, 1.2, -0.2, -0.9, 0.2, -1.1, -0.1], &[4, 2]).unwrap();
         let labels = [0usize, 0, 1, 1];
         let initial = loss_fn.loss(&model.forward(&xs, false), &labels);
         for _ in 0..200 {

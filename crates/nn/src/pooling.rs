@@ -28,15 +28,32 @@ impl MaxPool2d {
     ///
     /// Panics if `kernel` or `stride` is zero.
     pub fn new(kernel: usize, stride: usize) -> Self {
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be non-zero");
-        MaxPool2d { kernel, stride, cache: None }
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be non-zero"
+        );
+        MaxPool2d {
+            kernel,
+            stride,
+            cache: None,
+        }
     }
 }
 
 impl Layer for MaxPool2d {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        assert_eq!(input.shape().rank(), 4, "MaxPool2d expects (N, C, H, W), got {}", input.shape());
-        let (n, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+        assert_eq!(
+            input.shape().rank(),
+            4,
+            "MaxPool2d expects (N, C, H, W), got {}",
+            input.shape()
+        );
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
         let ho = (h - self.kernel) / self.stride + 1;
         let wo = (w - self.kernel) / self.stride + 1;
         let mut out = vec![f32::NEG_INFINITY; n * c * ho * wo];
@@ -66,7 +83,10 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let (argmax, dims, _) = self.cache.as_ref().expect("MaxPool2d::backward called before forward");
+        let (argmax, dims, _) = self
+            .cache
+            .as_ref()
+            .expect("MaxPool2d::backward called before forward");
         let [n, c, h, w] = *dims;
         let mut dx = vec![0.0f32; n * c * h * w];
         for (o, &src) in argmax.iter().enumerate() {
@@ -109,14 +129,25 @@ impl GlobalAvgPool {
 
 impl Layer for GlobalAvgPool {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        assert_eq!(input.shape().rank(), 4, "GlobalAvgPool expects (N, C, H, W), got {}", input.shape());
-        let (n, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+        assert_eq!(
+            input.shape().rank(),
+            4,
+            "GlobalAvgPool expects (N, C, H, W), got {}",
+            input.shape()
+        );
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
         let plane = h * w;
         let mut out = vec![0.0f32; n * c];
         for ni in 0..n {
             for ci in 0..c {
                 let base = (ni * c + ci) * plane;
-                out[ni * c + ci] = input.data()[base..base + plane].iter().sum::<f32>() / plane as f32;
+                out[ni * c + ci] =
+                    input.data()[base..base + plane].iter().sum::<f32>() / plane as f32;
             }
         }
         self.cached_dims = Some([n, c, h, w]);
@@ -124,7 +155,9 @@ impl Layer for GlobalAvgPool {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let [n, c, h, w] = self.cached_dims.expect("GlobalAvgPool::backward called before forward");
+        let [n, c, h, w] = self
+            .cached_dims
+            .expect("GlobalAvgPool::backward called before forward");
         let plane = h * w;
         let mut dx = vec![0.0f32; n * c * plane];
         for ni in 0..n {
@@ -161,16 +194,26 @@ impl Flatten {
 
 impl Layer for Flatten {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        assert!(input.shape().rank() >= 2, "Flatten expects at least 2 dimensions");
+        assert!(
+            input.shape().rank() >= 2,
+            "Flatten expects at least 2 dimensions"
+        );
         self.cached_dims = Some(input.dims().to_vec());
         let n = input.dims()[0];
         let rest = input.numel() / n;
-        input.reshape(&[n, rest]).expect("flatten reshape is consistent")
+        input
+            .reshape(&[n, rest])
+            .expect("flatten reshape is consistent")
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let dims = self.cached_dims.as_ref().expect("Flatten::backward called before forward");
-        grad_output.reshape(dims).expect("flatten backward reshape is consistent")
+        let dims = self
+            .cached_dims
+            .as_ref()
+            .expect("Flatten::backward called before forward");
+        grad_output
+            .reshape(dims)
+            .expect("flatten backward reshape is consistent")
     }
 
     fn visit_params(&mut self, _prefix: &str, _f: &mut dyn FnMut(&str, &mut Param)) {}
@@ -187,7 +230,14 @@ mod tests {
     #[test]
     fn maxpool_picks_maximum() {
         let mut pool = MaxPool2d::new(2, 2);
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0], &[1, 1, 4, 4]).unwrap();
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
         let y = pool.forward(&x, false);
         assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
     }

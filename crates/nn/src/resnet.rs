@@ -39,8 +39,16 @@ impl ResNetConfig {
     ///
     /// Panics if `num_classes`, `base_width` or `in_channels` is zero.
     pub fn new(num_classes: usize, base_width: usize, in_channels: usize, seed: u64) -> Self {
-        assert!(num_classes > 0 && base_width > 0 && in_channels > 0, "config values must be non-zero");
-        ResNetConfig { num_classes, base_width, in_channels, seed }
+        assert!(
+            num_classes > 0 && base_width > 0 && in_channels > 0,
+            "config values must be non-zero"
+        );
+        ResNetConfig {
+            num_classes,
+            base_width,
+            in_channels,
+            seed,
+        }
     }
 
     /// Paper-faithful ResNet-20 width (base 16).
@@ -81,7 +89,12 @@ impl ResidualBlock {
     ///
     /// A projection (1×1 convolution + batch norm) shortcut is used whenever the stride
     /// is not 1 or the channel count changes, matching the original ResNet design.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, in_channels: usize, out_channels: usize, stride: usize) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        in_channels: usize,
+        out_channels: usize,
+        stride: usize,
+    ) -> Self {
         let mut main = Sequential::new();
         main.push(Conv2d::new(rng, in_channels, out_channels, 3, stride, 1));
         main.push(BatchNorm2d::new(out_channels));
@@ -97,7 +110,11 @@ impl ResidualBlock {
         } else {
             None
         };
-        ResidualBlock { main, shortcut, relu: Relu::new() }
+        ResidualBlock {
+            main,
+            shortcut,
+            relu: Relu::new(),
+        }
     }
 
     /// Whether the block uses a projection shortcut.
@@ -154,7 +171,11 @@ fn make_stage<R: Rng + ?Sized>(
 ) -> Sequential {
     let mut stage = Sequential::new();
     for b in 0..blocks {
-        let (cin, stride) = if b == 0 { (in_channels, first_stride) } else { (out_channels, 1) };
+        let (cin, stride) = if b == 0 {
+            (in_channels, first_stride)
+        } else {
+            (out_channels, 1)
+        };
         stage.push(ResidualBlock::new(rng, cin, out_channels, stride));
     }
     stage

@@ -26,7 +26,9 @@ pub struct Sequential {
 
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Sequential").field("layers", &self.layers.len()).finish()
+        f.debug_struct("Sequential")
+            .field("layers", &self.layers.len())
+            .finish()
     }
 }
 
@@ -123,7 +125,15 @@ mod tests {
         model.push(Relu::new());
         model.push(Linear::new(&mut rng, 2, 2));
         let names = (&mut model as &mut dyn Layer).param_names();
-        assert_eq!(names, vec!["linear0/weight", "linear0/bias", "linear2/weight", "linear2/bias"]);
+        assert_eq!(
+            names,
+            vec![
+                "linear0/weight",
+                "linear0/bias",
+                "linear2/weight",
+                "linear2/bias"
+            ]
+        );
     }
 
     #[test]
@@ -135,7 +145,9 @@ mod tests {
         model.forward(&x, true);
         model.backward(&Tensor::ones(&[1, 2]));
         model.zero_grad();
-        model.visit_params("", &mut |_, p| assert!(p.grad.data().iter().all(|&g| g == 0.0)));
+        model.visit_params("", &mut |_, p| {
+            assert!(p.grad.data().iter().all(|&g| g == 0.0))
+        });
     }
 
     #[test]

@@ -44,9 +44,18 @@ impl fmt::Display for SerializeError {
         match self {
             SerializeError::Io(e) => write!(f, "i/o error: {e}"),
             SerializeError::BadMagic => write!(f, "not a RNNP checkpoint (bad magic)"),
-            SerializeError::MissingParam(name) => write!(f, "checkpoint is missing parameter '{name}'"),
-            SerializeError::ShapeMismatch { name, expected, found } => {
-                write!(f, "shape mismatch for '{name}': expected {expected:?}, found {found:?}")
+            SerializeError::MissingParam(name) => {
+                write!(f, "checkpoint is missing parameter '{name}'")
+            }
+            SerializeError::ShapeMismatch {
+                name,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "shape mismatch for '{name}': expected {expected:?}, found {found:?}"
+                )
             }
             SerializeError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
         }
@@ -76,7 +85,11 @@ impl From<io::Error> for SerializeError {
 pub fn save_params(model: &mut dyn Layer, path: &Path) -> Result<(), SerializeError> {
     let mut entries: Vec<(String, Vec<usize>, Vec<f32>)> = Vec::new();
     model.visit_params("", &mut |name, p| {
-        entries.push((name.to_owned(), p.value.dims().to_vec(), p.value.data().to_vec()));
+        entries.push((
+            name.to_owned(),
+            p.value.dims().to_vec(),
+            p.value.data().to_vec(),
+        ));
     });
     // Non-trainable buffers (e.g. batch-norm running statistics) are stored as rank-1
     // entries alongside the parameters; names never collide because layers use distinct
@@ -245,7 +258,10 @@ mod tests {
         let mut other = Sequential::new();
         other.push(Linear::new(&mut rng, 5, 2));
         let err = load_params(&mut other, &path).unwrap_err();
-        assert!(matches!(err, SerializeError::MissingParam(_) | SerializeError::ShapeMismatch { .. }));
+        assert!(matches!(
+            err,
+            SerializeError::MissingParam(_) | SerializeError::ShapeMismatch { .. }
+        ));
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -256,7 +272,10 @@ mod tests {
         let path = dir.join("bad_magic.rnnp");
         std::fs::write(&path, b"NOPE0000").unwrap();
         let mut m = model(1);
-        assert!(matches!(load_params(&mut m, &path), Err(SerializeError::BadMagic)));
+        assert!(matches!(
+            load_params(&mut m, &path),
+            Err(SerializeError::BadMagic)
+        ));
         std::fs::remove_file(&path).unwrap();
     }
 }

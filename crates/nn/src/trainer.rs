@@ -48,7 +48,11 @@ impl<O: Optimizer> Trainer<O> {
     /// Panics if `batch_size` is zero.
     pub fn new(optimizer: O, batch_size: usize) -> Self {
         assert!(batch_size > 0, "batch_size must be non-zero");
-        Trainer { optimizer, batch_size, loss: SoftmaxCrossEntropy::new() }
+        Trainer {
+            optimizer,
+            batch_size,
+            loss: SoftmaxCrossEntropy::new(),
+        }
     }
 
     /// Access to the underlying optimizer (e.g. to adjust the learning rate between
@@ -71,7 +75,12 @@ impl<O: Optimizer> Trainer<O> {
         rng: &mut R,
     ) -> TrainReport {
         let n = images.dims()[0];
-        assert_eq!(labels.len(), n, "label count {} != image count {n}", labels.len());
+        assert_eq!(
+            labels.len(),
+            n,
+            "label count {} != image count {n}",
+            labels.len()
+        );
         let sample = images.numel() / n.max(1);
         let mut order: Vec<usize> = (0..n).collect();
         let mut report = TrainReport::default();
@@ -140,7 +149,11 @@ mod tests {
 
         let mut trainer = Trainer::new(Sgd::new(0.1, 0.9, 0.0), 16);
         let report = trainer.fit(&mut model, &images, &labels, 20, &mut rng);
-        assert!(report.train_accuracy.ratio() > 0.95, "accuracy {}", report.train_accuracy);
+        assert!(
+            report.train_accuracy.ratio() > 0.95,
+            "accuracy {}",
+            report.train_accuracy
+        );
         assert!(report.epoch_losses.last().unwrap() < &0.2);
         assert!(report.epoch_losses.first().unwrap() > report.epoch_losses.last().unwrap());
     }

@@ -90,7 +90,12 @@ impl QuantizedModel {
                 });
             }
         });
-        let mut qm = QuantizedModel { model, layers, dirty: true, loss: SoftmaxCrossEntropy::new() };
+        let mut qm = QuantizedModel {
+            model,
+            layers,
+            dirty: true,
+            loss: SoftmaxCrossEntropy::new(),
+        };
         qm.sync();
         qm
     }
@@ -148,7 +153,13 @@ impl QuantizedModel {
 
     /// Captures the current quantized values of every layer.
     pub fn snapshot(&self) -> WeightSnapshot {
-        WeightSnapshot { values: self.layers.iter().map(|l| l.weights.values().to_vec()).collect() }
+        WeightSnapshot {
+            values: self
+                .layers
+                .iter()
+                .map(|l| l.weights.values().to_vec())
+                .collect(),
+        }
     }
 
     /// Restores a snapshot taken from the same model.
@@ -157,9 +168,17 @@ impl QuantizedModel {
     ///
     /// Panics if the snapshot layer count or any layer size does not match.
     pub fn restore(&mut self, snapshot: &WeightSnapshot) {
-        assert_eq!(snapshot.values.len(), self.layers.len(), "snapshot layer count mismatch");
+        assert_eq!(
+            snapshot.values.len(),
+            self.layers.len(),
+            "snapshot layer count mismatch"
+        );
         for (layer, values) in self.layers.iter_mut().zip(snapshot.values.iter()) {
-            assert_eq!(values.len(), layer.weights.numel(), "snapshot layer size mismatch");
+            assert_eq!(
+                values.len(),
+                layer.weights.numel(),
+                "snapshot layer size mismatch"
+            );
             layer.weights.values_mut().copy_from_slice(values);
         }
         self.dirty = true;
@@ -179,7 +198,11 @@ impl QuantizedModel {
                 cursor += 1;
             }
         });
-        debug_assert_eq!(cursor, layers.len(), "not all quantized layers were written back");
+        debug_assert_eq!(
+            cursor,
+            layers.len(),
+            "not all quantized layers were written back"
+        );
         self.dirty = false;
     }
 
@@ -289,7 +312,11 @@ mod tests {
         // Flip the MSB of a weight in the first conv layer.
         qm.flip_bit(0, 0, crate::MSB);
         let attacked = qm.forward(&x);
-        assert_ne!(clean.data(), attacked.data(), "MSB flip should perturb the output");
+        assert_ne!(
+            clean.data(),
+            attacked.data(),
+            "MSB flip should perturb the output"
+        );
 
         qm.restore(&snapshot);
         let restored = qm.forward(&x);
@@ -310,7 +337,8 @@ mod tests {
         let scale = qm.layer(layer).weights().scale();
         let base = qm.loss(&x, &labels);
         let orig = qm.layer(layer).weights().value(idx);
-        qm.layer_weights_mut(layer).set_value(idx, orig.saturating_add(2));
+        qm.layer_weights_mut(layer)
+            .set_value(idx, orig.saturating_add(2));
         let plus = qm.loss(&x, &labels);
         let fd = (plus - base) / (2.0 * scale);
         let analytic = grads[layer].data()[idx];
@@ -333,7 +361,9 @@ mod tests {
     #[should_panic(expected = "snapshot layer count mismatch")]
     fn restoring_foreign_snapshot_panics() {
         let mut qm = tiny_model();
-        let foreign = WeightSnapshot { values: vec![vec![0i8; 4]] };
+        let foreign = WeightSnapshot {
+            values: vec![vec![0i8; 4]],
+        };
         qm.restore(&foreign);
     }
 }

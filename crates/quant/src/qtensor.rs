@@ -43,7 +43,11 @@ impl QuantizedTensor {
             .iter()
             .map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8)
             .collect();
-        QuantizedTensor { values, scale, dims: tensor.dims().to_vec() }
+        QuantizedTensor {
+            values,
+            scale,
+            dims: tensor.dims().to_vec(),
+        }
     }
 
     /// Builds a quantized tensor from raw `i8` values and an explicit scale.
@@ -53,9 +57,18 @@ impl QuantizedTensor {
     /// Panics if the value count does not match the shape or `scale` is not positive.
     pub fn from_values(values: Vec<i8>, dims: &[usize], scale: f32) -> Self {
         let numel: usize = dims.iter().product();
-        assert_eq!(values.len(), numel, "value count {} does not match shape ({numel})", values.len());
+        assert_eq!(
+            values.len(),
+            numel,
+            "value count {} does not match shape ({numel})",
+            values.len()
+        );
         assert!(scale > 0.0, "scale must be positive");
-        QuantizedTensor { values, scale, dims: dims.to_vec() }
+        QuantizedTensor {
+            values,
+            scale,
+            dims: dims.to_vec(),
+        }
     }
 
     /// Reconstructs the float tensor (`int8 * scale`).
@@ -141,7 +154,11 @@ impl QuantizedTensor {
     /// Panics if `idx` is out of bounds or `bit >= 8`.
     pub fn flip_delta(&self, idx: usize, bit: u32) -> f32 {
         assert!(bit < WEIGHT_BITS, "bit index {bit} out of range");
-        let magnitude = if bit == MSB { -(1i32 << MSB) } else { 1i32 << bit };
+        let magnitude = if bit == MSB {
+            -(1i32 << MSB)
+        } else {
+            1i32 << bit
+        };
         let sign = if self.bit(idx, bit) { -1.0 } else { 1.0 };
         sign * magnitude as f32 * self.scale
     }

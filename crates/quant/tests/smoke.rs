@@ -1,0 +1,47 @@
+//! Smoke test: 8-bit quantization round-trips within half a step, bit flips behave as
+//! two's-complement involutions, and model snapshot/restore undoes corruption.
+
+use radar_nn::{resnet20, ResNetConfig};
+use radar_quant::{QuantizedModel, QuantizedTensor, MSB, WEIGHT_BITS};
+use radar_tensor::Tensor;
+
+#[test]
+fn quantize_dequantize_roundtrip_is_bounded() {
+    let values = vec![-1.5f32, -0.25, 0.0, 0.1, 0.9, 1.5];
+    let t = Tensor::from_vec(values.clone(), &[values.len()]).unwrap();
+    let q = QuantizedTensor::quantize(&t);
+    let back = q.dequantize();
+    for (a, b) in back.data().iter().zip(&values) {
+        assert!(
+            (a - b).abs() <= q.scale() * 0.5 + 1e-6,
+            "quantization error beyond half a step: {a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn bit_flips_are_involutions_on_every_position() {
+    let t = Tensor::from_vec(vec![0.5, -0.75, 0.1], &[3]).unwrap();
+    let mut q = QuantizedTensor::quantize(&t);
+    for bit in 0..WEIGHT_BITS {
+        let before = q.value(1);
+        q.flip_bit(1, bit);
+        assert_ne!(q.value(1), before, "bit {bit} flip must change the weight");
+        q.flip_bit(1, bit);
+        assert_eq!(q.value(1), before, "bit {bit} double flip must restore");
+    }
+}
+
+#[test]
+fn snapshot_restore_undoes_model_corruption() {
+    let mut m = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(4))));
+    assert!(m.num_layers() > 0);
+    assert!(m.total_weights() > 0);
+
+    let snapshot = m.snapshot();
+    let original = m.layer(0).weights().value(0);
+    m.flip_bit(0, 0, MSB);
+    assert_ne!(m.layer(0).weights().value(0), original);
+    m.restore(&snapshot);
+    assert_eq!(m.layer(0).weights().value(0), original);
+}

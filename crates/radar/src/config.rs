@@ -47,7 +47,10 @@ impl RadarConfig {
 
     /// The "without interleave" ablation used throughout the paper's figures.
     pub fn without_interleave(group_size: usize) -> Self {
-        RadarConfig { grouping: Grouping::Contiguous, ..Self::paper_default(group_size) }
+        RadarConfig {
+            grouping: Grouping::Contiguous,
+            ..Self::paper_default(group_size)
+        }
     }
 
     /// Returns a copy with masking disabled (plain addition checksum).

@@ -63,7 +63,12 @@ impl GroupLayout {
         assert!(len > 0, "layer length must be non-zero");
         assert!(group_size > 0, "group size must be non-zero");
         let num_groups = len.div_ceil(group_size);
-        GroupLayout { len, group_size, num_groups, grouping }
+        GroupLayout {
+            len,
+            group_size,
+            num_groups,
+            grouping,
+        }
     }
 
     /// Number of weights in the layer.
@@ -97,7 +102,11 @@ impl GroupLayout {
     ///
     /// Panics if `index >= len`.
     pub fn group_of(&self, index: usize) -> usize {
-        assert!(index < self.len, "weight index {index} out of bounds for layer of {}", self.len);
+        assert!(
+            index < self.len,
+            "weight index {index} out of bounds for layer of {}",
+            self.len
+        );
         match self.grouping {
             Grouping::Contiguous => index / self.group_size,
             Grouping::Interleaved { offset } => {
@@ -115,7 +124,11 @@ impl GroupLayout {
     ///
     /// Panics if `index >= len`.
     pub fn slot_of(&self, index: usize) -> usize {
-        assert!(index < self.len, "weight index {index} out of bounds for layer of {}", self.len);
+        assert!(
+            index < self.len,
+            "weight index {index} out of bounds for layer of {}",
+            self.len
+        );
         match self.grouping {
             Grouping::Contiguous => index % self.group_size,
             Grouping::Interleaved { .. } => index / self.num_groups,
@@ -129,7 +142,11 @@ impl GroupLayout {
     ///
     /// Panics if `group >= num_groups`.
     pub fn members(&self, group: usize) -> Vec<usize> {
-        assert!(group < self.num_groups, "group {group} out of bounds for {} groups", self.num_groups);
+        assert!(
+            group < self.num_groups,
+            "group {group} out of bounds for {} groups",
+            self.num_groups
+        );
         match self.grouping {
             Grouping::Contiguous => {
                 let start = group * self.group_size;
@@ -141,7 +158,8 @@ impl GroupLayout {
                 // padded length is num_groups * ceil(padded_rows); rows run 0..group_size
                 let rows = self.padded_len() / self.num_groups;
                 for row in 0..rows {
-                    let col = (group + self.num_groups - (row * offset) % self.num_groups) % self.num_groups;
+                    let col = (group + self.num_groups - (row * offset) % self.num_groups)
+                        % self.num_groups;
                     let index = row * self.num_groups + col;
                     if index < self.len {
                         members.push(index);
@@ -179,17 +197,28 @@ mod tests {
         assert_eq!(members.len(), 16);
         // Consecutive members differ by at least num_groups - offset.
         for pair in members.windows(2) {
-            assert!(pair[1] - pair[0] >= layout.num_groups() - 3, "members too close: {pair:?}");
+            assert!(
+                pair[1] - pair[0] >= layout.num_groups() - 3,
+                "members too close: {pair:?}"
+            );
         }
     }
 
     #[test]
     fn group_of_and_members_are_consistent() {
-        for grouping in [Grouping::Contiguous, Grouping::interleaved(), Grouping::Interleaved { offset: 5 }] {
+        for grouping in [
+            Grouping::Contiguous,
+            Grouping::interleaved(),
+            Grouping::Interleaved { offset: 5 },
+        ] {
             let layout = GroupLayout::new(200, 32, grouping);
             for g in 0..layout.num_groups() {
                 for &i in &layout.members(g) {
-                    assert_eq!(layout.group_of(i), g, "{grouping:?}: index {i} not in group {g}");
+                    assert_eq!(
+                        layout.group_of(i),
+                        g,
+                        "{grouping:?}: index {i} not in group {g}"
+                    );
                 }
             }
         }
@@ -205,7 +234,10 @@ mod tests {
                     seen[i] += 1;
                 }
             }
-            assert!(seen.iter().all(|&c| c == 1), "{grouping:?}: partition property violated");
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "{grouping:?}: partition property violated"
+            );
         }
     }
 
@@ -213,7 +245,11 @@ mod tests {
     fn slots_are_unique_within_a_group() {
         let layout = GroupLayout::new(128, 16, Grouping::interleaved());
         for g in 0..layout.num_groups() {
-            let mut slots: Vec<usize> = layout.members(g).iter().map(|&i| layout.slot_of(i)).collect();
+            let mut slots: Vec<usize> = layout
+                .members(g)
+                .iter()
+                .map(|&i| layout.slot_of(i))
+                .collect();
             slots.sort_unstable();
             slots.dedup();
             assert_eq!(slots.len(), layout.members(g).len());
@@ -231,7 +267,10 @@ mod tests {
                 separated += 1;
             }
         }
-        assert!(separated >= 60, "only {separated}/63 contiguous neighbours separated");
+        assert!(
+            separated >= 60,
+            "only {separated}/63 contiguous neighbours separated"
+        );
     }
 
     #[test]

@@ -101,8 +101,13 @@ mod tests {
     #[test]
     fn random_keys_differ_across_draws() {
         let mut rng = StdRng::seed_from_u64(0);
-        let keys: std::collections::HashSet<u16> =
-            (0..32).map(|_| SecretKey::random(&mut rng).bits()).collect();
-        assert!(keys.len() > 16, "random keys should rarely collide, got {} unique", keys.len());
+        let keys: std::collections::HashSet<u16> = (0..32)
+            .map(|_| SecretKey::random(&mut rng).bits())
+            .collect();
+        assert!(
+            keys.len() > 16,
+            "random keys should rarely collide, got {} unique",
+            keys.len()
+        );
     }
 }

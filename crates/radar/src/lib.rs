@@ -52,6 +52,8 @@ pub use config::RadarConfig;
 pub use grouping::{GroupLayout, Grouping};
 pub use key::{SecretKey, KEY_BITS};
 pub use protected::{ProtectedModel, ProtectionStats};
-pub use protection::{DetectionReport, FlaggedGroup, LayerProtection, RadarProtection, RecoveryReport};
+pub use protection::{
+    DetectionReport, FlaggedGroup, LayerProtection, RadarProtection, RecoveryReport,
+};
 pub use signature::{binarize, group_signature, masked_sum, SignatureBits};
 pub use store::SignatureStore;

@@ -51,7 +51,11 @@ impl ProtectedModel {
     /// Signs `model` under `config` and wraps it.
     pub fn new(model: QuantizedModel, config: RadarConfig) -> Self {
         let protection = RadarProtection::new(&model, config);
-        ProtectedModel { model, protection, stats: ProtectionStats::default() }
+        ProtectedModel {
+            model,
+            protection,
+            stats: ProtectionStats::default(),
+        }
     }
 
     /// The RADAR protection state (golden signatures, layouts, keys).

@@ -56,7 +56,9 @@ impl DetectionReport {
 
     /// Whether a specific `(layer, group)` was flagged.
     pub fn contains(&self, layer: usize, group: usize) -> bool {
-        self.flagged.iter().any(|f| f.layer == layer && f.group == group)
+        self.flagged
+            .iter()
+            .any(|f| f.layer == layer && f.group == group)
     }
 }
 
@@ -107,13 +109,25 @@ impl RadarProtection {
         let mut layers = Vec::with_capacity(model.num_layers());
         let mut golden = SignatureStore::new(config.signature_bits);
         for layer in model.layers() {
-            let key = if config.masking { SecretKey::random(&mut rng) } else { SecretKey::identity() };
+            let key = if config.masking {
+                SecretKey::random(&mut rng)
+            } else {
+                SecretKey::identity()
+            };
             let layout = GroupLayout::new(layer.len(), config.group_size, config.grouping);
             let protection = LayerProtection { key, layout };
-            golden.push_layer(Self::layer_signatures(&protection, layer.weights().values(), &config));
+            golden.push_layer(Self::layer_signatures(
+                &protection,
+                layer.weights().values(),
+                &config,
+            ));
             layers.push(protection);
         }
-        RadarProtection { config, layers, golden }
+        RadarProtection {
+            config,
+            layers,
+            golden,
+        }
     }
 
     /// The scheme configuration.
@@ -142,7 +156,11 @@ impl RadarProtection {
     }
 
     /// Computes the signatures of every group of one layer from its current weights.
-    fn layer_signatures(protection: &LayerProtection, values: &[i8], config: &RadarConfig) -> Vec<u8> {
+    fn layer_signatures(
+        protection: &LayerProtection,
+        values: &[i8],
+        config: &RadarConfig,
+    ) -> Vec<u8> {
         let layout = protection.layout;
         let mut signatures = Vec::with_capacity(layout.num_groups());
         let mut group_values = Vec::with_capacity(layout.group_size());
@@ -151,7 +169,11 @@ impl RadarProtection {
             for &idx in &layout.members(g) {
                 group_values.push(values[idx]);
             }
-            signatures.push(group_signature(&group_values, &protection.key, config.signature_bits));
+            signatures.push(group_signature(
+                &group_values,
+                &protection.key,
+                config.signature_bits,
+            ));
         }
         signatures
     }
@@ -164,9 +186,14 @@ impl RadarProtection {
     /// Panics if `model` does not have the same layer sizes as the model used at
     /// construction time.
     pub fn detect(&self, model: &QuantizedModel) -> DetectionReport {
-        assert_eq!(model.num_layers(), self.layers.len(), "model layer count changed since signing");
+        assert_eq!(
+            model.num_layers(),
+            self.layers.len(),
+            "model layer count changed since signing"
+        );
         let mut report = DetectionReport::default();
-        for (layer_idx, (layer, protection)) in model.layers().iter().zip(&self.layers).enumerate() {
+        for (layer_idx, (layer, protection)) in model.layers().iter().zip(&self.layers).enumerate()
+        {
             assert_eq!(
                 layer.len(),
                 protection.layout.len(),
@@ -175,7 +202,10 @@ impl RadarProtection {
             let fresh = Self::layer_signatures(protection, layer.weights().values(), &self.config);
             for (group, &sig) in fresh.iter().enumerate() {
                 if sig != self.golden.signature(layer_idx, group) {
-                    report.flagged.push(FlaggedGroup { layer: layer_idx, group });
+                    report.flagged.push(FlaggedGroup {
+                        layer: layer_idx,
+                        group,
+                    });
                 }
             }
         }
@@ -207,7 +237,11 @@ impl RadarProtection {
     /// verification passes accept the recovered state instead of re-flagging it (the
     /// paper leaves this bookkeeping implicit; without it every later inference would
     /// report the same, already-mitigated attack again).
-    pub fn recover(&mut self, model: &mut QuantizedModel, report: &DetectionReport) -> RecoveryReport {
+    pub fn recover(
+        &mut self,
+        model: &mut QuantizedModel,
+        report: &DetectionReport,
+    ) -> RecoveryReport {
         let mut recovery = RecoveryReport::default();
         for flagged in &report.flagged {
             let protection = self.layers[flagged.layer];
@@ -229,7 +263,10 @@ impl RadarProtection {
 
     /// Convenience: detection immediately followed by recovery, as embedded in the
     /// inference pass.
-    pub fn detect_and_recover(&mut self, model: &mut QuantizedModel) -> (DetectionReport, RecoveryReport) {
+    pub fn detect_and_recover(
+        &mut self,
+        model: &mut QuantizedModel,
+    ) -> (DetectionReport, RecoveryReport) {
         let report = self.detect(model);
         let recovery = self.recover(model, &report);
         (report, recovery)
@@ -239,7 +276,6 @@ impl RadarProtection {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::grouping::Grouping;
     use radar_nn::{resnet20, ResNetConfig};
     use radar_quant::MSB;
 
@@ -257,7 +293,10 @@ mod tests {
             RadarConfig::paper_default(32).with_three_bit_signature(),
         ] {
             let radar = RadarProtection::new(&m, cfg);
-            assert!(!radar.detect(&m).attack_detected(), "false positive under {cfg:?}");
+            assert!(
+                !radar.detect(&m).attack_detected(),
+                "false positive under {cfg:?}"
+            );
         }
     }
 
@@ -296,14 +335,20 @@ mod tests {
         let large = RadarProtection::new(&m, RadarConfig::paper_default(256));
         assert!(small.storage_bytes() > large.storage_bytes());
         // 2 bits per group.
-        assert_eq!(small.golden().storage_bits(), 2 * small.golden().total_groups());
+        assert_eq!(
+            small.golden().storage_bits(),
+            2 * small.golden().total_groups()
+        );
     }
 
     #[test]
     fn three_bit_signature_uses_more_storage() {
         let m = model();
         let two = RadarProtection::new(&m, RadarConfig::paper_default(64));
-        let three = RadarProtection::new(&m, RadarConfig::paper_default(64).with_three_bit_signature());
+        let three = RadarProtection::new(
+            &m,
+            RadarConfig::paper_default(64).with_three_bit_signature(),
+        );
         assert!(three.golden().storage_bits() > two.golden().storage_bits());
     }
 
@@ -312,8 +357,10 @@ mod tests {
         let mut m = model();
         let g = 32;
         let layer = 0;
-        let plain = RadarProtection::new(&m, RadarConfig::without_interleave(g).with_masking(false));
-        let interleaved = RadarProtection::new(&m, RadarConfig::paper_default(g).with_masking(false));
+        let plain =
+            RadarProtection::new(&m, RadarConfig::without_interleave(g).with_masking(false));
+        let interleaved =
+            RadarProtection::new(&m, RadarConfig::paper_default(g).with_masking(false));
 
         // Find two weights that share a contiguous group but not an interleaved group,
         // with opposite MSB states (the Section VIII evasion pair).
@@ -338,10 +385,16 @@ mod tests {
 
         // The unmasked, un-interleaved checksum misses the paired flips entirely.
         let plain_report = plain.detect(&m);
-        assert_eq!(plain.count_covered(&plain_report, &[(layer, i), (layer, j)]), 0);
+        assert_eq!(
+            plain.count_covered(&plain_report, &[(layer, i), (layer, j)]),
+            0
+        );
         // Interleaving separates the pair into different groups, so both are caught.
         let int_report = interleaved.detect(&m);
-        assert_eq!(interleaved.count_covered(&int_report, &[(layer, i), (layer, j)]), 2);
+        assert_eq!(
+            interleaved.count_covered(&int_report, &[(layer, i), (layer, j)]),
+            2
+        );
     }
 
     #[test]

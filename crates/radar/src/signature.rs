@@ -29,7 +29,11 @@ impl SignatureBits {
 /// when key bit `t` is 0 (Algorithm 1). The sum is exact in `i32` (a group of at most a
 /// few thousand `i8` values cannot overflow).
 pub fn masked_sum(weights: &[i8], key: &SecretKey) -> i32 {
-    weights.iter().enumerate().map(|(t, &w)| key.mask(t) * i32::from(w)).sum()
+    weights
+        .iter()
+        .enumerate()
+        .map(|(t, &w)| key.mask(t) * i32::from(w))
+        .sum()
 }
 
 /// Derives the signature from the checksum `M` by binarization (bit truncation in

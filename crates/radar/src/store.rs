@@ -31,7 +31,10 @@ struct PackedLayer {
 impl SignatureStore {
     /// Creates an empty store for signatures of the given width.
     pub fn new(bits: SignatureBits) -> Self {
-        SignatureStore { bits, layers: Vec::new() }
+        SignatureStore {
+            bits,
+            layers: Vec::new(),
+        }
     }
 
     /// Signature width.
@@ -81,7 +84,11 @@ impl SignatureStore {
     /// Panics if either index is out of bounds.
     pub fn signature(&self, layer: usize, group: usize) -> u8 {
         let l = &self.layers[layer];
-        assert!(group < l.groups, "group {group} out of bounds for layer {layer} ({} groups)", l.groups);
+        assert!(
+            group < l.groups,
+            "group {group} out of bounds for layer {layer} ({} groups)",
+            l.groups
+        );
         let width = self.bits.bits() as usize;
         let mut sig = 0u8;
         for b in 0..width {
@@ -102,7 +109,11 @@ impl SignatureStore {
     pub fn set_signature(&mut self, layer: usize, group: usize, sig: u8) {
         let width = self.bits.bits() as usize;
         let l = &mut self.layers[layer];
-        assert!(group < l.groups, "group {group} out of bounds for layer {layer} ({} groups)", l.groups);
+        assert!(
+            group < l.groups,
+            "group {group} out of bounds for layer {layer} ({} groups)",
+            l.groups
+        );
         for b in 0..width {
             let bit_index = group * width + b;
             if (sig >> b) & 1 == 1 {

@@ -5,7 +5,12 @@ use proptest::prelude::*;
 use radar_core::{group_signature, GroupLayout, Grouping, SecretKey, SignatureBits};
 
 /// Computes the per-group signatures of a whole layer under a layout and key.
-fn layer_signatures(weights: &[i8], layout: &GroupLayout, key: &SecretKey, bits: SignatureBits) -> Vec<u8> {
+fn layer_signatures(
+    weights: &[i8],
+    layout: &GroupLayout,
+    key: &SecretKey,
+    bits: SignatureBits,
+) -> Vec<u8> {
     (0..layout.num_groups())
         .map(|g| {
             let vals: Vec<i8> = layout.members(g).iter().map(|&i| weights[i]).collect();

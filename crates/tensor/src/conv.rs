@@ -34,8 +34,16 @@ impl Conv2dGeometry {
     /// Panics if `stride` is zero or either kernel dimension is zero.
     pub fn new(kernel_h: usize, kernel_w: usize, stride: usize, padding: usize) -> Self {
         assert!(stride > 0, "stride must be non-zero");
-        assert!(kernel_h > 0 && kernel_w > 0, "kernel dimensions must be non-zero");
-        Conv2dGeometry { kernel_h, kernel_w, stride, padding }
+        assert!(
+            kernel_h > 0 && kernel_w > 0,
+            "kernel dimensions must be non-zero"
+        );
+        Conv2dGeometry {
+            kernel_h,
+            kernel_w,
+            stride,
+            padding,
+        }
     }
 
     /// Output spatial size `(H_out, W_out)` for an input of size `(h, w)`.
@@ -53,8 +61,18 @@ impl Conv2dGeometry {
 ///
 /// Panics if `input` is not 4-D.
 pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Tensor {
-    assert_eq!(input.shape().rank(), 4, "im2col expects (N, C, H, W), got {}", input.shape());
-    let (n, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+    assert_eq!(
+        input.shape().rank(),
+        4,
+        "im2col expects (N, C, H, W), got {}",
+        input.shape()
+    );
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
     let (h_out, w_out) = geom.output_size(h, w);
     let rows = c * geom.kernel_h * geom.kernel_w;
     let cols = n * h_out * w_out;
@@ -71,7 +89,8 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Tensor {
                         for ow in 0..w_out {
                             let iw = (ow * geom.stride + kw) as isize - geom.padding as isize;
                             let col = ni * h_out * w_out + oh * w_out + ow;
-                            let v = if ih >= 0 && iw >= 0 && (ih as usize) < h && (iw as usize) < w {
+                            let v = if ih >= 0 && iw >= 0 && (ih as usize) < h && (iw as usize) < w
+                            {
                                 data[((ni * c + ci) * h + ih as usize) * w + iw as usize]
                             } else {
                                 0.0
@@ -101,7 +120,12 @@ pub fn col2im(
     h: usize,
     w: usize,
 ) -> Tensor {
-    assert_eq!(cols.shape().rank(), 2, "col2im expects a 2-D matrix, got {}", cols.shape());
+    assert_eq!(
+        cols.shape().rank(),
+        2,
+        "col2im expects a 2-D matrix, got {}",
+        cols.shape()
+    );
     let (h_out, w_out) = geom.output_size(h, w);
     let rows = c * geom.kernel_h * geom.kernel_w;
     let ncols = n * h_out * w_out;
@@ -187,7 +211,7 @@ mod tests {
         let cols = im2col(&input, &g);
         let w = kernel.reshape(&[1, 4]).unwrap();
         let out = w.matmul(&cols); // (1, 9)
-        // Manually: out[oh][ow] = x[oh][ow] - x[oh+1][ow+1] = -5 for every position.
+                                   // Manually: out[oh][ow] = x[oh][ow] - x[oh+1][ow+1] = -5 for every position.
         assert_eq!(out.dims(), &[1, 9]);
         assert!(out.data().iter().all(|&v| v == -5.0));
     }
@@ -195,8 +219,11 @@ mod tests {
     #[test]
     fn col2im_is_adjoint_of_im2col() {
         // <im2col(x), y> == <x, col2im(y)> for random-ish data (adjoint property).
-        let x = Tensor::from_vec((0..2 * 3 * 5 * 5).map(|v| (v % 7) as f32 - 3.0).collect(), &[2, 3, 5, 5])
-            .unwrap();
+        let x = Tensor::from_vec(
+            (0..2 * 3 * 5 * 5).map(|v| (v % 7) as f32 - 3.0).collect(),
+            &[2, 3, 5, 5],
+        )
+        .unwrap();
         let g = Conv2dGeometry::new(3, 3, 2, 1);
         let cols = im2col(&x, &g);
         let y = cols.map(|v| v * 0.5 + 1.0);

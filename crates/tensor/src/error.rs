@@ -31,10 +31,16 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match shape ({expected} elements)")
+                write!(
+                    f,
+                    "data length {actual} does not match shape ({expected} elements)"
+                )
             }
             TensorError::ReshapeMismatch { from, to } => {
-                write!(f, "cannot reshape tensor with {from} elements into shape with {to} elements")
+                write!(
+                    f,
+                    "cannot reshape tensor with {from} elements into shape with {to} elements"
+                )
             }
             TensorError::EmptyDimension => write!(f, "shape contains a zero-sized dimension"),
         }
@@ -49,8 +55,14 @@ mod tests {
 
     #[test]
     fn display_length_mismatch() {
-        let e = TensorError::LengthMismatch { expected: 4, actual: 3 };
-        assert_eq!(e.to_string(), "data length 3 does not match shape (4 elements)");
+        let e = TensorError::LengthMismatch {
+            expected: 4,
+            actual: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "data length 3 does not match shape (4 elements)"
+        );
     }
 
     #[test]

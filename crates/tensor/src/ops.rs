@@ -61,11 +61,27 @@ impl Tensor {
     ///
     /// Panics if either operand is not 2-D or the inner dimensions do not match.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.shape().rank(), 2, "matmul lhs must be 2-D, got {}", self.shape());
-        assert_eq!(other.shape().rank(), 2, "matmul rhs must be 2-D, got {}", other.shape());
+        assert_eq!(
+            self.shape().rank(),
+            2,
+            "matmul lhs must be 2-D, got {}",
+            self.shape()
+        );
+        assert_eq!(
+            other.shape().rank(),
+            2,
+            "matmul rhs must be 2-D, got {}",
+            other.shape()
+        );
         let (m, k) = (self.dims()[0], self.dims()[1]);
         let (k2, n) = (other.dims()[0], other.dims()[1]);
-        assert_eq!(k, k2, "matmul inner dimension mismatch: {} vs {}", self.shape(), other.shape());
+        assert_eq!(
+            k,
+            k2,
+            "matmul inner dimension mismatch: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
 
         let mut out = vec![0.0f32; m * n];
         let a = self.data();
@@ -92,7 +108,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not 2-D.
     pub fn transpose2d(&self) -> Tensor {
-        assert_eq!(self.shape().rank(), 2, "transpose2d requires a 2-D tensor, got {}", self.shape());
+        assert_eq!(
+            self.shape().rank(),
+            2,
+            "transpose2d requires a 2-D tensor, got {}",
+            self.shape()
+        );
         let (m, n) = (self.dims()[0], self.dims()[1]);
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
@@ -100,7 +121,8 @@ impl Tensor {
                 out[j * m + i] = self.data()[i * n + j];
             }
         }
-        Tensor::from_vec(out, &[n, m]).expect("transpose output shape is consistent by construction")
+        Tensor::from_vec(out, &[n, m])
+            .expect("transpose output shape is consistent by construction")
     }
 
     /// Sum over rows of a 2-D tensor, producing a length-`n` tensor of column sums.
@@ -109,12 +131,17 @@ impl Tensor {
     ///
     /// Panics if the tensor is not 2-D.
     pub fn sum_rows(&self) -> Tensor {
-        assert_eq!(self.shape().rank(), 2, "sum_rows requires a 2-D tensor, got {}", self.shape());
+        assert_eq!(
+            self.shape().rank(),
+            2,
+            "sum_rows requires a 2-D tensor, got {}",
+            self.shape()
+        );
         let (m, n) = (self.dims()[0], self.dims()[1]);
         let mut out = vec![0.0f32; n];
         for i in 0..m {
-            for j in 0..n {
-                out[j] += self.data()[i * n + j];
+            for (j, acc) in out.iter_mut().enumerate() {
+                *acc += self.data()[i * n + j];
             }
         }
         Tensor::from_vec(out, &[n]).expect("sum_rows output shape is consistent by construction")

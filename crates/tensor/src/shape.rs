@@ -21,7 +21,9 @@ pub struct Shape {
 impl Shape {
     /// Creates a shape from a slice of dimension sizes.
     pub fn new(dims: &[usize]) -> Self {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 
     /// Number of dimensions.
@@ -73,7 +75,10 @@ impl Shape {
         let strides = self.strides();
         let mut off = 0;
         for (i, (&idx, &dim)) in index.iter().zip(self.dims.iter()).enumerate() {
-            assert!(idx < dim, "index {idx} out of bounds for dimension {i} of size {dim}");
+            assert!(
+                idx < dim,
+                "index {idx} out of bounds for dimension {i} of size {dim}"
+            );
             off += idx * strides[i];
         }
         off
@@ -139,7 +144,7 @@ mod tests {
     #[test]
     fn offset_matches_manual_computation() {
         let s = Shape::new(&[2, 3, 4]);
-        assert_eq!(s.offset(&[1, 2, 3]), 1 * 12 + 2 * 4 + 3);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 2 * 4 + 3);
         assert_eq!(s.offset(&[0, 0, 0]), 0);
     }
 

@@ -27,7 +27,10 @@ impl Tensor {
     /// Creates a tensor of zeros with the given shape.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![0.0; shape.numel()], shape }
+        Tensor {
+            data: vec![0.0; shape.numel()],
+            shape,
+        }
     }
 
     /// Creates a tensor of ones with the given shape.
@@ -38,7 +41,10 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![value; shape.numel()], shape }
+        Tensor {
+            data: vec![value; shape.numel()],
+            shape,
+        }
     }
 
     /// Creates a square identity matrix of size `n`.
@@ -59,7 +65,10 @@ impl Tensor {
     pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, TensorError> {
         let shape = Shape::new(dims);
         if data.len() != shape.numel() {
-            return Err(TensorError::LengthMismatch { expected: shape.numel(), actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.numel(),
+                actual: data.len(),
+            });
         }
         Ok(Tensor { data, shape })
     }
@@ -149,14 +158,23 @@ impl Tensor {
     pub fn reshape(&self, dims: &[usize]) -> Result<Self, TensorError> {
         let new_shape = Shape::new(dims);
         if new_shape.numel() != self.numel() {
-            return Err(TensorError::ReshapeMismatch { from: self.numel(), to: new_shape.numel() });
+            return Err(TensorError::ReshapeMismatch {
+                from: self.numel(),
+                to: new_shape.numel(),
+            });
         }
-        Ok(Tensor { data: self.data.clone(), shape: new_shape })
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape: new_shape,
+        })
     }
 
     /// Applies a function to every element, returning a new tensor.
     pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Self {
-        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
     }
 
     /// Applies a function to every element in place.
@@ -177,8 +195,16 @@ impl Tensor {
             "shape mismatch in elementwise op: {} vs {}",
             self.shape, other.shape
         );
-        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
-        Tensor { data, shape: self.shape.clone() }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor {
+            data,
+            shape: self.shape.clone(),
+        }
     }
 
     /// Sum of all elements.
@@ -310,7 +336,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let t = Tensor::rand_normal(&mut rng, &[10_000], 1.0, 2.0);
         let mean = t.mean();
-        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / 10_000.0;
+        let var = t
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / 10_000.0;
         assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }

@@ -15,7 +15,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -28,7 +31,13 @@ fn main() {
     let mut model = resnet20(&ResNetConfig::new(spec.num_classes, 8, 3, 20));
     let mut rng = StdRng::seed_from_u64(1);
     println!("training for {epochs} epochs…");
-    Trainer::new(Adam::new(2e-3, 1e-4), 32).fit(&mut model, train.images(), train.labels(), epochs, &mut rng);
+    Trainer::new(Adam::new(2e-3, 1e-4), 32).fit(
+        &mut model,
+        train.images(),
+        train.labels(),
+        epochs,
+        &mut rng,
+    );
 
     let mut qmodel = QuantizedModel::new(Box::new(model));
     let clean = qmodel.accuracy(test.images(), test.labels(), 32);
@@ -42,12 +51,20 @@ fn main() {
     println!("running PBFA with {n_bits} bit flips…");
     let batch = train.sample(8, &mut rng);
     let snapshot = qmodel.snapshot();
-    let profile = Pbfa::new(PbfaConfig::new(n_bits)).attack(&mut qmodel, batch.images(), batch.labels());
+    let profile =
+        Pbfa::new(PbfaConfig::new(n_bits)).attack(&mut qmodel, batch.images(), batch.labels());
     qmodel.restore(&snapshot);
-    println!("attacker loss: {:.3} -> {:.3}", profile.loss_before, profile.loss_after);
+    println!(
+        "attacker loss: {:.3} -> {:.3}",
+        profile.loss_before, profile.loss_after
+    );
 
-    let mount = RowhammerInjector::default().mount_and_fetch(&mut dram, &mut qmodel, &profile, &mut rng);
-    println!("rowhammer mounted {} flips across {} DRAM rows", mount.flips_landed, mount.rows_hammered);
+    let mount =
+        RowhammerInjector::default().mount_and_fetch(&mut dram, &mut qmodel, &profile, &mut rng);
+    println!(
+        "rowhammer mounted {} flips across {} DRAM rows",
+        mount.flips_landed, mount.rows_hammered
+    );
     let attacked = qmodel.accuracy(test.images(), test.labels(), 32);
     println!("accuracy under attack (no defense): {attacked}");
 
@@ -55,7 +72,11 @@ fn main() {
     let (report, recovery) = radar.detect_and_recover(&mut qmodel);
     let detected = radar.count_covered(
         &report,
-        &profile.flips.iter().map(|f| (f.layer, f.weight)).collect::<Vec<_>>(),
+        &profile
+            .flips
+            .iter()
+            .map(|f| (f.layer, f.weight))
+            .collect::<Vec<_>>(),
     );
     println!(
         "RADAR flagged {} groups, detected {detected}/{} flips, zeroed {} weights",

@@ -30,7 +30,10 @@ fn main() {
         let members: Vec<usize> = layout.members(group);
         let clean: Vec<i8> = members.iter().map(|&i| layer[i]).collect();
         let mut corrupted = clean.clone();
-        let slot = members.iter().position(|&i| i == idx).expect("member of its own group");
+        let slot = members
+            .iter()
+            .position(|&i| i == idx)
+            .expect("member of its own group");
         corrupted[slot] = (corrupted[slot] as u8 ^ 0x80) as i8;
 
         if group_signature(&clean, &key, SignatureBits::Two)
@@ -55,15 +58,43 @@ fn main() {
     let radar_kb = (weights.div_ceil(g) * 2) as f64 / 8.0 / 1024.0;
     println!("\nstorage for {weights} weights at G={g}:");
     println!("  RADAR:   {radar_kb:.1} KB");
-    println!("  CRC-13:  {:.1} KB", crc.storage_bytes(weights, g) as f64 / 1024.0);
-    println!("  Hamming: {:.1} KB", hamming.storage_bytes(weights, g) as f64 / 1024.0);
+    println!(
+        "  CRC-13:  {:.1} KB",
+        crc.storage_bytes(weights, g) as f64 / 1024.0
+    );
+    println!(
+        "  Hamming: {:.1} KB",
+        hamming.storage_bytes(weights, g) as f64 / 1024.0
+    );
 
     // Run-time cost on the analytical platform.
     let workload = NetworkWorkload::resnet18_imagenet();
     let params = ArchParams::cortex_m4f();
-    let radar_t = simulate(&workload, &params, DetectionScheme::Radar { group_size: g, interleaved: true });
-    let crc_t = simulate(&workload, &params, DetectionScheme::Crc { width: 13, group_size: g });
+    let radar_t = simulate(
+        &workload,
+        &params,
+        DetectionScheme::Radar {
+            group_size: g,
+            interleaved: true,
+        },
+    );
+    let crc_t = simulate(
+        &workload,
+        &params,
+        DetectionScheme::Crc {
+            width: 13,
+            group_size: g,
+        },
+    );
     println!("\ndetection time on the gem5-substitute platform (ResNet-18):");
-    println!("  RADAR:  {:.3} s ({:.2}% overhead)", radar_t.detection_seconds, radar_t.overhead_percent());
-    println!("  CRC-13: {:.3} s ({:.2}% overhead)", crc_t.detection_seconds, crc_t.overhead_percent());
+    println!(
+        "  RADAR:  {:.3} s ({:.2}% overhead)",
+        radar_t.detection_seconds,
+        radar_t.overhead_percent()
+    );
+    println!(
+        "  CRC-13: {:.3} s ({:.2}% overhead)",
+        crc_t.detection_seconds,
+        crc_t.overhead_percent()
+    );
 }

@@ -30,7 +30,10 @@ fn main() {
     // 3. Clean inference.
     let input = Tensor::zeros(&[1, 3, 16, 16]);
     let clean_logits = protected.forward(&input);
-    println!("clean prediction: class {}", clean_logits.argmax().expect("non-empty logits"));
+    println!(
+        "clean prediction: class {}",
+        clean_logits.argmax().expect("non-empty logits")
+    );
 
     // 4. A run-time attacker flips the MSB of a stored weight…
     protected.model_mut().flip_bit(0, 7, MSB);

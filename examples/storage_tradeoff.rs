@@ -17,7 +17,13 @@ fn main() {
     let mut model = resnet20(&ResNetConfig::new(spec.num_classes, 8, 3, 20));
     let mut rng = StdRng::seed_from_u64(2);
     println!("training…");
-    Trainer::new(Adam::new(2e-3, 1e-4), 32).fit(&mut model, train.images(), train.labels(), 2, &mut rng);
+    Trainer::new(Adam::new(2e-3, 1e-4), 32).fit(
+        &mut model,
+        train.images(),
+        train.labels(),
+        2,
+        &mut rng,
+    );
 
     let mut qmodel = QuantizedModel::new(Box::new(model));
     let clean = qmodel.accuracy(test.images(), test.labels(), 32);
@@ -26,17 +32,25 @@ fn main() {
     // One PBFA profile reused across the sweep (the defense changes, the attack doesn't).
     let batch = train.sample(8, &mut rng);
     let snapshot = qmodel.snapshot();
-    let profile = Pbfa::new(PbfaConfig::new(10)).attack(&mut qmodel, batch.images(), batch.labels());
+    let profile =
+        Pbfa::new(PbfaConfig::new(10)).attack(&mut qmodel, batch.images(), batch.labels());
     qmodel.restore(&snapshot);
 
-    println!("{:>6} {:>14} {:>14} {:>14}", "G", "storage (KB)", "detected", "recovered acc");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "G", "storage (KB)", "detected", "recovered acc"
+    );
     for g in [4usize, 8, 16, 32, 64, 128] {
         let mut radar = RadarProtection::new(&qmodel, RadarConfig::paper_default(g));
         profile.apply(&mut qmodel);
         let (report, _) = radar.detect_and_recover(&mut qmodel);
         let detected = radar.count_covered(
             &report,
-            &profile.flips.iter().map(|f| (f.layer, f.weight)).collect::<Vec<_>>(),
+            &profile
+                .flips
+                .iter()
+                .map(|f| (f.layer, f.weight))
+                .collect::<Vec<_>>(),
         );
         let acc = qmodel.accuracy(test.images(), test.labels(), 32);
         println!(

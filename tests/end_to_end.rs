@@ -38,12 +38,17 @@ fn pbfa_profile_mounted_through_dram_is_detected_and_recovered() {
     let report =
         RowhammerInjector::default().mount_and_fetch(&mut dram, &mut model, &profile, &mut rng);
     assert_eq!(report.flips_landed, profile.len());
-    assert_ne!(model.snapshot(), clean_snapshot, "mounted attack must corrupt the model");
+    assert_ne!(
+        model.snapshot(),
+        clean_snapshot,
+        "mounted attack must corrupt the model"
+    );
 
     // Defender: detect + recover.
     let (detection, recovery) = radar.detect_and_recover(&mut model);
     assert!(detection.attack_detected());
-    let locations: Vec<(usize, usize)> = profile.flips.iter().map(|f| (f.layer, f.weight)).collect();
+    let locations: Vec<(usize, usize)> =
+        profile.flips.iter().map(|f| (f.layer, f.weight)).collect();
     let detected = radar.count_covered(&detection, &locations);
     assert!(
         detected * 2 >= profile.len(),
@@ -56,9 +61,11 @@ fn pbfa_profile_mounted_through_dram_is_detected_and_recovered() {
     // output should move back towards the clean output compared to the attacked one.
     let recovered_logits = model.forward(batch.images());
     // Every flip that was detected must now read zero.
-    for flip in profile.flips.iter().filter(|f| {
-        detection.contains(f.layer, radar.group_of(f.layer, f.weight))
-    }) {
+    for flip in profile
+        .flips
+        .iter()
+        .filter(|f| detection.contains(f.layer, radar.group_of(f.layer, f.weight)))
+    {
         assert_eq!(model.layer(flip.layer).weights().value(flip.weight), 0);
     }
     // And a second verification pass is clean.
@@ -105,7 +112,10 @@ fn detection_works_across_group_sizes_and_signature_widths() {
             // A single MSB flip anywhere must be caught.
             model.flip_bit(3, 29, radar_repro::quant::MSB);
             let report = radar.detect(&model);
-            assert!(report.attack_detected(), "missed flip at G={g}, three_bit={three_bit}");
+            assert!(
+                report.attack_detected(),
+                "missed flip at G={g}, three_bit={three_bit}"
+            );
             model.restore(&snapshot);
         }
     }

@@ -36,7 +36,11 @@ fn zeroed_weights_stay_within_flagged_groups() {
     p.model_mut().flip_bit(0, 10, MSB);
     let (report, recovery) = p.verify_and_recover();
     assert_eq!(report.num_flagged(), 1);
-    assert!(recovery.weights_zeroed <= 16, "zeroed {} weights for one group of 16", recovery.weights_zeroed);
+    assert!(
+        recovery.weights_zeroed <= 16,
+        "zeroed {} weights for one group of 16",
+        recovery.weights_zeroed
+    );
 }
 
 #[test]
@@ -50,7 +54,10 @@ fn storage_overhead_matches_two_bits_per_group_across_sweeps() {
         // Groups are per-layer padded, so the count is at least ceil(total/G).
         assert!(groups >= total_weights.div_ceil(g));
         assert_eq!(radar.golden().storage_bits(), 2 * groups);
-        assert!(radar.storage_bytes() < previous_bytes, "storage must shrink as G grows");
+        assert!(
+            radar.storage_bytes() < previous_bytes,
+            "storage must shrink as G grows"
+        );
         previous_bytes = radar.storage_bytes();
     }
 }
@@ -61,11 +68,16 @@ fn masking_and_interleaving_do_not_cause_false_positives() {
     for g in [8usize, 64, 512] {
         for masking in [false, true] {
             let qmodel = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(6))));
-            let mut p = ProtectedModel::new(qmodel, RadarConfig::paper_default(g).with_masking(masking));
+            let mut p =
+                ProtectedModel::new(qmodel, RadarConfig::paper_default(g).with_masking(masking));
             for _ in 0..3 {
                 p.verify_and_recover();
             }
-            assert_eq!(p.stats().attacks_detected, 0, "false positive at G={g}, masking={masking}");
+            assert_eq!(
+                p.stats().attacks_detected,
+                0,
+                "false positive at G={g}, masking={masking}"
+            );
             assert_eq!(p.stats().weights_zeroed, 0);
         }
     }

@@ -1,0 +1,512 @@
+//! A small, deterministic, dependency-free subset of the `proptest` API.
+//!
+//! The build environment is offline, so the real `proptest` cannot be fetched.
+//! This vendored stand-in keeps the same surface the workspace's property
+//! tests use — the [`proptest!`] macro, `prop_assert*` / [`prop_assume!`],
+//! [`strategy::Strategy`] with `prop_flat_map`/`prop_map`, [`strategy::Just`],
+//! [`arbitrary::any`], `prop::collection::vec`, `prop::sample::Index`, range
+//! and tuple strategies — but with a simplified runner:
+//!
+//! - every test runs a fixed number of random cases from a seed derived from
+//!   the test name (fully deterministic run to run);
+//! - there is no shrinking: a failing case panics with the generated inputs
+//!   printed, which is enough to reproduce since generation is deterministic.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` returns.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { base: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone, Debug)]
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut StdRng) -> T::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    impl<T: rand::distributions::SampleUniform> Strategy for Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+}
+
+pub mod arbitrary {
+    //! The [`any`] entry point: the canonical strategy for a type.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "whole domain" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! arbitrary_prim {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+
+    arbitrary_prim!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize, bool, f32, f64);
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            crate::sample::Index::from_raw(rng.gen())
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy covering the whole domain of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A vector-length specification: either an exact size or a half-open
+    /// range of sizes.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange(exact..exact + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "collection::vec: empty size range");
+            SizeRange(range)
+        }
+    }
+
+    /// Strategy for `Vec<T>` with a size drawn from a [`SizeRange`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.0.len() == 1 {
+                self.size.0.start
+            } else {
+                rng.gen_range(self.size.0.start..self.size.0.end)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose length is drawn from `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers.
+
+    /// An abstract index into a collection whose length is unknown at
+    /// generation time: resolved against a concrete length with
+    /// [`Index::index`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Builds an index from raw entropy.
+        pub fn from_raw(raw: usize) -> Self {
+            Index(raw)
+        }
+
+        /// Resolves against a collection of `len` elements. Panics if
+        /// `len == 0`, matching upstream behaviour.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on an empty collection");
+            self.0 % len
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic case runner behind [`proptest!`](crate::proptest).
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; try another case.
+        Reject(String),
+        /// A `prop_assert*` failed; abort the whole test.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection with a reason.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Per-case outcome.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// How many accepted cases each property runs.
+    pub const CASES: u64 = 64;
+
+    /// Rejection budget: give up (and pass vacuously-failing-loudly) if
+    /// assumptions filter out too much of the space.
+    const MAX_ATTEMPTS: u64 = CASES * 32;
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Runs `case` until [`CASES`] inputs have been accepted, panicking on the
+    /// first failure with the generated inputs included in the message.
+    pub fn run(name: &str, case: impl Fn(&mut StdRng, &mut Vec<String>) -> TestCaseResult) {
+        let base = fnv1a(name);
+        let mut accepted = 0u64;
+        let mut attempts = 0u64;
+        while accepted < CASES {
+            attempts += 1;
+            assert!(
+                attempts <= MAX_ATTEMPTS,
+                "property `{name}`: too many prop_assume! rejections \
+                 ({accepted}/{CASES} cases accepted after {MAX_ATTEMPTS} attempts)"
+            );
+            let mut rng = StdRng::seed_from_u64(base.wrapping_add(attempts));
+            let mut inputs = Vec::new();
+            match case(&mut rng, &mut inputs) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "property `{name}` failed on case seed {seed}: {msg}\n\
+                     generated inputs (in declaration order):\n{inputs}",
+                    seed = base.wrapping_add(attempts),
+                    inputs = inputs.join("\n"),
+                ),
+            }
+        }
+    }
+}
+
+/// Defines property tests: `#[test]` functions whose arguments are drawn from
+/// strategies via `pattern in strategy` clauses.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(
+                    stringify!($name),
+                    |__proptest_rng, __proptest_inputs| -> $crate::test_runner::TestCaseResult {
+                        $(
+                            let __proptest_value =
+                                $crate::strategy::Strategy::generate(&($strat), __proptest_rng);
+                            __proptest_inputs.push(format!(
+                                "  {} = {:?}",
+                                stringify!($pat),
+                                __proptest_value
+                            ));
+                            let $pat = __proptest_value;
+                        )*
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                    __r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)*),
+                    __l,
+                    __r
+                );
+            }
+        }
+    };
+}
+
+/// Fails the current case unless the two values are unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "{}\n  both: {:?}",
+                    format!($($fmt)*),
+                    __l
+                );
+            }
+        }
+    };
+}
+
+/// Rejects the current case (drawing a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs, in one glob import.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub use crate as prop;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, usize)> {
+        (1usize..10).prop_flat_map(|n| (Just(n), 0usize..10))
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, f in -2.0f32..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(v in prop::collection::vec(0u8..255, 4..9)) {
+            prop_assert!((4..9).contains(&v.len()));
+        }
+
+        #[test]
+        fn index_resolves_in_bounds(
+            v in prop::collection::vec(any::<i8>(), 1..50),
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!(idx.index(v.len()) < v.len());
+        }
+
+        #[test]
+        fn flat_map_threads_values(
+            (n, m) in pair(),
+        ) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(m < 10);
+        }
+
+        #[test]
+        fn assume_filters_cases(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #[allow(dead_code)]
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

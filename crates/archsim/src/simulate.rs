@@ -38,9 +38,18 @@ impl TimingReport {
     }
 
     /// Detection overhead as a fraction of the unprotected inference time.
+    ///
+    /// A report with zero inference time but non-zero detection time has *infinite*
+    /// relative overhead, and is reported as such — returning `0.0` here would present
+    /// an infinitely expensive check as free. Only the degenerate all-zero report has
+    /// zero overhead.
     pub fn overhead_fraction(&self) -> f64 {
         if self.inference_seconds == 0.0 {
-            0.0
+            if self.detection_seconds == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
         } else {
             self.detection_seconds / self.inference_seconds
         }
@@ -219,6 +228,19 @@ mod tests {
         let b = simulate(&r18(), &params, DetectionScheme::None);
         let ratio = b.inference_seconds / a.inference_seconds;
         assert!(ratio > 25.0 && ratio < 100.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn nonzero_detection_over_zero_inference_is_infinite_not_free() {
+        let report = TimingReport {
+            inference_seconds: 0.0,
+            detection_seconds: 0.5,
+        };
+        assert_eq!(report.overhead_fraction(), f64::INFINITY);
+        assert_eq!(report.overhead_percent(), f64::INFINITY);
+        // The all-zero report stays at zero overhead.
+        let idle = TimingReport::default();
+        assert_eq!(idle.overhead_fraction(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,11 @@
+//! Measures full-model verification throughput: the legacy per-group gather path
+//! against the precomputed streaming plan, on the ResNet-18-like model. Writes the
+//! human-readable table and `artifacts/results/BENCH_verify.json`.
+
+use radar_bench::experiments::verify;
+use radar_bench::harness::Budget;
+
+fn main() {
+    let budget = Budget::from_env();
+    verify::bench_verify(&budget).print_and_save("bench_verify");
+}

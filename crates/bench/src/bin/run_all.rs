@@ -2,7 +2,7 @@
 //! (trained checkpoints, attack profiles) are cached under `artifacts/`, so re-runs are
 //! much faster than the first run.
 
-use radar_bench::experiments::{characterize, detection, knowledgeable, recovery, timing};
+use radar_bench::experiments::{characterize, detection, knowledgeable, recovery, timing, verify};
 use radar_bench::harness::{pbfa_profiles, prepare, Budget, ModelKind};
 
 fn main() {
@@ -12,6 +12,7 @@ fn main() {
     // Platform-model experiments (cheap, no training needed).
     timing::table4().print_and_save("table4_time_overhead");
     timing::table5().print_and_save("table5_crc_comparison");
+    verify::bench_verify(&budget).print_and_save("bench_verify");
     detection::missrate(
         std::env::var("RADAR_MISSRATE_TRIALS")
             .ok()

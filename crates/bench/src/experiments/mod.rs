@@ -6,3 +6,4 @@ pub mod detection;
 pub mod knowledgeable;
 pub mod recovery;
 pub mod timing;
+pub mod verify;

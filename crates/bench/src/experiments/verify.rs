@@ -1,0 +1,179 @@
+//! Verification-throughput experiment: legacy per-group gather detection versus the
+//! precomputed streaming [`VerifyPlan`](radar_core::VerifyPlan) sweep, measured on the
+//! ResNet-18-like model. The measured speedup is the in-repo evidence for the paper's
+//! fetch-path framing (Table IV): verification must keep up with the weight-fetch
+//! stream, so detect throughput — not just detection accuracy — is a tracked number.
+//!
+//! Besides the human-readable report, the experiment writes
+//! `artifacts/results/BENCH_verify.json` so CI can archive the throughput trajectory
+//! across commits.
+
+use std::time::Instant;
+
+use radar_core::{gather_signatures, DetectionReport, FlaggedGroup, RadarConfig, RadarProtection};
+use radar_nn::{resnet18, ResNetConfig};
+use radar_quant::QuantizedModel;
+
+use crate::harness::{artifacts_dir, Budget};
+use crate::report::Report;
+
+/// Group sizes measured (the paper's ResNet-18 Table IV point plus one smaller size).
+const GROUP_SIZES: [usize; 2] = [128, 512];
+
+/// The pre-plan detection path, the measurement baseline: per layer, re-derive the
+/// member lists from the layout and gather the weights through the shared
+/// [`gather_signatures`] reference before comparing with the golden store.
+fn legacy_detect(radar: &RadarProtection, model: &QuantizedModel) -> DetectionReport {
+    let bits = radar.config().signature_bits;
+    let mut report = DetectionReport::default();
+    for (layer_idx, protection) in radar.layers().iter().enumerate() {
+        let values = model.layer_values(layer_idx);
+        let layout = protection.layout();
+        let sigs = gather_signatures(values, &layout, &protection.key(), bits);
+        for (group, &sig) in sigs.iter().enumerate() {
+            if sig != radar.golden().signature(layer_idx, group) {
+                report.flagged.push(FlaggedGroup {
+                    layer: layer_idx,
+                    group,
+                });
+            }
+        }
+    }
+    report
+}
+
+/// Median wall-clock seconds of `iters` runs of `f`.
+fn median_seconds(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..iters.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+/// One measured `(group size, legacy, streaming)` point.
+struct Measurement {
+    group_size: usize,
+    legacy_seconds: f64,
+    plan_seconds: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.legacy_seconds / self.plan_seconds
+    }
+}
+
+/// Runs the verification-throughput comparison and writes the JSON artifact.
+///
+/// The model is the ResNet-18-like architecture used throughout the harness; weights
+/// are untrained because detect throughput is independent of weight values.
+pub fn bench_verify(budget: &Budget) -> Report {
+    let model = QuantizedModel::new(Box::new(resnet18(&ResNetConfig::new(20, 8, 3, 18))));
+    let total_weights = model.total_weights();
+    let iters = budget.verify_iters;
+
+    let mut report = Report::new("Verification throughput — legacy gather vs streaming plan");
+    report.line(format!(
+        "ResNet-18-like model, {total_weights} weights, median of {iters} passes"
+    ));
+    report.row(&[
+        "G".into(),
+        "legacy (ms)".into(),
+        "plan (ms)".into(),
+        "legacy MW/s".into(),
+        "plan MW/s".into(),
+        "speedup".into(),
+    ]);
+
+    let mut measurements = Vec::new();
+    for g in GROUP_SIZES {
+        let radar = RadarProtection::new(&model, RadarConfig::paper_default(g));
+        // Sanity: both paths agree on the clean model before being timed.
+        assert!(!legacy_detect(&radar, &model).attack_detected());
+        assert!(!radar.detect(&model).attack_detected());
+
+        let legacy_seconds = median_seconds(iters, || {
+            std::hint::black_box(legacy_detect(&radar, &model));
+        });
+        let plan_seconds = median_seconds(iters, || {
+            std::hint::black_box(radar.detect(&model));
+        });
+        let m = Measurement {
+            group_size: g,
+            legacy_seconds,
+            plan_seconds,
+        };
+        let mws = |s: f64| total_weights as f64 / s / 1e6;
+        report.row(&[
+            format!("{g}"),
+            format!("{:.3}", m.legacy_seconds * 1e3),
+            format!("{:.3}", m.plan_seconds * 1e3),
+            format!("{:.1}", mws(m.legacy_seconds)),
+            format!("{:.1}", mws(m.plan_seconds)),
+            format!("{:.1}x", m.speedup()),
+        ]);
+        measurements.push(m);
+    }
+
+    write_json(total_weights, iters, &measurements);
+    report
+}
+
+/// Serializes the measurements as `artifacts/results/BENCH_verify.json` (hand-rolled:
+/// the workspace carries no JSON dependency).
+fn write_json(total_weights: usize, iters: usize, measurements: &[Measurement]) {
+    let points: Vec<String> = measurements
+        .iter()
+        .map(|m| {
+            format!(
+                concat!(
+                    "    {{\"group_size\": {}, \"legacy_seconds\": {:.9}, ",
+                    "\"plan_seconds\": {:.9}, \"speedup\": {:.3}}}"
+                ),
+                m.group_size,
+                m.legacy_seconds,
+                m.plan_seconds,
+                m.speedup()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"model\": \"resnet18-like\",\n  \"total_weights\": {},\n  \
+         \"iters\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        total_weights,
+        iters,
+        points.join(",\n")
+    );
+    let path = artifacts_dir().join("results").join("BENCH_verify.json");
+    std::fs::write(&path, json).expect("artifact results directory is writable");
+    eprintln!("[bench_verify] wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radar_nn::resnet20;
+    use radar_quant::MSB;
+
+    #[test]
+    fn legacy_and_streaming_detect_agree_on_a_corrupted_model() {
+        let mut model = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(4))));
+        let radar = RadarProtection::new(&model, RadarConfig::paper_default(32));
+        model.flip_bit(1, 7, MSB);
+        model.flip_bit(5, 0, MSB);
+        assert_eq!(legacy_detect(&radar, &model), radar.detect(&model));
+    }
+
+    #[test]
+    fn median_of_constant_work_is_finite_and_positive() {
+        let t = median_seconds(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(t.is_finite() && t >= 0.0);
+    }
+}

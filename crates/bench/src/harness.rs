@@ -81,6 +81,7 @@ impl ModelKind {
 /// | `RADAR_NBF` | bit flips per PBFA round | 10 |
 /// | `RADAR_EVAL_SAMPLES` | test samples used for accuracy numbers | 400 |
 /// | `RADAR_ATTACK_BATCH` | attacker batch size | 16 |
+/// | `RADAR_VERIFY_ITERS` | timed passes per point in the verification bench | 20 |
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Budget {
     /// Number of independent attack rounds (the paper uses 100).
@@ -93,6 +94,9 @@ pub struct Budget {
     pub eval_samples: usize,
     /// Attacker batch size.
     pub attack_batch: usize,
+    /// Timed full-model verification passes per measured point in the
+    /// detect-throughput experiment (`bench_verify`).
+    pub verify_iters: usize,
 }
 
 impl Default for Budget {
@@ -103,6 +107,7 @@ impl Default for Budget {
             n_bits: 10,
             eval_samples: 400,
             attack_batch: 16,
+            verify_iters: 20,
         }
     }
 }
@@ -123,6 +128,7 @@ impl Budget {
             n_bits: get("RADAR_NBF", d.n_bits),
             eval_samples: get("RADAR_EVAL_SAMPLES", d.eval_samples),
             attack_batch: get("RADAR_ATTACK_BATCH", d.attack_batch),
+            verify_iters: get("RADAR_VERIFY_ITERS", d.verify_iters),
         }
     }
 }
@@ -267,6 +273,7 @@ mod tests {
         assert_eq!(b.rounds, 8);
         assert_eq!(b.n_bits, 10);
         assert!(b.eval_samples >= 100);
+        assert_eq!(b.verify_iters, 20);
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use radar_core::{DetectionReport, RadarProtection};
 use radar_quant::QuantizedModel;
 
 /// Geometry of the modelled DRAM device.
@@ -160,17 +161,72 @@ impl WeightDram {
             "layer count mismatch"
         );
         for layer_idx in 0..self.layer_offsets.len() {
-            let start = self.layer_offsets[layer_idx];
-            let len = model.layer(layer_idx).len();
-            assert!(
-                start + len <= self.image.len(),
-                "layer {layer_idx} exceeds stored image"
-            );
-            let weights = model.layer_weights_mut(layer_idx);
-            for (i, value) in weights.values_mut().iter_mut().enumerate() {
-                *value = self.image[start + i] as i8;
-            }
+            self.fetch_layer_into(model, layer_idx);
         }
+    }
+
+    /// Copies one layer's stored weights back into `model` — the per-layer granularity
+    /// of the DRAM → on-chip fetch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of bounds or its size does not match the stored image.
+    pub fn fetch_layer_into(&self, model: &mut QuantizedModel, layer: usize) {
+        assert!(
+            layer < self.layer_offsets.len(),
+            "layer {layer} out of bounds for {} stored layers",
+            self.layer_offsets.len()
+        );
+        let start = self.layer_offsets[layer];
+        let stored_len = self
+            .layer_offsets
+            .get(layer + 1)
+            .copied()
+            .unwrap_or(self.image.len())
+            - start;
+        let len = model.layer(layer).len();
+        assert_eq!(
+            len, stored_len,
+            "layer {layer} holds {len} weights but the stored image has {stored_len}"
+        );
+        let weights = model.layer_weights_mut(layer);
+        for (i, value) in weights.values_mut().iter_mut().enumerate() {
+            *value = self.image[start + i] as i8;
+        }
+    }
+
+    /// Fetches every layer and verifies each one as soon as its bytes land on chip —
+    /// RADAR's signature check embedded in the weight-fetch path. Layer `i` is fetched
+    /// and streamed through `radar`'s [`VerifyPlan`](radar_core::VerifyPlan) before
+    /// layer `i + 1` is touched, so detection covers exactly the weights inference is
+    /// about to consume, not a whole-model rescan afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` or `radar` disagree with the layer sizes this image was built
+    /// from.
+    pub fn fetch_into_verified(
+        &self,
+        model: &mut QuantizedModel,
+        radar: &RadarProtection,
+    ) -> DetectionReport {
+        assert_eq!(
+            model.num_layers(),
+            self.layer_offsets.len(),
+            "layer count mismatch"
+        );
+        let mut report = DetectionReport::default();
+        // One accumulator sized for the widest layer serves every per-layer check.
+        let mut acc = vec![0i32; radar.plan().max_groups()];
+        for layer_idx in 0..self.layer_offsets.len() {
+            self.fetch_layer_into(model, layer_idx);
+            report.merge(&radar.detect_layers_with_scratch(
+                model,
+                layer_idx..layer_idx + 1,
+                &mut acc,
+            ));
+        }
+        report
     }
 }
 
@@ -233,6 +289,49 @@ mod tests {
             expected += layer.len();
         }
         assert_eq!(dram.weight_bytes(), expected);
+    }
+
+    #[test]
+    fn fetch_layer_into_restores_one_layer_only() {
+        let mut m = model();
+        let snapshot = m.snapshot();
+        let dram = WeightDram::load(&m, DramGeometry::default());
+        m.flip_bit(0, 0, 7);
+        m.flip_bit(1, 1, 3);
+        dram.fetch_layer_into(&mut m, 0);
+        assert_ne!(m.snapshot(), snapshot, "layer 1 must still be corrupted");
+        dram.fetch_layer_into(&mut m, 1);
+        assert_eq!(m.snapshot(), snapshot);
+    }
+
+    #[test]
+    #[should_panic(expected = "stored image has")]
+    fn fetching_a_mismatched_layer_size_panics() {
+        let m = model();
+        let dram = WeightDram::load(&m, DramGeometry::default());
+        // Same layer count, wider layers: the per-layer size check must fire instead of
+        // silently reading the next layer's bytes.
+        let mut other = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::new(4, 8, 3, 7))));
+        dram.fetch_layer_into(&mut other, 0);
+    }
+
+    #[test]
+    fn verified_fetch_flags_exactly_the_corrupted_layer() {
+        use radar_core::RadarConfig;
+
+        let mut m = model();
+        let radar = RadarProtection::new(&m, RadarConfig::paper_default(32));
+        let mut dram = WeightDram::load(&m, DramGeometry::default());
+        dram.flip_bit(dram.offset_of(3, 11), 7);
+        let report = dram.fetch_into_verified(&mut m, &radar);
+        assert!(report.attack_detected());
+        assert!(report.contains(3, radar.group_of(3, 11)));
+        assert!(report.flagged.iter().all(|f| f.layer == 3));
+        // The fetch itself delivered the corrupted byte on chip.
+        assert_eq!(
+            m.layer_values(3)[11],
+            dram.read(dram.offset_of(3, 11)) as i8
+        );
     }
 
     #[test]

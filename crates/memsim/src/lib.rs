@@ -6,7 +6,9 @@
 //!
 //! * [`WeightDram`] — a bank/row/column DRAM image of a model's weight bytes, with
 //!   address translation, bit-precise corruption and a `fetch_into` path modelling the
-//!   DRAM → on-chip transfer that precedes RADAR's check.
+//!   DRAM → on-chip transfer that precedes RADAR's check. `fetch_into_verified`
+//!   embeds the check *in* the fetch: each layer is streamed through the protection's
+//!   precomputed verification plan the moment its bytes arrive.
 //! * [`RowhammerInjector`] — mounts an [`AttackProfile`](radar_attack::AttackProfile)
 //!   onto the stored image, optionally with a per-flip success probability.
 //!

@@ -124,6 +124,16 @@ impl QuantizedModel {
         &self.layers[index]
     }
 
+    /// The raw `i8` weight values of layer `index`, in storage order — the view the
+    /// streaming fetch-path verification sweeps over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn layer_values(&self, index: usize) -> &[i8] {
+        self.layers[index].weights.values()
+    }
+
     /// Mutable access to the quantized weights of layer `index`. Marks the model dirty
     /// so the next forward pass re-synchronizes the float weights.
     ///

@@ -76,9 +76,13 @@ impl GroupLayout {
         self.len
     }
 
-    /// Always false: layouts are only constructed for non-empty layers.
+    /// Whether the layer has no weights.
+    ///
+    /// [`new`](Self::new) rejects empty layers today, but the contract is computed from
+    /// `len` rather than hard-coded so it survives future construction paths
+    /// (deserialization, incremental builders) that may not share that assertion.
     pub fn is_empty(&self) -> bool {
-        false
+        self.len == 0
     }
 
     /// The configured group size `G`.
@@ -271,6 +275,27 @@ mod tests {
             separated >= 60,
             "only {separated}/63 contiguous neighbours separated"
         );
+    }
+
+    #[test]
+    fn is_empty_is_computed_from_len() {
+        // Regression: `is_empty` used to hard-code `false` instead of consulting `len`,
+        // which would silently lie for any future construction path that admits
+        // zero-length layouts.
+        for len in [1usize, 5, 100] {
+            let layout = GroupLayout::new(len, 4, Grouping::Contiguous);
+            assert!(!layout.is_empty());
+            assert_eq!(layout.len(), len);
+        }
+        // `new` rejects len == 0, but other construction paths may not; build the value
+        // directly to pin the contract for the empty case.
+        let empty = GroupLayout {
+            len: 0,
+            group_size: 4,
+            num_groups: 0,
+            grouping: Grouping::Contiguous,
+        };
+        assert!(empty.is_empty());
     }
 
     #[test]

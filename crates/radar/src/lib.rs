@@ -14,6 +14,13 @@
 //!    ([`RadarProtection::detect`]) and **recovering** by zeroing every weight of a
 //!    flagged group ([`RadarProtection::recover`]).
 //!
+//! Detection streams through a [`VerifyPlan`] compiled at signing time: per layer, a
+//! flat slot-ordered member permutation, a group-offset table and a per-weight ±1
+//! key-mask vector ([`LayerPlan`]), so every run-time pass is one sequential sweep over
+//! the layer's weights in fetch order — no per-group gathers, no allocations.
+//! [`RadarProtection::verify_layer`] and [`RadarProtection::detect_layers`] expose the
+//! incremental, fetch-path granularity.
+//!
 //! [`ProtectedModel`] embeds the whole flow into the inference path.
 //!
 //! # Example
@@ -43,6 +50,7 @@
 mod config;
 mod grouping;
 mod key;
+mod plan;
 mod protected;
 mod protection;
 mod signature;
@@ -51,9 +59,10 @@ mod store;
 pub use config::RadarConfig;
 pub use grouping::{GroupLayout, Grouping};
 pub use key::{SecretKey, KEY_BITS};
+pub use plan::{LayerPlan, VerifyPlan};
 pub use protected::{ProtectedModel, ProtectionStats};
 pub use protection::{
     DetectionReport, FlaggedGroup, LayerProtection, RadarProtection, RecoveryReport,
 };
-pub use signature::{binarize, group_signature, masked_sum, SignatureBits};
+pub use signature::{binarize, gather_signatures, group_signature, masked_sum, SignatureBits};
 pub use store::SignatureStore;

@@ -1,0 +1,367 @@
+use crate::grouping::GroupLayout;
+use crate::key::SecretKey;
+use crate::signature::{binarize, SignatureBits};
+
+/// Precomputed verification plan for one layer: everything the run-time check needs to
+/// turn signature computation into a single sequential sweep over the layer's weights.
+///
+/// The gather-based path recomputes the interleave mapping per weight and allocates a
+/// member list per group on every pass. A `LayerPlan` hoists all of that to signing
+/// time:
+///
+/// * `group_index[i]` — the group weight `i` scatter-adds into,
+/// * `mask[i]` — the ±1 key mask of weight `i`'s slot, expanded from the 16-bit
+///   [`SecretKey`] so the hot loop never touches key bit arithmetic,
+/// * `members` / `group_offsets` — a flat slot-ordered member permutation in CSR form,
+///   so recovery can walk a group's original weight indices as a slice without
+///   allocating.
+///
+/// Detection then reads the weights in storage order — the same order the hardware's
+/// weight-fetch path streams them in — and accumulates `mask[i] * w[i]` into per-group
+/// `i32` accumulators: zero allocations after construction.
+///
+/// # Example
+///
+/// ```
+/// use radar_core::{GroupLayout, Grouping, LayerPlan, SecretKey, SignatureBits};
+///
+/// let layout = GroupLayout::new(128, 16, Grouping::interleaved());
+/// let plan = LayerPlan::new(layout, SecretKey::new(0xACE1));
+/// let weights = vec![7i8; 128];
+/// let sigs = plan.signatures(&weights, SignatureBits::Two);
+/// assert_eq!(sigs.len(), layout.num_groups());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerPlan {
+    layout: GroupLayout,
+    key: SecretKey,
+    /// Group of each weight index, in storage order.
+    group_index: Vec<u32>,
+    /// ±1 key mask of each weight index (the key bit of the weight's slot).
+    mask: Vec<i8>,
+    /// Original weight indices ordered by `(group, slot)`.
+    members: Vec<u32>,
+    /// CSR offsets into `members`: group `g` owns `members[offsets[g]..offsets[g + 1]]`.
+    group_offsets: Vec<u32>,
+}
+
+impl LayerPlan {
+    /// Precomputes the streaming plan for `layout` under `key`.
+    pub fn new(layout: GroupLayout, key: SecretKey) -> Self {
+        let len = layout.len();
+        let num_groups = layout.num_groups();
+        let mut group_index = Vec::with_capacity(len);
+        let mut mask = Vec::with_capacity(len);
+        for i in 0..len {
+            group_index.push(layout.group_of(i) as u32);
+            mask.push(key.mask(layout.slot_of(i)) as i8);
+        }
+
+        // Counting sort of weight indices by group. Ascending weight index within a
+        // group is ascending slot for both groupings (contiguous: slot = i % G;
+        // interleaved: slot = i / num_groups), so each bucket comes out slot-ordered.
+        let mut group_offsets = vec![0u32; num_groups + 1];
+        for &g in &group_index {
+            group_offsets[g as usize + 1] += 1;
+        }
+        for g in 0..num_groups {
+            group_offsets[g + 1] += group_offsets[g];
+        }
+        let mut members = vec![0u32; len];
+        let mut cursor: Vec<u32> = group_offsets[..num_groups].to_vec();
+        for (i, &g) in group_index.iter().enumerate() {
+            members[cursor[g as usize] as usize] = i as u32;
+            cursor[g as usize] += 1;
+        }
+
+        LayerPlan {
+            layout,
+            key,
+            group_index,
+            mask,
+            members,
+            group_offsets,
+        }
+    }
+
+    /// The layout this plan was compiled from.
+    pub fn layout(&self) -> GroupLayout {
+        self.layout
+    }
+
+    /// The layer's secret key.
+    pub fn key(&self) -> SecretKey {
+        self.key
+    }
+
+    /// Number of weights in the layer.
+    pub fn len(&self) -> usize {
+        self.layout.len()
+    }
+
+    /// Whether the planned layer has no weights; mirrors [`GroupLayout::is_empty`].
+    pub fn is_empty(&self) -> bool {
+        self.layout.is_empty()
+    }
+
+    /// Number of groups in the layer.
+    pub fn num_groups(&self) -> usize {
+        self.layout.num_groups()
+    }
+
+    /// The ±1 key-mask vector, one entry per weight in storage order.
+    pub fn mask(&self) -> &[i8] {
+        &self.mask
+    }
+
+    /// The original weight indices of `group`, in slot order, as a borrowed slice —
+    /// the allocation-free replacement for [`GroupLayout::members`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group >= num_groups`.
+    pub fn group_members(&self, group: usize) -> &[u32] {
+        assert!(
+            group < self.num_groups(),
+            "group {group} out of bounds for {} groups",
+            self.num_groups()
+        );
+        &self.members[self.group_offsets[group] as usize..self.group_offsets[group + 1] as usize]
+    }
+
+    /// One-pass masked accumulation: sweeps `weights` sequentially and scatter-adds
+    /// `mask[i] * weights[i]` into `acc[group_index[i]]`. The first `num_groups`
+    /// entries of `acc` are zeroed first; entries beyond that are left untouched so one
+    /// scratch buffer can be shared across layers of different widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len()` differs from the planned layer length or `acc` holds
+    /// fewer than `num_groups` entries.
+    pub fn accumulate(&self, weights: &[i8], acc: &mut [i32]) {
+        assert_eq!(
+            weights.len(),
+            self.len(),
+            "weight count changed since the plan was built"
+        );
+        let num_groups = self.num_groups();
+        assert!(
+            acc.len() >= num_groups,
+            "accumulator holds {} entries, need {num_groups}",
+            acc.len()
+        );
+        let acc = &mut acc[..num_groups];
+        acc.fill(0);
+        for ((&w, &m), &g) in weights.iter().zip(&self.mask).zip(&self.group_index) {
+            acc[g as usize] += i32::from(m) * i32::from(w);
+        }
+    }
+
+    /// Streams the layer once and writes every group's signature into `out` (cleared
+    /// first). `acc` is the caller-provided accumulator scratch, as in
+    /// [`accumulate`](Self::accumulate).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`accumulate`](Self::accumulate).
+    pub fn signatures_into(
+        &self,
+        weights: &[i8],
+        bits: SignatureBits,
+        acc: &mut [i32],
+        out: &mut Vec<u8>,
+    ) {
+        self.accumulate(weights, acc);
+        out.clear();
+        out.extend(acc[..self.num_groups()].iter().map(|&m| binarize(m, bits)));
+    }
+
+    /// Convenience wrapper around [`signatures_into`](Self::signatures_into) that
+    /// allocates its own scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len()` differs from the planned layer length.
+    pub fn signatures(&self, weights: &[i8], bits: SignatureBits) -> Vec<u8> {
+        let mut acc = vec![0i32; self.num_groups()];
+        let mut out = Vec::with_capacity(self.num_groups());
+        self.signatures_into(weights, bits, &mut acc, &mut out);
+        out
+    }
+}
+
+/// The verification plan of a whole model: one [`LayerPlan`] per protected layer plus
+/// the signature width, precomputed at signing time so every run-time detection pass is
+/// a sequential, allocation-free sweep in weight-fetch order.
+///
+/// # Example
+///
+/// ```
+/// use radar_core::{GroupLayout, Grouping, SecretKey, SignatureBits, VerifyPlan};
+///
+/// let plan = VerifyPlan::new(
+///     [(GroupLayout::new(64, 8, Grouping::interleaved()), SecretKey::new(1))],
+///     SignatureBits::Two,
+/// );
+/// assert_eq!(plan.num_layers(), 1);
+/// assert_eq!(plan.max_groups(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VerifyPlan {
+    layers: Vec<LayerPlan>,
+    bits: SignatureBits,
+}
+
+impl VerifyPlan {
+    /// Compiles a plan from per-layer `(layout, key)` pairs.
+    pub fn new(
+        layers: impl IntoIterator<Item = (GroupLayout, SecretKey)>,
+        bits: SignatureBits,
+    ) -> Self {
+        VerifyPlan {
+            layers: layers
+                .into_iter()
+                .map(|(layout, key)| LayerPlan::new(layout, key))
+                .collect(),
+            bits,
+        }
+    }
+
+    /// Signature width signatures are compared at.
+    pub fn signature_bits(&self) -> SignatureBits {
+        self.bits
+    }
+
+    /// Number of planned layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The per-layer plans in layer order.
+    pub fn layers(&self) -> &[LayerPlan] {
+        &self.layers
+    }
+
+    /// The plan of `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of bounds.
+    pub fn layer(&self, layer: usize) -> &LayerPlan {
+        &self.layers[layer]
+    }
+
+    /// Largest group count of any planned layer — the scratch size one shared
+    /// accumulator needs to serve every layer.
+    pub fn max_groups(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.num_groups())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::Grouping;
+    use crate::signature::gather_signatures;
+
+    fn weights(len: usize) -> Vec<i8> {
+        (0..len)
+            .map(|i| (i as i32 * 37 % 251 - 125) as i8)
+            .collect()
+    }
+
+    #[test]
+    fn streaming_matches_gather_for_both_groupings() {
+        for grouping in [
+            Grouping::Contiguous,
+            Grouping::interleaved(),
+            Grouping::Interleaved { offset: 0 },
+            Grouping::Interleaved { offset: 7 },
+        ] {
+            for (len, g) in [(128, 16), (130, 16), (37, 5), (513, 64)] {
+                let layout = GroupLayout::new(len, g, grouping);
+                let key = SecretKey::new(0xBEEF);
+                let w = weights(len);
+                for bits in [SignatureBits::Two, SignatureBits::Three] {
+                    assert_eq!(
+                        LayerPlan::new(layout, key).signatures(&w, bits),
+                        gather_signatures(&w, &layout, &key, bits),
+                        "{grouping:?} len={len} G={g} {bits:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_members_match_layout_members_in_slot_order() {
+        for grouping in [Grouping::Contiguous, Grouping::interleaved()] {
+            let layout = GroupLayout::new(150, 16, grouping);
+            let plan = LayerPlan::new(layout, SecretKey::identity());
+            for g in 0..layout.num_groups() {
+                let expected: Vec<u32> = layout.members(g).iter().map(|&i| i as u32).collect();
+                assert_eq!(plan.group_members(g), expected.as_slice(), "group {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn mask_expands_key_by_slot() {
+        let layout = GroupLayout::new(64, 8, Grouping::interleaved());
+        let key = SecretKey::new(0xACE1);
+        let plan = LayerPlan::new(layout, key);
+        for i in 0..layout.len() {
+            assert_eq!(i32::from(plan.mask()[i]), key.mask(layout.slot_of(i)));
+        }
+    }
+
+    #[test]
+    fn shared_accumulator_serves_layers_of_different_widths() {
+        let plan = VerifyPlan::new(
+            [
+                (
+                    GroupLayout::new(256, 8, Grouping::interleaved()),
+                    SecretKey::new(3),
+                ),
+                (
+                    GroupLayout::new(64, 16, Grouping::Contiguous),
+                    SecretKey::new(5),
+                ),
+            ],
+            SignatureBits::Two,
+        );
+        let mut acc = vec![0i32; plan.max_groups()];
+        let mut out = Vec::new();
+        for layer in plan.layers() {
+            let w = weights(layer.len());
+            layer.signatures_into(&w, plan.signature_bits(), &mut acc, &mut out);
+            assert_eq!(out, layer.signatures(&w, plan.signature_bits()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weight count changed")]
+    fn accumulate_rejects_mismatched_weight_count() {
+        let plan = LayerPlan::new(
+            GroupLayout::new(16, 4, Grouping::Contiguous),
+            SecretKey::identity(),
+        );
+        let mut acc = vec![0i32; 4];
+        plan.accumulate(&[0i8; 15], &mut acc);
+    }
+
+    #[test]
+    #[should_panic(expected = "accumulator holds")]
+    fn accumulate_rejects_short_scratch() {
+        let plan = LayerPlan::new(
+            GroupLayout::new(16, 4, Grouping::Contiguous),
+            SecretKey::identity(),
+        );
+        let mut acc = vec![0i32; 3];
+        plan.accumulate(&[0i8; 16], &mut acc);
+    }
+}

@@ -45,16 +45,21 @@ pub struct ProtectedModel {
     model: QuantizedModel,
     protection: RadarProtection,
     stats: ProtectionStats,
+    /// Accumulator scratch sized for the widest layer, owned by the wrapper so the
+    /// per-inference verification path performs no heap allocations.
+    acc: Vec<i32>,
 }
 
 impl ProtectedModel {
     /// Signs `model` under `config` and wraps it.
     pub fn new(model: QuantizedModel, config: RadarConfig) -> Self {
         let protection = RadarProtection::new(&model, config);
+        let acc = vec![0i32; protection.plan().max_groups()];
         ProtectedModel {
             model,
             protection,
             stats: ProtectionStats::default(),
+            acc,
         }
     }
 
@@ -80,14 +85,48 @@ impl ProtectedModel {
     }
 
     /// Runs one verification + recovery pass without inference.
+    ///
+    /// Layers are verified one at a time in fetch order through the precomputed
+    /// [`VerifyPlan`](crate::VerifyPlan) — the same incremental granularity the
+    /// hardware check has in the weight-fetch stage — and every flagged group is zeroed
+    /// before the next layer is examined.
     pub fn verify_and_recover(&mut self) -> (DetectionReport, RecoveryReport) {
-        let (report, recovery) = self.protection.detect_and_recover(&mut self.model);
+        let mut report = DetectionReport::default();
+        let mut recovery = RecoveryReport::default();
+        for layer in 0..self.model.num_layers() {
+            let layer_report = self.protection.detect_layers_with_scratch(
+                &self.model,
+                layer..layer + 1,
+                &mut self.acc,
+            );
+            let layer_recovery = self.protection.recover(&mut self.model, &layer_report);
+            report.merge(&layer_report);
+            recovery.groups_zeroed += layer_recovery.groups_zeroed;
+            recovery.weights_zeroed += layer_recovery.weights_zeroed;
+        }
         self.stats.verifications += 1;
         if report.attack_detected() {
             self.stats.attacks_detected += 1;
         }
         self.stats.groups_zeroed += recovery.groups_zeroed;
         self.stats.weights_zeroed += recovery.weights_zeroed;
+        (report, recovery)
+    }
+
+    /// Verifies (and recovers) exactly one layer — the unit of work the fetch path
+    /// performs right before inference consumes that layer's weights. Does not count as
+    /// a full verification pass in [`stats`](Self::stats).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of bounds.
+    pub fn verify_layer_and_recover(&mut self, layer: usize) -> (DetectionReport, RecoveryReport) {
+        let report = self.protection.detect_layers_with_scratch(
+            &self.model,
+            layer..layer + 1,
+            &mut self.acc,
+        );
+        let recovery = self.protection.recover(&mut self.model, &report);
         (report, recovery)
     }
 
@@ -151,6 +190,20 @@ mod tests {
         p.verify_and_recover();
         assert_eq!(p.stats().verifications, 2);
         assert_eq!(p.stats().attacks_detected, 1);
+    }
+
+    #[test]
+    fn single_layer_verification_recovers_only_that_layer() {
+        let mut p = protected();
+        p.model_mut().flip_bit(0, 0, MSB);
+        p.model_mut().flip_bit(2, 5, MSB);
+        let (report, recovery) = p.verify_layer_and_recover(2);
+        assert_eq!(report.num_flagged(), 1);
+        assert_eq!(recovery.groups_zeroed, 1);
+        assert_eq!(p.model().layer(2).weights().value(5), 0);
+        // Layer 0's corruption is untouched until its own fetch is verified.
+        let (report0, _) = p.verify_layer_and_recover(0);
+        assert_eq!(report0.num_flagged(), 1);
     }
 
     #[test]

@@ -1,3 +1,5 @@
+use std::ops::Range;
+
 use radar_quant::QuantizedModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -5,7 +7,8 @@ use rand::SeedableRng;
 use crate::config::RadarConfig;
 use crate::grouping::GroupLayout;
 use crate::key::SecretKey;
-use crate::signature::group_signature;
+use crate::plan::VerifyPlan;
+use crate::signature::binarize;
 use crate::store::SignatureStore;
 
 /// Per-layer protection state: the layer's secret key and group layout.
@@ -60,6 +63,12 @@ impl DetectionReport {
             .iter()
             .any(|f| f.layer == layer && f.group == group)
     }
+
+    /// Folds another report into this one; used by the incremental fetch-path checks to
+    /// combine per-layer verdicts into a whole-pass report.
+    pub fn merge(&mut self, other: &DetectionReport) {
+        self.flagged.extend_from_slice(&other.flagged);
+    }
 }
 
 /// Result of the zero-out recovery pass.
@@ -99,15 +108,16 @@ pub struct RecoveryReport {
 pub struct RadarProtection {
     config: RadarConfig,
     layers: Vec<LayerProtection>,
+    plan: VerifyPlan,
     golden: SignatureStore,
 }
 
 impl RadarProtection {
-    /// Signs the (clean) `model` under `config`, producing the golden signature store.
+    /// Signs the (clean) `model` under `config`, producing the golden signature store
+    /// and compiling the [`VerifyPlan`] every run-time pass streams through.
     pub fn new(model: &QuantizedModel, config: RadarConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(config.key_seed);
         let mut layers = Vec::with_capacity(model.num_layers());
-        let mut golden = SignatureStore::new(config.signature_bits);
         for layer in model.layers() {
             let key = if config.masking {
                 SecretKey::random(&mut rng)
@@ -115,17 +125,21 @@ impl RadarProtection {
                 SecretKey::identity()
             };
             let layout = GroupLayout::new(layer.len(), config.group_size, config.grouping);
-            let protection = LayerProtection { key, layout };
-            golden.push_layer(Self::layer_signatures(
-                &protection,
-                layer.weights().values(),
-                &config,
-            ));
-            layers.push(protection);
+            layers.push(LayerProtection { key, layout });
+        }
+        let plan = VerifyPlan::new(
+            layers.iter().map(|l| (l.layout, l.key)),
+            config.signature_bits,
+        );
+        let mut golden = SignatureStore::new(config.signature_bits);
+        for (layer_plan, layer) in plan.layers().iter().zip(model.layers()) {
+            golden
+                .push_layer(layer_plan.signatures(layer.weights().values(), config.signature_bits));
         }
         RadarProtection {
             config,
             layers,
+            plan,
             golden,
         }
     }
@@ -138,6 +152,11 @@ impl RadarProtection {
     /// Per-layer protection state.
     pub fn layers(&self) -> &[LayerProtection] {
         &self.layers
+    }
+
+    /// The precomputed streaming verification plan.
+    pub fn plan(&self) -> &VerifyPlan {
+        &self.plan
     }
 
     /// The golden signature store (what would be kept in secure on-chip memory).
@@ -155,53 +174,94 @@ impl RadarProtection {
         self.golden.storage_kb()
     }
 
-    /// Computes the signatures of every group of one layer from its current weights.
-    fn layer_signatures(
-        protection: &LayerProtection,
-        values: &[i8],
-        config: &RadarConfig,
-    ) -> Vec<u8> {
-        let layout = protection.layout;
-        let mut signatures = Vec::with_capacity(layout.num_groups());
-        let mut group_values = Vec::with_capacity(layout.group_size());
-        for g in 0..layout.num_groups() {
-            group_values.clear();
-            for &idx in &layout.members(g) {
-                group_values.push(values[idx]);
-            }
-            signatures.push(group_signature(
-                &group_values,
-                &protection.key,
-                config.signature_bits,
-            ));
-        }
-        signatures
+    /// The signatures of every group of `layer` from its current weights, via the
+    /// streaming plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of bounds or its size changed since signing.
+    pub fn layer_signatures(&self, model: &QuantizedModel, layer: usize) -> Vec<u8> {
+        self.plan
+            .layer(layer)
+            .signatures(model.layer_values(layer), self.config.signature_bits)
     }
 
-    /// Runs the detection pass: recomputes every group signature from the model's
+    /// Runs the full detection pass: recomputes every group signature from the model's
     /// current (possibly corrupted) weights and compares with the golden store.
+    ///
+    /// Equivalent to [`detect_layers`](Self::detect_layers) over all layers.
     ///
     /// # Panics
     ///
     /// Panics if `model` does not have the same layer sizes as the model used at
     /// construction time.
     pub fn detect(&self, model: &QuantizedModel) -> DetectionReport {
+        self.detect_layers(model, 0..self.layers.len())
+    }
+
+    /// Verifies only the `layers` range — the incremental fetch-path check: callers
+    /// embedded in the weight-fetch stage verify exactly the layers inference is about
+    /// to consume instead of rescanning the whole model per batch.
+    ///
+    /// Each layer is a single sequential sweep over its weights through the
+    /// [`VerifyPlan`]; one accumulator scratch is shared across the range, so the pass
+    /// performs a constant number of allocations regardless of group count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range or the model's layer count/sizes disagree with the model
+    /// used at construction time.
+    pub fn detect_layers(&self, model: &QuantizedModel, layers: Range<usize>) -> DetectionReport {
+        let mut acc = Vec::new();
+        self.detect_layers_with_scratch(model, layers, &mut acc)
+    }
+
+    /// [`detect_layers`](Self::detect_layers) with a caller-owned accumulator scratch,
+    /// so repeated per-layer calls (one per fetched layer) reuse one buffer instead of
+    /// allocating per call. `acc` is grown to the largest group count in the range and
+    /// never shrunk; size it with [`VerifyPlan::max_groups`] to cover every layer up
+    /// front.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`detect_layers`](Self::detect_layers).
+    pub fn detect_layers_with_scratch(
+        &self,
+        model: &QuantizedModel,
+        layers: Range<usize>,
+        acc: &mut Vec<i32>,
+    ) -> DetectionReport {
         assert_eq!(
             model.num_layers(),
             self.layers.len(),
             "model layer count changed since signing"
         );
+        assert!(
+            layers.end <= self.layers.len(),
+            "layer range {layers:?} out of bounds for {} layers",
+            self.layers.len()
+        );
+        let bits = self.config.signature_bits;
+        let max_groups = self
+            .plan
+            .layers()
+            .get(layers.clone())
+            .map(|plans| plans.iter().map(|p| p.num_groups()).max().unwrap_or(0))
+            .unwrap_or(0);
+        if acc.len() < max_groups {
+            acc.resize(max_groups, 0);
+        }
         let mut report = DetectionReport::default();
-        for (layer_idx, (layer, protection)) in model.layers().iter().zip(&self.layers).enumerate()
-        {
+        for layer_idx in layers {
             assert_eq!(
-                layer.len(),
-                protection.layout.len(),
+                model.layer(layer_idx).len(),
+                self.layers[layer_idx].layout.len(),
                 "layer {layer_idx} size changed since signing"
             );
-            let fresh = Self::layer_signatures(protection, layer.weights().values(), &self.config);
-            for (group, &sig) in fresh.iter().enumerate() {
-                if sig != self.golden.signature(layer_idx, group) {
+            let layer_plan = self.plan.layer(layer_idx);
+            layer_plan.accumulate(model.layer_values(layer_idx), acc);
+            for (group, &m) in acc[..layer_plan.num_groups()].iter().enumerate() {
+                if binarize(m, bits) != self.golden.signature(layer_idx, group) {
                     report.flagged.push(FlaggedGroup {
                         layer: layer_idx,
                         group,
@@ -210,6 +270,17 @@ impl RadarProtection {
             }
         }
         report
+    }
+
+    /// Verifies a single layer — the per-fetch granularity of
+    /// [`detect_layers`](Self::detect_layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of bounds or the model disagrees with the model used at
+    /// construction time.
+    pub fn verify_layer(&self, model: &QuantizedModel, layer: usize) -> DetectionReport {
+        self.detect_layers(model, layer..layer + 1)
     }
 
     /// The group a given weight belongs to under this protection's layout.
@@ -244,16 +315,14 @@ impl RadarProtection {
     ) -> RecoveryReport {
         let mut recovery = RecoveryReport::default();
         for flagged in &report.flagged {
-            let protection = self.layers[flagged.layer];
-            let members = protection.layout().members(flagged.group);
+            let members = self.plan.layer(flagged.layer).group_members(flagged.group);
             let weights = model.layer_weights_mut(flagged.layer);
-            for &idx in &members {
-                weights.set_value(idx, 0);
+            for &idx in members {
+                weights.set_value(idx as usize, 0);
             }
-            // Re-sign the zeroed group (its masked sum is 0, but go through the normal
-            // path so 3-bit signatures and future recovery strategies stay correct).
-            let zeroed = vec![0i8; members.len()];
-            let sig = group_signature(&zeroed, &protection.key, self.config.signature_bits);
+            // Re-sign the zeroed group: its masked sum is 0 whatever the key, so the
+            // fresh signature is the binarization of zero at the configured width.
+            let sig = binarize(0, self.config.signature_bits);
             self.golden.set_signature(flagged.layer, flagged.group, sig);
             recovery.groups_zeroed += 1;
             recovery.weights_zeroed += members.len();
@@ -395,6 +464,45 @@ mod tests {
             interleaved.count_covered(&int_report, &[(layer, i), (layer, j)]),
             2
         );
+    }
+
+    #[test]
+    fn incremental_layer_verification_matches_full_detect() {
+        let mut m = model();
+        let radar = RadarProtection::new(&m, RadarConfig::paper_default(32));
+        m.flip_bit(2, 5, MSB);
+        m.flip_bit(7, 0, MSB);
+        let full = radar.detect(&m);
+        let mut merged = DetectionReport::default();
+        for layer in 0..m.num_layers() {
+            merged.merge(&radar.verify_layer(&m, layer));
+        }
+        assert_eq!(full, merged);
+        // The range form verifies exactly the requested layers.
+        let early = radar.detect_layers(&m, 0..3);
+        assert!(early.contains(2, radar.group_of(2, 5)));
+        assert!(early.flagged.iter().all(|f| f.layer < 3));
+    }
+
+    #[test]
+    fn streaming_layer_signatures_match_golden_on_clean_model() {
+        let m = model();
+        let radar = RadarProtection::new(&m, RadarConfig::paper_default(16));
+        for layer in 0..m.num_layers() {
+            let sigs = radar.layer_signatures(&m, layer);
+            for (g, &sig) in sigs.iter().enumerate() {
+                assert_eq!(sig, radar.golden().signature(layer, g));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn detect_layers_rejects_out_of_range() {
+        let m = model();
+        let radar = RadarProtection::new(&m, RadarConfig::paper_default(32));
+        let n = m.num_layers();
+        radar.detect_layers(&m, 0..n + 1);
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use crate::grouping::GroupLayout;
 use crate::key::SecretKey;
 
 /// Width of the per-group signature.
@@ -57,6 +58,37 @@ pub fn binarize(m: i32, bits: SignatureBits) -> u8 {
 /// Convenience: the signature of one group of weights under a key.
 pub fn group_signature(weights: &[i8], key: &SecretKey, bits: SignatureBits) -> u8 {
     binarize(masked_sum(weights, key), bits)
+}
+
+/// The per-group signatures of a whole layer, computed by gathering each group's
+/// members through [`GroupLayout::members`].
+///
+/// This is the naive reference path: it re-derives the layout mapping and allocates a
+/// member list per group on every call. The streaming
+/// [`LayerPlan`](crate::LayerPlan) is the production detect path; this function is the
+/// single-sourced baseline the plan is proven equivalent to (property tests) and
+/// benchmarked against.
+///
+/// # Panics
+///
+/// Panics if `weights.len()` differs from the layout's length.
+pub fn gather_signatures(
+    weights: &[i8],
+    layout: &GroupLayout,
+    key: &SecretKey,
+    bits: SignatureBits,
+) -> Vec<u8> {
+    assert_eq!(
+        weights.len(),
+        layout.len(),
+        "weight count does not match the layout"
+    );
+    (0..layout.num_groups())
+        .map(|g| {
+            let vals: Vec<i8> = layout.members(g).iter().map(|&i| weights[i]).collect();
+            group_signature(&vals, key, bits)
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -43,11 +43,22 @@ impl SignatureStore {
     }
 
     /// Appends one layer's group signatures (unpacked, one per group).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any signature has bits set above the store's width —
+    /// such a signature would otherwise be silently truncated, corrupting detection
+    /// state (e.g. a 3-bit signature written into a 2-bit store).
     pub fn push_layer(&mut self, signatures: Vec<u8>) {
         let width = self.bits.bits() as usize;
         let groups = signatures.len();
         let mut packed = vec![0u8; (groups * width).div_ceil(8)];
         for (g, &sig) in signatures.iter().enumerate() {
+            debug_assert_eq!(
+                sig >> width,
+                0,
+                "signature {sig:#05b} of group {g} exceeds the {width}-bit store width"
+            );
             for b in 0..width {
                 if (sig >> b) & 1 == 1 {
                     let bit_index = g * width + b;
@@ -105,9 +116,15 @@ impl SignatureStore {
     ///
     /// # Panics
     ///
-    /// Panics if either index is out of bounds.
+    /// Panics if either index is out of bounds, and in debug builds if `sig` has bits
+    /// set above the store's width (which would be silently truncated).
     pub fn set_signature(&mut self, layer: usize, group: usize, sig: u8) {
         let width = self.bits.bits() as usize;
+        debug_assert_eq!(
+            sig >> width,
+            0,
+            "signature {sig:#05b} exceeds the {width}-bit store width"
+        );
         let l = &mut self.layers[layer];
         assert!(
             group < l.groups,
@@ -173,6 +190,24 @@ mod tests {
         assert_eq!(store.storage_bits(), 2048);
         assert_eq!(store.storage_bytes(), 250 + 6);
         assert!((store.storage_kb() - 0.25).abs() < 0.01);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "exceeds the 2-bit store width")]
+    fn pushing_out_of_width_signature_panics() {
+        let mut store = SignatureStore::new(SignatureBits::Two);
+        // A 3-bit signature written into a 2-bit store must be rejected, not truncated.
+        store.push_layer(vec![0b01, 0b101]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "exceeds the 2-bit store width")]
+    fn setting_out_of_width_signature_panics() {
+        let mut store = SignatureStore::new(SignatureBits::Two);
+        store.push_layer(vec![0b01, 0b10]);
+        store.set_signature(0, 1, 0b100);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Property-based equivalence proofs for the streaming verification plan: the one-pass
+//! scatter-add signatures must equal the per-group gather signatures for arbitrary
+//! layer shapes, keys and signature widths, and the group layout must stay a bijection
+//! even when the layer length is not a multiple of the group size (padding suffix).
+
+use proptest::prelude::*;
+use radar_core::{gather_signatures, GroupLayout, Grouping, LayerPlan, SecretKey, SignatureBits};
+
+fn bits_from(three: bool) -> SignatureBits {
+    if three {
+        SignatureBits::Three
+    } else {
+        SignatureBits::Two
+    }
+}
+
+proptest! {
+    /// The streaming one-pass signatures equal the per-group gather signatures for
+    /// arbitrary `(len, group_size, offset, key, SignatureBits)` under interleaving.
+    #[test]
+    fn streaming_equals_gather_interleaved(
+        weights in prop::collection::vec(any::<i8>(), 1..1200),
+        group_size in 1usize..300,
+        offset in 0usize..9,
+        key_bits in any::<u16>(),
+        three_bit in any::<bool>(),
+    ) {
+        let layout = GroupLayout::new(weights.len(), group_size, Grouping::Interleaved { offset });
+        let key = SecretKey::new(key_bits);
+        let bits = bits_from(three_bit);
+        let plan = LayerPlan::new(layout, key);
+        prop_assert_eq!(
+            plan.signatures(&weights, bits),
+            gather_signatures(&weights, &layout, &key, bits)
+        );
+    }
+
+    /// Same equivalence for the contiguous ("without interleave") ablation.
+    #[test]
+    fn streaming_equals_gather_contiguous(
+        weights in prop::collection::vec(any::<i8>(), 1..1200),
+        group_size in 1usize..300,
+        key_bits in any::<u16>(),
+        three_bit in any::<bool>(),
+    ) {
+        let layout = GroupLayout::new(weights.len(), group_size, Grouping::Contiguous);
+        let key = SecretKey::new(key_bits);
+        let bits = bits_from(three_bit);
+        let plan = LayerPlan::new(layout, key);
+        prop_assert_eq!(
+            plan.signatures(&weights, bits),
+            gather_signatures(&weights, &layout, &key, bits)
+        );
+    }
+
+    /// The layout remains a bijection between weight indices and `(group, slot)` pairs
+    /// when the layer length is not a multiple of the group size (the padded-suffix
+    /// case): every index appears in exactly one group, slots are unique within a
+    /// group, and the plan's CSR permutation reproduces `members` in slot order.
+    #[test]
+    fn layout_is_a_bijection_for_non_multiple_lengths(
+        len in 1usize..1500,
+        group_size in 2usize..300,
+        offset in 0usize..9,
+    ) {
+        prop_assume!(len % group_size != 0);
+        for grouping in [Grouping::Contiguous, Grouping::Interleaved { offset }] {
+            let layout = GroupLayout::new(len, group_size, grouping);
+            let plan = LayerPlan::new(layout, SecretKey::identity());
+            let mut seen = vec![0usize; len];
+            for g in 0..layout.num_groups() {
+                let members = layout.members(g);
+                prop_assert_eq!(
+                    plan.group_members(g),
+                    members.iter().map(|&i| i as u32).collect::<Vec<_>>().as_slice(),
+                    "plan CSR diverges from layout members for group {}", g
+                );
+                let mut slots: Vec<usize> = members.iter().map(|&i| layout.slot_of(i)).collect();
+                for &i in &members {
+                    prop_assert_eq!(layout.group_of(i), g);
+                    seen[i] += 1;
+                }
+                let total = slots.len();
+                slots.sort_unstable();
+                slots.dedup();
+                prop_assert_eq!(slots.len(), total, "duplicate slot in group {}", g);
+            }
+            prop_assert!(
+                seen.iter().all(|&c| c == 1),
+                "{:?}: some index is covered {:?} times",
+                grouping,
+                seen.iter().copied().max()
+            );
+        }
+    }
+}

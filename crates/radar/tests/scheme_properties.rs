@@ -2,21 +2,19 @@
 //! buffers (no neural network in the loop, so thousands of cases stay fast).
 
 use proptest::prelude::*;
-use radar_core::{group_signature, GroupLayout, Grouping, SecretKey, SignatureBits};
+use radar_core::{
+    gather_signatures, group_signature, GroupLayout, Grouping, SecretKey, SignatureBits,
+};
 
-/// Computes the per-group signatures of a whole layer under a layout and key.
+/// Computes the per-group signatures of a whole layer under a layout and key, through
+/// the shared gather reference path.
 fn layer_signatures(
     weights: &[i8],
     layout: &GroupLayout,
     key: &SecretKey,
     bits: SignatureBits,
 ) -> Vec<u8> {
-    (0..layout.num_groups())
-        .map(|g| {
-            let vals: Vec<i8> = layout.members(g).iter().map(|&i| weights[i]).collect();
-            group_signature(&vals, key, bits)
-        })
-        .collect()
+    gather_signatures(weights, layout, key, bits)
 }
 
 proptest! {

@@ -14,6 +14,11 @@
 //! let model = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(10))));
 //! let radar = RadarProtection::new(&model, RadarConfig::paper_default(64));
 //! assert!(radar.storage_bytes() > 0);
+//!
+//! // Signing compiled a streaming verification plan; the fetch path verifies one
+//! // layer at a time through it.
+//! assert_eq!(radar.plan().num_layers(), model.num_layers());
+//! assert!(!radar.verify_layer(&model, 0).attack_detected());
 //! ```
 
 #![forbid(unsafe_code)]

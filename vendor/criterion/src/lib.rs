@@ -7,6 +7,11 @@
 //! per-iteration time is printed. There are no plots, no statistics beyond
 //! the median, and no baseline storage — restore the registry dependency to
 //! get the real analysis back.
+//!
+//! Like the real criterion, passing `--test` on the bench binary's command
+//! line (`cargo bench -- --test`) runs every benchmark exactly once as a
+//! smoke test instead of timing it — that is what CI uses to keep bench
+//! targets from bit-rotting unbuilt.
 
 #![forbid(unsafe_code)]
 
@@ -177,16 +182,26 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Whether the binary was invoked in `--test` smoke mode (`cargo bench -- --test`).
+fn test_mode() -> bool {
+    std::env::args().skip(1).any(|arg| arg == "--test")
+}
+
 fn run_one(id: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let samples = if test_mode() { 1 } else { samples };
     let mut bencher = Bencher {
         samples,
         elapsed: Duration::ZERO,
     };
     f(&mut bencher);
-    println!(
-        "bench: {id:<50} median {:>12.1?} over {samples} samples",
-        bencher.elapsed
-    );
+    if test_mode() {
+        println!("test bench: {id:<50} ... ok (1 iteration)");
+    } else {
+        println!(
+            "bench: {id:<50} median {:>12.1?} over {samples} samples",
+            bencher.elapsed
+        );
+    }
 }
 
 /// Collects benchmark functions into a runnable group, in both the plain and

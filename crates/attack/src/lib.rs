@@ -41,3 +41,17 @@ pub use knowledgeable::KnowledgeableAttacker;
 pub use pbfa::{Pbfa, PbfaConfig};
 pub use profile::{AttackProfile, BitFlip, FlipDirection};
 pub use random::RandomBitFlip;
+
+// The campaign engine in `radar-bench` shares attack specifications and profiles
+// across scoped worker threads; keep every scenario input `Send + Sync` so a plain-data
+// field regression (an `Rc`, a raw pointer) fails at compile time, not in the engine.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AttackProfile>();
+    assert_send_sync::<BitFlip>();
+    assert_send_sync::<FlipDirection>();
+    assert_send_sync::<Pbfa>();
+    assert_send_sync::<PbfaConfig>();
+    assert_send_sync::<KnowledgeableAttacker>();
+    assert_send_sync::<RandomBitFlip>();
+};

@@ -161,6 +161,10 @@ impl Pbfa {
 
     /// Ranks candidate `(weight, bit)` pairs of one layer by the first-order loss
     /// increase and returns the top `candidates_per_layer`.
+    ///
+    /// The list is kept sorted descending by a single bounded binary-search insertion
+    /// per admitted candidate — O(log k + k) against the O(k log k) full re-sort this
+    /// innermost attack loop used to pay per insertion.
     fn rank_candidates(
         &self,
         model: &QuantizedModel,
@@ -169,8 +173,8 @@ impl Pbfa {
         flipped: &HashSet<(usize, usize, u32)>,
     ) -> Vec<(usize, u32)> {
         let weights = model.layer(layer_idx).weights();
-        let mut top: Vec<(f32, usize, u32)> =
-            Vec::with_capacity(self.config.candidates_per_layer + 1);
+        let k = self.config.candidates_per_layer;
+        let mut top: Vec<(f32, usize, u32)> = Vec::with_capacity(k + 1);
         for (weight_idx, &g) in grad.data().iter().enumerate() {
             if g == 0.0 {
                 continue;
@@ -183,14 +187,12 @@ impl Pbfa {
                 if estimate <= 0.0 {
                     continue;
                 }
-                if top.len() < self.config.candidates_per_layer {
-                    top.push((estimate, weight_idx, bit));
-                    top.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-                } else if estimate > top.last().map_or(f32::NEG_INFINITY, |t| t.0) {
-                    top.pop();
-                    top.push((estimate, weight_idx, bit));
-                    top.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+                if top.len() == k && estimate <= top[k - 1].0 {
+                    continue;
                 }
+                let pos = top.partition_point(|t| t.0 >= estimate);
+                top.insert(pos, (estimate, weight_idx, bit));
+                top.truncate(k);
             }
         }
         top.into_iter().map(|(_, w, b)| (w, b)).collect()
@@ -282,5 +284,20 @@ mod tests {
     #[should_panic(expected = "n_bits must be non-zero")]
     fn zero_bits_panics() {
         PbfaConfig::new(0);
+    }
+
+    #[test]
+    fn wider_candidate_search_still_commits_distinct_flips() {
+        // Exercises the bounded-insertion ranking with k > 1: the candidate lists stay
+        // bounded and the attack commits the requested number of distinct flips.
+        let (mut model, images, labels) = setup();
+        let profile = Pbfa::new(PbfaConfig::new(3).with_candidates_per_layer(4))
+            .attack(&mut model, &images, &labels);
+        assert_eq!(profile.len(), 3);
+        let mut seen = HashSet::new();
+        for f in &profile.flips {
+            assert!(seen.insert((f.layer, f.weight, f.bit)));
+        }
+        assert!(profile.loss_after > profile.loss_before);
     }
 }

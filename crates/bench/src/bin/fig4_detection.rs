@@ -1,13 +1,13 @@
-//! Reproduces Fig. 4: detected bit-flips vs group size, with and without interleaving.
+//! Reproduces Fig. 4: detected bit-flips vs group size, with and without interleaving,
+//! as a view over PBFA campaign cells.
 
 use radar_bench::experiments::detection::fig4;
-use radar_bench::harness::{pbfa_profiles, prepare, Budget, ModelKind};
+use radar_bench::harness::{prepare, Budget, ModelKind};
 
 fn main() {
     let budget = Budget::from_env();
     for kind in [ModelKind::ResNet20Like, ModelKind::ResNet18Like] {
         let mut prepared = prepare(kind, budget);
-        let profiles = pbfa_profiles(&mut prepared);
-        fig4(&mut prepared, &profiles).print_and_save(&format!("fig4_{}", kind.id()));
+        fig4(&mut prepared).print_and_save(&format!("fig4_{}", kind.id()));
     }
 }

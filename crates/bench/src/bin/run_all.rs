@@ -2,6 +2,7 @@
 //! (trained checkpoints, attack profiles) are cached under `artifacts/`, so re-runs are
 //! much faster than the first run.
 
+use radar_bench::campaign::{self, ScenarioGrid};
 use radar_bench::experiments::{characterize, detection, knowledgeable, recovery, timing, verify};
 use radar_bench::harness::{pbfa_profiles, prepare, Budget, ModelKind};
 
@@ -33,8 +34,8 @@ fn main() {
         characterize::table1(&prepared, &profiles).print_and_save(&format!("table1_{}", kind.id()));
         characterize::table2(&prepared, &profiles).print_and_save(&format!("table2_{}", kind.id()));
         characterize::fig2(&prepared, &profiles).print_and_save(&format!("fig2_{}", kind.id()));
-        detection::fig4(&mut prepared, &profiles).print_and_save(&format!("fig4_{}", kind.id()));
-        recovery::table3(&mut prepared, &profiles).print_and_save(&format!("table3_{}", kind.id()));
+        detection::fig4(&mut prepared).print_and_save(&format!("fig4_{}", kind.id()));
+        recovery::table3(&mut prepared).print_and_save(&format!("table3_{}", kind.id()));
         recovery::fig6(&mut prepared, &profiles).print_and_save(&format!("fig6_{}", kind.id()));
     }
 
@@ -42,6 +43,12 @@ fn main() {
     let mut prepared = prepare(ModelKind::ResNet20Like, budget);
     knowledgeable::fig7(&mut prepared).print_and_save("fig7_knowledgeable");
     knowledgeable::msb1(&mut prepared).print_and_save("msb1_attack");
+
+    // The full attack × defense scenario campaign (parallel engine).
+    let grid = ScenarioGrid::paper_grid(ModelKind::ResNet20Like, &budget);
+    let outcome = campaign::run(&mut prepared, &grid);
+    outcome.report().print_and_save("campaign");
+    outcome.write_json();
 
     eprintln!("[run_all] done; reports are in artifacts/results/");
 }

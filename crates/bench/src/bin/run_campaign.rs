@@ -1,0 +1,48 @@
+//! Runs the attack × defense scenario campaign: every cell of a declarative
+//! [`ScenarioGrid`](radar_bench::campaign::ScenarioGrid) executed across a pool of
+//! worker threads, writing the per-cell table to `artifacts/results/campaign.txt` and
+//! the machine-readable `artifacts/results/BENCH_campaign.json`.
+//!
+//! Environment knobs on top of the usual [`Budget`](radar_bench::harness::Budget)
+//! variables:
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `RADAR_CAMPAIGN` | `paper` (≥ 24 cells) or `smoke` (≤ 8 cells) | `paper` |
+//! | `RADAR_CAMPAIGN_MODEL` | `resnet20` or `resnet18` | `resnet20` |
+//! | `RADAR_CAMPAIGN_ROUNDS` | override rounds per cell | grid default |
+
+use radar_bench::campaign::{self, ScenarioGrid};
+use radar_bench::harness::{prepare, Budget, ModelKind};
+
+fn main() {
+    let budget = Budget::from_env();
+    let kind = match std::env::var("RADAR_CAMPAIGN_MODEL").as_deref() {
+        Ok("resnet18") => ModelKind::ResNet18Like,
+        _ => ModelKind::ResNet20Like,
+    };
+    let mut grid = match std::env::var("RADAR_CAMPAIGN").as_deref() {
+        Ok("smoke") => ScenarioGrid::smoke(kind, &budget),
+        _ => ScenarioGrid::paper_grid(kind, &budget),
+    };
+    if let Some(rounds) = std::env::var("RADAR_CAMPAIGN_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        grid.rounds = rounds;
+    }
+    eprintln!(
+        "[run_campaign] {} cells ({} attacks × {} defenses) on {}, {} rounds/cell, {} threads",
+        grid.num_cells(),
+        grid.attacks.len(),
+        grid.defenses.len(),
+        kind.name(),
+        grid.rounds,
+        budget.threads
+    );
+
+    let mut prepared = prepare(kind, budget);
+    let outcome = campaign::run(&mut prepared, &grid);
+    outcome.report().print_and_save("campaign");
+    outcome.write_json();
+}

@@ -1,13 +1,13 @@
-//! Reproduces Table III: accuracy recovery across group sizes and N_BF.
+//! Reproduces Table III: accuracy recovery across group sizes and N_BF, as a view
+//! over PBFA campaign cells.
 
 use radar_bench::experiments::recovery::table3;
-use radar_bench::harness::{pbfa_profiles, prepare, Budget, ModelKind};
+use radar_bench::harness::{prepare, Budget, ModelKind};
 
 fn main() {
     let budget = Budget::from_env();
     for kind in [ModelKind::ResNet20Like, ModelKind::ResNet18Like] {
         let mut prepared = prepare(kind, budget);
-        let profiles = pbfa_profiles(&mut prepared);
-        table3(&mut prepared, &profiles).print_and_save(&format!("table3_{}", kind.id()));
+        table3(&mut prepared).print_and_save(&format!("table3_{}", kind.id()));
     }
 }

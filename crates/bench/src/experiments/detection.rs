@@ -9,6 +9,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use crate::campaign::{self, AttackSpec, ScenarioGrid};
 use crate::harness::Prepared;
 use crate::report::Report;
 
@@ -33,19 +34,52 @@ pub fn average_detected(
 }
 
 /// Fig. 4: detected bit-flips (out of `N_BF`) versus group size, with and without
-/// interleaving.
-pub fn fig4(prepared: &mut Prepared, profiles: &[AttackProfile]) -> Report {
+/// interleaving — a thin view over a PBFA campaign row: one
+/// [`ScenarioGrid`](crate::campaign::ScenarioGrid) cell per `(G, interleave)` pair,
+/// executed by the parallel campaign engine.
+pub fn fig4(prepared: &mut Prepared) -> Report {
+    let budget = prepared.budget;
+    let attack = AttackSpec::Pbfa {
+        n_bits: budget.n_bits,
+    };
+    let grid = ScenarioGrid {
+        attacks: vec![attack],
+        defenses: prepared
+            .kind
+            .group_sweep()
+            .iter()
+            .flat_map(|&g| {
+                [
+                    RadarConfig::without_interleave(g),
+                    RadarConfig::paper_default(g),
+                ]
+            })
+            .collect(),
+        rounds: budget.rounds,
+        base_seed: 0xF164_0004,
+        evaluate_accuracy: false,
+    };
+    let outcome = campaign::run(prepared, &grid);
+
     let mut report = Report::new(&format!(
         "Fig. 4 — detected bit-flips out of {} ({}, {} rounds)",
-        prepared.budget.n_bits,
+        budget.n_bits,
         prepared.kind.name(),
-        profiles.len()
+        grid.rounds
     ));
     report.row(&["G".into(), "w/o interleave".into(), "interleave".into()]);
     for &g in prepared.kind.group_sweep() {
-        let plain = average_detected(prepared, profiles, RadarConfig::without_interleave(g));
-        let inter = average_detected(prepared, profiles, RadarConfig::paper_default(g));
-        report.row(&[g.to_string(), format!("{plain:.2}"), format!("{inter:.2}")]);
+        let cell = |interleaved: bool| {
+            outcome
+                .find(&attack, g, interleaved)
+                .expect("grid covers every (G, interleave) pair")
+                .avg_flips_detected
+        };
+        report.row(&[
+            g.to_string(),
+            format!("{:.2}", cell(false)),
+            format!("{:.2}", cell(true)),
+        ]);
     }
     report
 }

@@ -1,58 +1,38 @@
 //! Section VIII experiments: the knowledgeable attacker (Fig. 7) and the MSB-1
 //! restricted attack with the 3-bit signature.
 
-use radar_attack::{AttackProfile, KnowledgeableAttacker, Pbfa, PbfaConfig};
 use radar_core::RadarConfig;
 
+use crate::campaign::{self, AttackSpec, ScenarioGrid};
 use crate::experiments::recovery::attacked_accuracy;
-use crate::harness::{artifacts_dir, Prepared};
-use crate::profile_cache;
+use crate::harness::Prepared;
 use crate::report::Report;
 
-/// Generates (or loads) knowledgeable-attacker profiles that assume contiguous groups of
-/// `assumed_group_size`.
-fn knowledgeable_profiles(
-    prepared: &mut Prepared,
-    assumed_group_size: usize,
-    rounds: usize,
-) -> Vec<AttackProfile> {
-    let cache = artifacts_dir().join(format!(
-        "profiles_{}_knowledgeable_g{}_n{}_r{}.txt",
-        prepared.kind.id(),
-        assumed_group_size,
-        prepared.budget.n_bits,
-        rounds
-    ));
-    if let Ok(profiles) = profile_cache::load(&cache) {
-        if profiles.len() == rounds {
-            return profiles;
-        }
-    }
-    let attacker = KnowledgeableAttacker::new(prepared.budget.n_bits, assumed_group_size);
-    let snapshot = prepared.qmodel.snapshot();
-    let mut profiles = Vec::with_capacity(rounds);
-    for round in 0..rounds {
-        let batch = prepared.attacker_batch(1000 + round);
-        let profile = attacker.attack(&mut prepared.qmodel, batch.images(), batch.labels());
-        prepared.qmodel.restore(&snapshot);
-        eprintln!(
-            "[harness] {} knowledgeable (G={assumed_group_size}) round {}/{}: {} flips",
-            prepared.kind.name(),
-            round + 1,
-            rounds,
-            profile.len()
-        );
-        profiles.push(profile);
-    }
-    profile_cache::save(&cache, &profiles).expect("artifact directory is writable");
-    profiles
-}
-
 /// Fig. 7: detection and recovery against the knowledgeable attacker (paired flips),
-/// sweeping the group size. The attacker assumes the same group size the defense uses
-/// but knows neither the key nor the interleaving.
+/// sweeping the group size — a thin view over a knowledgeable-attacker campaign row
+/// (the engine generates per-`G` paired-flip profiles, since the attacker assumes the
+/// defense's own group size but knows neither the key nor the interleaving).
 pub fn fig7(prepared: &mut Prepared) -> Report {
     let rounds = prepared.budget.rounds.clamp(1, 3);
+    let grid = ScenarioGrid {
+        attacks: vec![AttackSpec::Knowledgeable],
+        defenses: prepared
+            .kind
+            .group_sweep()
+            .iter()
+            .flat_map(|&g| {
+                [
+                    RadarConfig::without_interleave(g),
+                    RadarConfig::paper_default(g),
+                ]
+            })
+            .collect(),
+        rounds,
+        base_seed: 0xF167_0007,
+        evaluate_accuracy: true,
+    };
+    let outcome = campaign::run(prepared, &grid);
+
     let mut report = Report::new(&format!(
         "Fig. 7 — knowledgeable attacker (paired flips) on {} ({rounds} rounds)",
         prepared.kind.name()
@@ -66,34 +46,25 @@ pub fn fig7(prepared: &mut Prepared) -> Report {
         "acc int".into(),
     ]);
     for &g in prepared.kind.group_sweep() {
-        let profiles = knowledgeable_profiles(prepared, g, rounds);
-        let avg_flips: f64 =
-            profiles.iter().map(|p| p.len() as f64).sum::<f64>() / profiles.len().max(1) as f64;
-        let plain_cfg = RadarConfig::without_interleave(g);
-        let inter_cfg = RadarConfig::paper_default(g);
-        let det_plain =
-            crate::experiments::detection::average_detected(prepared, &profiles, plain_cfg);
-        let det_inter =
-            crate::experiments::detection::average_detected(prepared, &profiles, inter_cfg);
-        let acc_plain = crate::experiments::recovery::recovered_accuracy(
-            prepared,
-            &profiles,
-            plain_cfg,
-            usize::MAX,
-        );
-        let acc_inter = crate::experiments::recovery::recovered_accuracy(
-            prepared,
-            &profiles,
-            inter_cfg,
-            usize::MAX,
-        );
+        let cell = |interleaved: bool| {
+            outcome
+                .find(&AttackSpec::Knowledgeable, g, interleaved)
+                .expect("grid covers every (G, interleave) pair")
+        };
+        let (plain, inter) = (cell(false), cell(true));
         report.row(&[
             g.to_string(),
-            format!("{avg_flips:.1}"),
-            format!("{det_plain:.2}"),
-            format!("{det_inter:.2}"),
-            format!("{acc_plain:.2}%"),
-            format!("{acc_inter:.2}%"),
+            format!("{:.1}", inter.avg_flips),
+            format!("{:.2}", plain.avg_flips_detected),
+            format!("{:.2}", inter.avg_flips_detected),
+            format!(
+                "{:.2}%",
+                plain.accuracy_recovered.expect("accuracy evaluated")
+            ),
+            format!(
+                "{:.2}%",
+                inter.accuracy_recovered.expect("accuracy evaluated")
+            ),
         ]);
     }
     report
@@ -115,7 +86,6 @@ pub fn msb1(prepared: &mut Prepared) -> Report {
         "detected (3-bit)".into(),
     ]);
 
-    let snapshot = prepared.qmodel.snapshot();
     // Reference: the standard 10-flip MSB attack from the shared profile cache.
     let msb_profiles = crate::harness::pbfa_profiles(prepared);
     let msb_acc = attacked_accuracy(prepared, &msb_profiles, prepared.budget.n_bits);
@@ -130,22 +100,7 @@ pub fn msb1(prepared: &mut Prepared) -> Report {
         .last()
         .expect("table3 groups are non-empty");
     for &n_bits in &[10usize, 20, 30] {
-        let cache = artifacts_dir().join(format!(
-            "profiles_{}_msb1_n{}.txt",
-            prepared.kind.id(),
-            n_bits
-        ));
-        let profiles = if let Ok(p) = profile_cache::load(&cache) {
-            p
-        } else {
-            let batch = prepared.attacker_batch(2000 + n_bits);
-            let attack = Pbfa::new(PbfaConfig::msb1_only(n_bits));
-            let profile = attack.attack(&mut prepared.qmodel, batch.images(), batch.labels());
-            prepared.qmodel.restore(&snapshot);
-            let profiles = vec![profile];
-            profile_cache::save(&cache, &profiles).expect("artifact directory is writable");
-            profiles
-        };
+        let profiles = campaign::msb1_profiles(prepared, n_bits);
         let acc = attacked_accuracy(prepared, &profiles, n_bits);
         let det2 = crate::experiments::detection::average_detected(
             prepared,

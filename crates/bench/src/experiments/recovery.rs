@@ -3,6 +3,7 @@
 use radar_attack::AttackProfile;
 use radar_core::{RadarConfig, RadarProtection};
 
+use crate::campaign::{self, AttackSpec, ScenarioGrid};
 use crate::harness::Prepared;
 use crate::report::Report;
 
@@ -60,13 +61,40 @@ pub fn attacked_accuracy(
 }
 
 /// Table III: accuracy recovery for `N_BF ∈ {5, 10}` across group sizes, with and
-/// without interleaving.
-pub fn table3(prepared: &mut Prepared, profiles: &[AttackProfile]) -> Report {
+/// without interleaving — a thin view over a two-attack campaign (`Pbfa{5}`,
+/// `Pbfa{10}`) against the Table III defenses, executed by the parallel campaign
+/// engine. The "no defense" baseline is the cells' attacked accuracy, which is
+/// defense-independent (same truncated profiles).
+pub fn table3(prepared: &mut Prepared) -> Report {
+    let budget = prepared.budget;
+    let flip_counts = [5usize, 10];
+    let grid = ScenarioGrid {
+        attacks: flip_counts
+            .iter()
+            .map(|&n_bits| AttackSpec::Pbfa { n_bits })
+            .collect(),
+        defenses: prepared
+            .kind
+            .table3_groups()
+            .iter()
+            .flat_map(|&g| {
+                [
+                    RadarConfig::without_interleave(g),
+                    RadarConfig::paper_default(g),
+                ]
+            })
+            .collect(),
+        rounds: budget.rounds,
+        base_seed: 0x7AB1_E003,
+        evaluate_accuracy: true,
+    };
+    let outcome = campaign::run(prepared, &grid);
+
     let mut report = Report::new(&format!(
         "Table III — accuracy recovery ({}, clean accuracy {:.2}%, {} rounds)",
         prepared.kind.name(),
         prepared.clean_accuracy,
-        profiles.len()
+        grid.rounds
     ));
     report.row(&[
         "N_BF".into(),
@@ -75,17 +103,23 @@ pub fn table3(prepared: &mut Prepared, profiles: &[AttackProfile]) -> Report {
         "w/o interleave".into(),
         "interleave".into(),
     ]);
-    for &n_bits in &[5usize, 10] {
-        let baseline = attacked_accuracy(prepared, profiles, n_bits);
+    for &n_bits in &flip_counts {
+        let attack = AttackSpec::Pbfa { n_bits };
+        let cell = |g: usize, interleaved: bool| {
+            outcome
+                .find(&attack, g, interleaved)
+                .expect("grid covers every (N_BF, G, interleave) cell")
+        };
+        let baseline = cell(prepared.kind.table3_groups()[0], false)
+            .accuracy_attacked
+            .expect("campaign evaluated accuracy");
         for &g in prepared.kind.table3_groups() {
-            let plain = recovered_accuracy(
-                prepared,
-                profiles,
-                RadarConfig::without_interleave(g),
-                n_bits,
-            );
-            let inter =
-                recovered_accuracy(prepared, profiles, RadarConfig::paper_default(g), n_bits);
+            let plain = cell(g, false)
+                .accuracy_recovered
+                .expect("campaign evaluated accuracy");
+            let inter = cell(g, true)
+                .accuracy_recovered
+                .expect("campaign evaluated accuracy");
             report.row(&[
                 n_bits.to_string(),
                 format!("{baseline:.2}%"),

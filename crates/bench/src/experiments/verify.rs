@@ -1,11 +1,14 @@
 //! Verification-throughput experiment: legacy per-group gather detection versus the
-//! precomputed streaming [`VerifyPlan`](radar_core::VerifyPlan) sweep, measured on the
-//! ResNet-18-like model. The measured speedup is the in-repo evidence for the paper's
-//! fetch-path framing (Table IV): verification must keep up with the weight-fetch
-//! stream, so detect throughput — not just detection accuracy — is a tracked number.
+//! precomputed streaming [`VerifyPlan`](radar_core::VerifyPlan) sweep — sequential and
+//! sharded-parallel — measured on the ResNet-18-like model. The measured speedup is
+//! the in-repo evidence for the paper's fetch-path framing (Table IV): verification
+//! must keep up with the weight-fetch stream, so detect throughput — not just
+//! detection accuracy — is a tracked number.
 //!
 //! Besides the human-readable report, the experiment writes
-//! `artifacts/results/BENCH_verify.json` so CI can archive the throughput trajectory
+//! `artifacts/results/BENCH_verify.json` (now including `parallel` points per thread
+//! count plus the host's `hardware_threads`, so a 4-thread number measured on a
+//! smaller machine is interpretable) so CI can archive the throughput trajectory
 //! across commits.
 
 use std::time::Instant;
@@ -19,6 +22,9 @@ use crate::report::Report;
 
 /// Group sizes measured (the paper's ResNet-18 Table IV point plus one smaller size).
 const GROUP_SIZES: [usize; 2] = [128, 512];
+
+/// Thread counts measured for the sharded parallel detect path.
+const PARALLEL_THREADS: [usize; 2] = [2, 4];
 
 /// The pre-plan detection path, the measurement baseline: per layer, re-derive the
 /// member lists from the layout and gather the weights through the shared
@@ -55,47 +61,67 @@ fn median_seconds(iters: usize, mut f: impl FnMut()) -> f64 {
     times[times.len() / 2]
 }
 
-/// One measured `(group size, legacy, streaming)` point.
+/// One measured `(group size, legacy, streaming, parallel…)` point.
 struct Measurement {
     group_size: usize,
     legacy_seconds: f64,
     plan_seconds: f64,
+    /// `(threads, seconds)` per measured parallel thread count.
+    parallel_seconds: Vec<(usize, f64)>,
 }
 
 impl Measurement {
     fn speedup(&self) -> f64 {
         self.legacy_seconds / self.plan_seconds
     }
+
+    /// Speedup of the parallel sweep at `threads` over the sequential plan sweep.
+    fn parallel_speedup(&self, threads: usize) -> Option<f64> {
+        self.parallel_seconds
+            .iter()
+            .find(|&&(t, _)| t == threads)
+            .map(|&(_, s)| self.plan_seconds / s)
+    }
 }
 
 /// Runs the verification-throughput comparison and writes the JSON artifact.
 ///
-/// The model is the ResNet-18-like architecture used throughout the harness; weights
-/// are untrained because detect throughput is independent of weight values.
+/// The model is the ResNet-18-like architecture at base width 32 (~2.8 M weights —
+/// a quarter of real ResNet-18's 11 M, against the width-8 ~177 k-weight variant the
+/// accuracy experiments train), so one detect pass carries enough work for the
+/// sharded parallel path to amortize its per-pass thread spawns; weights are
+/// untrained because detect throughput is independent of weight values.
 pub fn bench_verify(budget: &Budget) -> Report {
-    let model = QuantizedModel::new(Box::new(resnet18(&ResNetConfig::new(20, 8, 3, 18))));
+    let model = QuantizedModel::new(Box::new(resnet18(&ResNetConfig::new(20, 32, 3, 18))));
     let total_weights = model.total_weights();
     let iters = budget.verify_iters;
 
+    let hardware_threads = crate::harness::default_threads();
     let mut report = Report::new("Verification throughput — legacy gather vs streaming plan");
     report.line(format!(
-        "ResNet-18-like model, {total_weights} weights, median of {iters} passes"
+        "ResNet-18-like model, {total_weights} weights, median of {iters} passes, \
+         {hardware_threads} hardware threads"
     ));
     report.row(&[
         "G".into(),
         "legacy (ms)".into(),
         "plan (ms)".into(),
-        "legacy MW/s".into(),
-        "plan MW/s".into(),
+        "2t (ms)".into(),
+        "4t (ms)".into(),
         "speedup".into(),
+        "2t speedup".into(),
+        "4t speedup".into(),
     ]);
 
     let mut measurements = Vec::new();
     for g in GROUP_SIZES {
         let radar = RadarProtection::new(&model, RadarConfig::paper_default(g));
-        // Sanity: both paths agree on the clean model before being timed.
+        // Sanity: all paths agree on the clean model before being timed.
         assert!(!legacy_detect(&radar, &model).attack_detected());
         assert!(!radar.detect(&model).attack_detected());
+        for t in PARALLEL_THREADS {
+            assert!(!radar.detect_parallel(&model, t).attack_detected());
+        }
 
         let legacy_seconds = median_seconds(iters, || {
             std::hint::black_box(legacy_detect(&radar, &model));
@@ -103,50 +129,88 @@ pub fn bench_verify(budget: &Budget) -> Report {
         let plan_seconds = median_seconds(iters, || {
             std::hint::black_box(radar.detect(&model));
         });
+        let parallel_seconds = PARALLEL_THREADS
+            .iter()
+            .map(|&t| {
+                let s = median_seconds(iters, || {
+                    std::hint::black_box(radar.detect_parallel(&model, t));
+                });
+                (t, s)
+            })
+            .collect();
         let m = Measurement {
             group_size: g,
             legacy_seconds,
             plan_seconds,
+            parallel_seconds,
         };
-        let mws = |s: f64| total_weights as f64 / s / 1e6;
+        let par_ms = |t: usize| {
+            m.parallel_seconds
+                .iter()
+                .find(|&&(pt, _)| pt == t)
+                .map_or("-".to_owned(), |&(_, s)| format!("{:.3}", s * 1e3))
+        };
+        let par_speedup = |t: usize| {
+            m.parallel_speedup(t)
+                .map_or("-".to_owned(), |s| format!("{s:.1}x"))
+        };
         report.row(&[
             format!("{g}"),
             format!("{:.3}", m.legacy_seconds * 1e3),
             format!("{:.3}", m.plan_seconds * 1e3),
-            format!("{:.1}", mws(m.legacy_seconds)),
-            format!("{:.1}", mws(m.plan_seconds)),
+            par_ms(2),
+            par_ms(4),
             format!("{:.1}x", m.speedup()),
+            par_speedup(2),
+            par_speedup(4),
         ]);
         measurements.push(m);
     }
 
-    write_json(total_weights, iters, &measurements);
+    write_json(total_weights, iters, hardware_threads, &measurements);
     report
 }
 
 /// Serializes the measurements as `artifacts/results/BENCH_verify.json` (hand-rolled:
 /// the workspace carries no JSON dependency).
-fn write_json(total_weights: usize, iters: usize, measurements: &[Measurement]) {
+fn write_json(
+    total_weights: usize,
+    iters: usize,
+    hardware_threads: usize,
+    measurements: &[Measurement],
+) {
     let points: Vec<String> = measurements
         .iter()
         .map(|m| {
+            let parallel: Vec<String> = m
+                .parallel_seconds
+                .iter()
+                .map(|&(t, s)| {
+                    format!(
+                        "{{\"threads\": {t}, \"seconds\": {s:.9}, \"speedup_vs_plan\": {:.3}}}",
+                        m.plan_seconds / s
+                    )
+                })
+                .collect();
             format!(
                 concat!(
                     "    {{\"group_size\": {}, \"legacy_seconds\": {:.9}, ",
-                    "\"plan_seconds\": {:.9}, \"speedup\": {:.3}}}"
+                    "\"plan_seconds\": {:.9}, \"speedup\": {:.3}, \"parallel\": [{}]}}"
                 ),
                 m.group_size,
                 m.legacy_seconds,
                 m.plan_seconds,
-                m.speedup()
+                m.speedup(),
+                parallel.join(", ")
             )
         })
         .collect();
     let json = format!(
         "{{\n  \"model\": \"resnet18-like\",\n  \"total_weights\": {},\n  \
-         \"iters\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"iters\": {},\n  \"hardware_threads\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
         total_weights,
         iters,
+        hardware_threads,
         points.join(",\n")
     );
     let path = artifacts_dir().join("results").join("BENCH_verify.json");
@@ -167,6 +231,9 @@ mod tests {
         model.flip_bit(1, 7, MSB);
         model.flip_bit(5, 0, MSB);
         assert_eq!(legacy_detect(&radar, &model), radar.detect(&model));
+        for t in PARALLEL_THREADS {
+            assert_eq!(radar.detect(&model), radar.detect_parallel(&model, t));
+        }
     }
 
     #[test]

@@ -82,6 +82,7 @@ impl ModelKind {
 /// | `RADAR_EVAL_SAMPLES` | test samples used for accuracy numbers | 400 |
 /// | `RADAR_ATTACK_BATCH` | attacker batch size | 16 |
 /// | `RADAR_VERIFY_ITERS` | timed passes per point in the verification bench | 20 |
+/// | `RADAR_THREADS` | worker threads for the campaign engine and parallel detect | available cores |
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Budget {
     /// Number of independent attack rounds (the paper uses 100).
@@ -97,6 +98,9 @@ pub struct Budget {
     /// Timed full-model verification passes per measured point in the
     /// detect-throughput experiment (`bench_verify`).
     pub verify_iters: usize,
+    /// Worker threads used by the scenario-campaign engine and the parallel
+    /// detection benches.
+    pub threads: usize,
 }
 
 impl Default for Budget {
@@ -108,8 +112,16 @@ impl Default for Budget {
             eval_samples: 400,
             attack_batch: 16,
             verify_iters: 20,
+            threads: default_threads(),
         }
     }
+}
+
+/// Number of hardware threads available to this process (1 when undetectable).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl Budget {
@@ -129,6 +141,7 @@ impl Budget {
             eval_samples: get("RADAR_EVAL_SAMPLES", d.eval_samples),
             attack_batch: get("RADAR_ATTACK_BATCH", d.attack_batch),
             verify_iters: get("RADAR_VERIFY_ITERS", d.verify_iters),
+            threads: get("RADAR_THREADS", d.threads).max(1),
         }
     }
 }
@@ -183,7 +196,7 @@ pub fn prepare(kind: ModelKind, budget: Budget) -> Prepared {
     let (train, test) = spec.generate();
     let mut float_model = kind.build_float_model(spec.num_classes);
 
-    let checkpoint = artifacts_dir().join(format!("{}_w8_e{}.rnnp", kind.id(), budget.epochs));
+    let checkpoint = checkpoint_path(kind, budget);
     if checkpoint.exists() {
         load_params(&mut float_model, &checkpoint).expect("cached checkpoint matches architecture");
     } else {
@@ -221,6 +234,35 @@ pub fn prepare(kind: ModelKind, budget: Budget) -> Prepared {
         clean_accuracy,
         budget,
     }
+}
+
+/// Where the trained checkpoint of `(kind, budget)` is cached.
+fn checkpoint_path(kind: ModelKind, budget: Budget) -> PathBuf {
+    artifacts_dir().join(format!("{}_w8_e{}.rnnp", kind.id(), budget.epochs))
+}
+
+/// Rebuilds an independent replica of the prepared model from its cached checkpoint:
+/// same float weights, hence bit-identical quantization scales and values.
+///
+/// The campaign engine calls this once per worker thread so every worker owns a model
+/// it can corrupt and restore without synchronization.
+///
+/// # Panics
+///
+/// Panics if the checkpoint does not exist yet — [`prepare`] must have run (and
+/// trained or loaded the model) under the same `(kind, budget.epochs)` first.
+pub fn fresh_model(kind: ModelKind, budget: Budget) -> QuantizedModel {
+    fresh_model_from(kind, &checkpoint_path(kind, budget))
+}
+
+/// [`fresh_model`] with an explicit checkpoint path (the testable seam: no dependency
+/// on the artifacts directory).
+fn fresh_model_from(kind: ModelKind, checkpoint: &std::path::Path) -> QuantizedModel {
+    let spec = kind.dataset_spec();
+    let mut float_model = kind.build_float_model(spec.num_classes);
+    load_params(&mut float_model, checkpoint)
+        .expect("checkpoint exists and matches — run prepare() before spawning workers");
+    QuantizedModel::new(Box::new(float_model))
 }
 
 /// Generates (or loads from the artifact cache) `budget.rounds` PBFA profiles of
@@ -274,6 +316,26 @@ mod tests {
         assert_eq!(b.n_bits, 10);
         assert!(b.eval_samples >= 100);
         assert_eq!(b.verify_iters, 20);
+        assert!(b.threads >= 1);
+    }
+
+    #[test]
+    fn fresh_model_replicates_quantization_from_checkpoint() {
+        // Write a checkpoint directly (no training) and check a replica loads back to
+        // bit-identical quantized values — the property campaign workers rely on.
+        let dir = std::env::temp_dir().join(format!("radar_fresh_model_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir is writable");
+        let kind = ModelKind::ResNet20Like;
+        let mut float_model = kind.build_float_model(kind.dataset_spec().num_classes);
+        let checkpoint = dir.join("checkpoint.rnnp");
+        save_params(&mut float_model, &checkpoint).expect("temp dir is writable");
+        let reference = QuantizedModel::new(Box::new(float_model));
+
+        let replica = fresh_model_from(kind, &checkpoint);
+
+        assert_eq!(replica.num_layers(), reference.num_layers());
+        assert_eq!(replica.snapshot(), reference.snapshot());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -6,12 +6,18 @@
 //! function per paper table/figure in [`experiments`]. The `src/bin/*` binaries are thin
 //! wrappers; `run_all` regenerates every result in one go.
 //!
-//! Budgets (rounds, epochs, evaluation samples) are controlled through environment
-//! variables documented on [`harness::Budget`].
+//! Scenario sweeps run through the parallel [`campaign`] engine: a declarative
+//! attack × defense [`ScenarioGrid`](campaign::ScenarioGrid) executed across a worker
+//! pool (`run_campaign` binary, `BENCH_campaign.json` artifact); the detection and
+//! recovery figure/table experiments are thin views over campaign cells.
+//!
+//! Budgets (rounds, epochs, evaluation samples, worker threads) are controlled through
+//! environment variables documented on [`harness::Budget`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod harness;
 pub mod profile_cache;

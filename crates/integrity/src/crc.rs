@@ -75,11 +75,8 @@ impl GroupCode for Crc {
 
     fn encode(&self, group: &[i8]) -> u64 {
         let top_bit = 1u64 << (self.width - 1);
-        let mask = if self.width == 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.width) - 1
-        };
+        // `Crc::new` bounds the width to 32, so the shift cannot overflow in u64.
+        let mask = (1u64 << self.width) - 1;
         let mut crc = 0u64;
         for &byte in group {
             let byte = byte as u8;
@@ -164,6 +161,35 @@ mod tests {
             kb > 30.0 && kb < 40.0,
             "CRC-13 storage {kb:.1} KB out of expected range"
         );
+    }
+
+    #[test]
+    fn width_32_boundary_encodes_within_range_and_detects_flips() {
+        // The widest CRC the constructor admits: CRC-32 (Koopman 0x82608EDB). The
+        // 32-bit mask must not wrap in u64, values stay below 2^32, and single-bit
+        // flips are still caught.
+        let crc = Crc::new(32, 0x82608EDB);
+        assert_eq!(crc.width(), 32);
+        let group: Vec<i8> = (0..64).map(|i| (i * 13 % 251 - 120) as i8).collect();
+        let golden = crc.encode(&group);
+        assert!(golden <= u64::from(u32::MAX));
+        assert_eq!(golden, crc.encode(&group));
+        for byte in [0usize, 31, 63] {
+            for bit in 0..8 {
+                let mut corrupted = group.clone();
+                corrupted[byte] = (corrupted[byte] as u8 ^ (1 << bit)) as i8;
+                assert!(
+                    crc.detects(golden, &corrupted),
+                    "CRC-32 missed flip at byte {byte} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and 32")]
+    fn width_above_32_panics() {
+        Crc::new(33, 0x1);
     }
 
     #[test]

@@ -34,3 +34,15 @@ mod rowhammer;
 
 pub use dram::{DramAddress, DramGeometry, WeightDram};
 pub use rowhammer::{MountReport, RowhammerInjector};
+
+// Campaign workers own a `WeightDram` per scenario cell and share injector configs
+// across scoped threads; enforce `Send + Sync` at compile time so the parallel engine
+// cannot be broken by a non-thread-safe field sneaking into these types.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<WeightDram>();
+    assert_send_sync::<DramGeometry>();
+    assert_send_sync::<DramAddress>();
+    assert_send_sync::<RowhammerInjector>();
+    assert_send_sync::<MountReport>();
+};

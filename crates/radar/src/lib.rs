@@ -19,7 +19,10 @@
 //! key-mask vector ([`LayerPlan`]), so every run-time pass is one sequential sweep over
 //! the layer's weights in fetch order — no per-group gathers, no allocations.
 //! [`RadarProtection::verify_layer`] and [`RadarProtection::detect_layers`] expose the
-//! incremental, fetch-path granularity.
+//! incremental, fetch-path granularity, and [`RadarProtection::detect_parallel`] /
+//! [`RadarProtection::verify_and_recover_parallel`] shard the sweep across scoped
+//! worker threads (contiguous, weight-balanced layer ranges; one accumulator scratch
+//! per worker) for multi-core hosts.
 //!
 //! [`ProtectedModel`] embeds the whole flow into the inference path.
 //!
@@ -64,5 +67,7 @@ pub use protected::{ProtectedModel, ProtectionStats};
 pub use protection::{
     DetectionReport, FlaggedGroup, LayerProtection, RadarProtection, RecoveryReport,
 };
-pub use signature::{binarize, gather_signatures, group_signature, masked_sum, SignatureBits};
+pub use signature::{
+    binarize, gather_signatures, group_signature, masked_sum, SignatureBits, MAX_GROUP_LEN,
+};
 pub use store::SignatureStore;

@@ -65,9 +65,18 @@ impl DetectionReport {
     }
 
     /// Folds another report into this one; used by the incremental fetch-path checks to
-    /// combine per-layer verdicts into a whole-pass report.
+    /// combine per-layer verdicts into a whole-pass report, and by the sharded parallel
+    /// detect to fold per-shard reports.
+    ///
+    /// The merged report is restored to sorted `(layer, group)` order and deduplicated
+    /// — unconditionally, even when `other` is empty — so a group flagged by two
+    /// overlapping range checks (or listed twice in a hand-built report) appears once
+    /// and downstream consumers (recovery statistics above all) never see the same
+    /// group twice.
     pub fn merge(&mut self, other: &DetectionReport) {
         self.flagged.extend_from_slice(&other.flagged);
+        self.flagged.sort_unstable_by_key(|f| (f.layer, f.group));
+        self.flagged.dedup();
     }
 }
 
@@ -241,7 +250,6 @@ impl RadarProtection {
             "layer range {layers:?} out of bounds for {} layers",
             self.layers.len()
         );
-        let bits = self.config.signature_bits;
         let max_groups = self
             .plan
             .layers()
@@ -253,21 +261,124 @@ impl RadarProtection {
         }
         let mut report = DetectionReport::default();
         for layer_idx in layers {
-            assert_eq!(
-                model.layer(layer_idx).len(),
-                self.layers[layer_idx].layout.len(),
-                "layer {layer_idx} size changed since signing"
-            );
-            let layer_plan = self.plan.layer(layer_idx);
-            layer_plan.accumulate(model.layer_values(layer_idx), acc);
-            for (group, &m) in acc[..layer_plan.num_groups()].iter().enumerate() {
-                if binarize(m, bits) != self.golden.signature(layer_idx, group) {
-                    report.flagged.push(FlaggedGroup {
-                        layer: layer_idx,
-                        group,
-                    });
+            self.check_layer(layer_idx, model.layer_values(layer_idx), acc, &mut report);
+        }
+        report
+    }
+
+    /// Verifies one layer's signatures from its raw weight values, appending mismatches
+    /// to `report` — the shared core of the sequential and the sharded parallel detect.
+    fn check_layer(
+        &self,
+        layer_idx: usize,
+        values: &[i8],
+        acc: &mut [i32],
+        report: &mut DetectionReport,
+    ) {
+        assert_eq!(
+            values.len(),
+            self.layers[layer_idx].layout.len(),
+            "layer {layer_idx} size changed since signing"
+        );
+        let bits = self.config.signature_bits;
+        let layer_plan = self.plan.layer(layer_idx);
+        layer_plan.accumulate(values, acc);
+        for (group, &m) in acc[..layer_plan.num_groups()].iter().enumerate() {
+            if binarize(m, bits) != self.golden.signature(layer_idx, group) {
+                report.flagged.push(FlaggedGroup {
+                    layer: layer_idx,
+                    group,
+                });
+            }
+        }
+    }
+
+    /// Splits the planned layers into at most `shards` contiguous ranges of roughly
+    /// equal total weight count (the unit of detect work is one weight).
+    fn shard_ranges(&self, shards: usize) -> Vec<Range<usize>> {
+        let total: usize = self.plan.layers().iter().map(|l| l.len()).sum();
+        let num_layers = self.layers.len();
+        let shards = shards.clamp(1, num_layers.max(1));
+        let target = total.div_ceil(shards).max(1);
+        let mut ranges = Vec::with_capacity(shards);
+        let mut start = 0usize;
+        let mut in_shard = 0usize;
+        for (idx, plan) in self.plan.layers().iter().enumerate() {
+            in_shard += plan.len();
+            // Close the shard once it reached its weight target, keeping enough layers
+            // for the remaining shards to be non-empty.
+            if in_shard >= target && num_layers - idx > shards - ranges.len() - 1 {
+                ranges.push(start..idx + 1);
+                start = idx + 1;
+                in_shard = 0;
+                if ranges.len() == shards - 1 {
+                    break;
                 }
             }
+        }
+        if start < num_layers {
+            ranges.push(start..num_layers);
+        }
+        ranges
+    }
+
+    /// Sharded parallel detection: splits the layers into contiguous, weight-balanced
+    /// ranges and verifies them concurrently on `threads` scoped workers, each with its
+    /// own accumulator scratch over the shared [`VerifyPlan`].
+    ///
+    /// Produces exactly the report [`detect`](Self::detect) would (same flag set, same
+    /// `(layer, group)` order): shards are disjoint layer ranges, so the per-shard
+    /// reports concatenate in order with no duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or under the same model-mismatch conditions as
+    /// [`detect`](Self::detect).
+    pub fn detect_parallel(&self, model: &QuantizedModel, threads: usize) -> DetectionReport {
+        assert!(threads > 0, "thread count must be non-zero");
+        assert_eq!(
+            model.num_layers(),
+            self.layers.len(),
+            "model layer count changed since signing"
+        );
+        let ranges = self.shard_ranges(threads);
+        if ranges.len() <= 1 {
+            return self.detect(model);
+        }
+        // Borrow every layer's raw values up front: plain `&[i8]` slices are freely
+        // shared across the scoped workers without requiring anything of the model's
+        // float-side internals.
+        let values: Vec<&[i8]> = (0..self.layers.len())
+            .map(|i| model.layer_values(i))
+            .collect();
+        let mut shard_reports: Vec<DetectionReport> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| {
+                    let values = &values;
+                    scope.spawn(move || {
+                        let mut acc = Vec::new();
+                        let mut report = DetectionReport::default();
+                        for layer_idx in range {
+                            let layer_plan = self.plan.layer(layer_idx);
+                            if acc.len() < layer_plan.num_groups() {
+                                acc.resize(layer_plan.num_groups(), 0);
+                            }
+                            self.check_layer(layer_idx, values[layer_idx], &mut acc, &mut report);
+                        }
+                        report
+                    })
+                })
+                .collect();
+            shard_reports = handles
+                .into_iter()
+                .map(|h| h.join().expect("detect shard worker panicked"))
+                .collect();
+        });
+        let mut report = DetectionReport::default();
+        for shard in &shard_reports {
+            report.merge(shard);
         }
         report
     }
@@ -308,13 +419,21 @@ impl RadarProtection {
     /// verification passes accept the recovered state instead of re-flagging it (the
     /// paper leaves this bookkeeping implicit; without it every later inference would
     /// report the same, already-mitigated attack again).
+    ///
+    /// Recovery is idempotent per `(layer, group)`: a report that lists the same group
+    /// twice (hand-merged from overlapping range checks, say) zeroes it — and counts it
+    /// in the [`RecoveryReport`] — exactly once.
     pub fn recover(
         &mut self,
         model: &mut QuantizedModel,
         report: &DetectionReport,
     ) -> RecoveryReport {
         let mut recovery = RecoveryReport::default();
+        let mut zeroed: std::collections::HashSet<FlaggedGroup> = std::collections::HashSet::new();
         for flagged in &report.flagged {
+            if !zeroed.insert(*flagged) {
+                continue;
+            }
             let members = self.plan.layer(flagged.layer).group_members(flagged.group);
             let weights = model.layer_weights_mut(flagged.layer);
             for &idx in members {
@@ -337,6 +456,23 @@ impl RadarProtection {
         model: &mut QuantizedModel,
     ) -> (DetectionReport, RecoveryReport) {
         let report = self.detect(model);
+        let recovery = self.recover(model, &report);
+        (report, recovery)
+    }
+
+    /// [`detect_and_recover`](Self::detect_and_recover) with the verification pass
+    /// sharded across `threads` workers via [`detect_parallel`](Self::detect_parallel);
+    /// recovery itself mutates the model and stays sequential.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`detect_parallel`](Self::detect_parallel).
+    pub fn verify_and_recover_parallel(
+        &mut self,
+        model: &mut QuantizedModel,
+        threads: usize,
+    ) -> (DetectionReport, RecoveryReport) {
+        let report = self.detect_parallel(model, threads);
         let recovery = self.recover(model, &report);
         (report, recovery)
     }
@@ -494,6 +630,154 @@ mod tests {
                 assert_eq!(sig, radar.golden().signature(layer, g));
             }
         }
+    }
+
+    #[test]
+    fn merge_deduplicates_and_keeps_sorted_order() {
+        let mut a = DetectionReport {
+            flagged: vec![
+                FlaggedGroup { layer: 0, group: 2 },
+                FlaggedGroup { layer: 3, group: 1 },
+            ],
+        };
+        let b = DetectionReport {
+            flagged: vec![
+                FlaggedGroup { layer: 0, group: 2 }, // duplicate
+                FlaggedGroup { layer: 1, group: 0 },
+            ],
+        };
+        a.merge(&b);
+        assert_eq!(
+            a.flagged,
+            vec![
+                FlaggedGroup { layer: 0, group: 2 },
+                FlaggedGroup { layer: 1, group: 0 },
+                FlaggedGroup { layer: 3, group: 1 },
+            ]
+        );
+        // Merging the same report again changes nothing.
+        let before = a.clone();
+        a.merge(&b);
+        assert_eq!(a, before);
+        // Merging an empty report still normalizes pre-existing duplicates.
+        let mut dup = DetectionReport {
+            flagged: vec![
+                FlaggedGroup { layer: 2, group: 0 },
+                FlaggedGroup { layer: 0, group: 1 },
+                FlaggedGroup { layer: 2, group: 0 },
+            ],
+        };
+        dup.merge(&DetectionReport::default());
+        assert_eq!(
+            dup.flagged,
+            vec![
+                FlaggedGroup { layer: 0, group: 1 },
+                FlaggedGroup { layer: 2, group: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn recovery_from_duplicated_report_zeroes_each_group_once() {
+        let mut m = model();
+        let mut radar = RadarProtection::new(&m, RadarConfig::paper_default(16));
+        m.flip_bit(2, 5, MSB);
+        let clean_report = radar.detect(&m);
+        assert_eq!(clean_report.num_flagged(), 1);
+        // A hand-built report listing the same flagged group three times.
+        let duplicated = DetectionReport {
+            flagged: vec![clean_report.flagged[0]; 3],
+        };
+        let recovery = radar.recover(&mut m, &duplicated);
+        assert_eq!(recovery.groups_zeroed, 1);
+        assert!(recovery.weights_zeroed <= 16);
+        assert!(!radar.detect(&m).attack_detected());
+    }
+
+    #[test]
+    fn merged_overlapping_range_recovery_counts_each_group_once() {
+        let mut m = model();
+        let mut radar = RadarProtection::new(&m, RadarConfig::paper_default(16));
+        m.flip_bit(2, 5, MSB);
+        // Overlapping range checks both flag layer 2's group; the merge deduplicates.
+        let mut merged = radar.detect_layers(&m, 0..4);
+        merged.merge(&radar.detect_layers(&m, 2..6));
+        merged.merge(&radar.verify_layer(&m, 2));
+        assert_eq!(merged, radar.detect(&m));
+        let reference_members = radar
+            .plan()
+            .layer(2)
+            .group_members(radar.group_of(2, 5))
+            .len();
+        let recovery = radar.recover(&mut m, &merged);
+        assert_eq!(recovery.groups_zeroed, 1);
+        assert_eq!(recovery.weights_zeroed, reference_members);
+    }
+
+    #[test]
+    fn parallel_detect_matches_sequential_for_any_thread_count() {
+        let mut m = model();
+        let radar = RadarProtection::new(&m, RadarConfig::paper_default(32));
+        m.flip_bit(0, 1, MSB);
+        m.flip_bit(4, 9, MSB);
+        m.flip_bit(10, 3, MSB);
+        let sequential = radar.detect(&m);
+        assert!(sequential.attack_detected());
+        for threads in [1, 2, 3, 4, 7, 64] {
+            assert_eq!(
+                radar.detect_parallel(&m, threads),
+                sequential,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_verify_and_recover_matches_sequential_pipeline() {
+        let mut a = model();
+        let mut b = model();
+        let mut radar_a = RadarProtection::new(&a, RadarConfig::paper_default(16));
+        let mut radar_b = RadarProtection::new(&b, RadarConfig::paper_default(16));
+        for &(layer, weight) in &[(1usize, 2usize), (6, 40), (12, 0)] {
+            a.flip_bit(layer, weight, MSB);
+            b.flip_bit(layer, weight, MSB);
+        }
+        let (report_a, recovery_a) = radar_a.detect_and_recover(&mut a);
+        let (report_b, recovery_b) = radar_b.verify_and_recover_parallel(&mut b, 4);
+        assert_eq!(report_a, report_b);
+        assert_eq!(recovery_a, recovery_b);
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert!(!radar_b.detect_parallel(&b, 4).attack_detected());
+    }
+
+    #[test]
+    fn shard_ranges_cover_all_layers_without_overlap() {
+        let m = model();
+        let radar = RadarProtection::new(&m, RadarConfig::paper_default(32));
+        let total_weights: usize = (0..m.num_layers()).map(|i| m.layer(i).len()).sum();
+        for threads in [1usize, 2, 3, 5, 8, 100] {
+            let ranges = radar.shard_ranges(threads);
+            assert!(!ranges.is_empty());
+            assert!(ranges.len() <= threads.min(m.num_layers()));
+            let mut next = 0usize;
+            let mut covered = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, next, "ranges must be contiguous");
+                assert!(r.end > r.start, "empty shard");
+                covered += (r.start..r.end).map(|i| m.layer(i).len()).sum::<usize>();
+                next = r.end;
+            }
+            assert_eq!(next, m.num_layers());
+            assert_eq!(covered, total_weights);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count must be non-zero")]
+    fn detect_parallel_rejects_zero_threads() {
+        let m = model();
+        let radar = RadarProtection::new(&m, RadarConfig::paper_default(32));
+        radar.detect_parallel(&m, 0);
     }
 
     #[test]

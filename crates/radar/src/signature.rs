@@ -24,12 +24,23 @@ impl SignatureBits {
     }
 }
 
+/// Largest group length for which [`masked_sum`] is provably exact in `i32`: every
+/// term is at most 128 in magnitude (`|±1 · i8|`), so the running sum stays within
+/// `i32` as long as `len * 128 <= i32::MAX`.
+pub const MAX_GROUP_LEN: usize = (i32::MAX / 128) as usize;
+
 /// Computes the masked addition checksum `M` of one group of weights.
 ///
 /// `weights` are the group members in slot order; slot `t`'s contribution is negated
 /// when key bit `t` is 0 (Algorithm 1). The sum is exact in `i32` (a group of at most a
-/// few thousand `i8` values cannot overflow).
+/// few thousand `i8` values cannot overflow); the no-overflow bound is
+/// [`MAX_GROUP_LEN`], checked by a `debug_assert!`.
 pub fn masked_sum(weights: &[i8], key: &SecretKey) -> i32 {
+    debug_assert!(
+        weights.len() <= MAX_GROUP_LEN,
+        "group of {} weights may overflow the i32 checksum (max {MAX_GROUP_LEN})",
+        weights.len()
+    );
     weights
         .iter()
         .enumerate()
@@ -108,6 +119,31 @@ mod tests {
         let weights = [10i8, 20, 30, 40];
         // mask: pos0 -> bit0=0 -> -1; pos1 -> bit1=1 -> +1; pos2 -> bit2=0 -> -1; pos3 -> +1
         assert_eq!(masked_sum(&weights, &key), -10 + 20 - 30 + 40);
+    }
+
+    #[test]
+    fn masked_sum_is_exact_at_the_i8_extremes() {
+        // A large group saturated at i8::MIN, with an identity key (+1 masks) and with
+        // an all-zero key (−1 masks): both extremes stay exact in i32.
+        let len = 4096usize;
+        let weights = vec![i8::MIN; len];
+        assert_eq!(
+            masked_sum(&weights, &SecretKey::identity()),
+            -128 * len as i32
+        );
+        // Key 0 negates every slot, producing the positive extreme +128 per weight.
+        assert_eq!(masked_sum(&weights, &SecretKey::new(0)), 128 * len as i32);
+        // And the mixed extreme with i8::MAX.
+        let highs = vec![i8::MAX; len];
+        assert_eq!(masked_sum(&highs, &SecretKey::identity()), 127 * len as i32);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "may overflow")]
+    fn masked_sum_rejects_groups_beyond_the_overflow_bound() {
+        let weights = vec![0i8; MAX_GROUP_LEN + 1];
+        masked_sum(&weights, &SecretKey::identity());
     }
 
     #[test]

@@ -26,6 +26,11 @@ pub struct ArchParams {
     pub cycles_per_crc_byte: f64,
     /// Fixed cycles per group for the CRC comparison.
     pub cycles_per_crc_group_overhead: f64,
+    /// Cycles per weight byte for the Hamming SEC-DED parity update (each data bit
+    /// feeds several parity positions, so the per-byte cost sits above CRC's).
+    pub cycles_per_hamming_byte: f64,
+    /// Fixed cycles per group for the Hamming syndrome/overall-parity comparison.
+    pub cycles_per_hamming_group_overhead: f64,
 }
 
 impl Default for ArchParams {
@@ -39,6 +44,8 @@ impl Default for ArchParams {
             cycles_per_group_overhead: 24.0,
             cycles_per_crc_byte: 18.0,
             cycles_per_crc_group_overhead: 24.0,
+            cycles_per_hamming_byte: 22.0,
+            cycles_per_hamming_group_overhead: 32.0,
         }
     }
 }

@@ -20,6 +20,13 @@ pub enum DetectionScheme {
         /// Group size `G`.
         group_size: usize,
     },
+    /// Hamming SEC-DED check bits over each group treated as one long codeword — the
+    /// Section VII.B storage baseline, costed here so the Table IV/V timing comparison
+    /// covers it too.
+    Hamming {
+        /// Group size `G`.
+        group_size: usize,
+    },
 }
 
 /// Timing breakdown of one batch-1 inference on the modelled platform.
@@ -113,6 +120,11 @@ pub fn simulate(
                 let groups = layer.weight_count.div_ceil(group_size) as f64;
                 layer.weight_count as f64 * params.cycles_per_crc_byte
                     + groups * params.cycles_per_crc_group_overhead
+            }
+            DetectionScheme::Hamming { group_size } => {
+                let groups = layer.weight_count.div_ceil(group_size) as f64;
+                layer.weight_count as f64 * params.cycles_per_hamming_byte
+                    + groups * params.cycles_per_hamming_group_overhead
             }
         };
     }
@@ -217,6 +229,47 @@ mod tests {
             ratio > 3.0 && ratio < 8.0,
             "CRC/RADAR detection ratio {ratio}"
         );
+    }
+
+    #[test]
+    fn hamming_costs_several_times_more_than_radar_and_tracks_crc() {
+        // Section VII.B: SEC-DED needs a full parity recomputation over every data bit,
+        // so its run-time cost sits in the CRC regime — several times RADAR's masked
+        // addition — while RADAR stays the cheapest scheme.
+        let params = ArchParams::default();
+        for (workload, g) in [(r20(), 8usize), (r18(), 512usize)] {
+            let radar = simulate(
+                &workload,
+                &params,
+                DetectionScheme::Radar {
+                    group_size: g,
+                    interleaved: true,
+                },
+            );
+            let crc = simulate(
+                &workload,
+                &params,
+                DetectionScheme::Crc {
+                    width: 13,
+                    group_size: g,
+                },
+            );
+            let hamming = simulate(
+                &workload,
+                &params,
+                DetectionScheme::Hamming { group_size: g },
+            );
+            let vs_radar = hamming.detection_seconds / radar.detection_seconds;
+            assert!(
+                vs_radar > 3.0 && vs_radar < 10.0,
+                "Hamming/RADAR detection ratio {vs_radar} (G={g})"
+            );
+            let vs_crc = hamming.detection_seconds / crc.detection_seconds;
+            assert!(
+                vs_crc > 0.8 && vs_crc < 2.0,
+                "Hamming/CRC detection ratio {vs_crc} (G={g})"
+            );
+        }
     }
 
     #[test]

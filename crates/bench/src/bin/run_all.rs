@@ -5,6 +5,7 @@
 use radar_bench::campaign::{self, ScenarioGrid};
 use radar_bench::experiments::{characterize, detection, knowledgeable, recovery, timing, verify};
 use radar_bench::harness::{pbfa_profiles, prepare, Budget, ModelKind};
+use radar_bench::serving;
 
 fn main() {
     let budget = Budget::from_env();
@@ -49,6 +50,11 @@ fn main() {
     let outcome = campaign::run(&mut prepared, &grid);
     outcome.report().print_and_save("campaign");
     outcome.write_json();
+
+    // The online-serving timeline: RADAR against live traffic (radar-serve engine).
+    let serve_outcome = serving::run(&mut prepared, &serving::ServeBenchParams::default_run());
+    serve_outcome.report().print_and_save("serve");
+    serve_outcome.write_json();
 
     eprintln!("[run_all] done; reports are in artifacts/results/");
 }

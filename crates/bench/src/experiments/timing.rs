@@ -2,7 +2,7 @@
 //! platform) and Table V (comparison with CRC).
 
 use radar_archsim::{simulate, ArchParams, DetectionScheme, NetworkWorkload};
-use radar_integrity::{Crc, GroupCode};
+use radar_integrity::{Crc, GroupCode, HammingSecDed};
 
 use crate::report::Report;
 
@@ -14,7 +14,8 @@ fn settings() -> Vec<(NetworkWorkload, usize)> {
     ]
 }
 
-/// Table IV: inference-time overhead of RADAR, without and with interleaving.
+/// Table IV: inference-time overhead of RADAR, without and with interleaving, next to
+/// the Hamming SEC-DED baseline at the same group size.
 pub fn table4() -> Report {
     let params = ArchParams::cortex_m4f();
     let mut report = Report::new("Table IV — time overhead of RADAR (analytical gem5 substitute)");
@@ -23,8 +24,10 @@ pub fn table4() -> Report {
         "original".into(),
         "RADAR".into(),
         "(interleave)".into(),
+        "Hamming".into(),
         "overhead".into(),
         "(interleave)".into(),
+        "(Hamming)".into(),
     ]);
     for (workload, g) in settings() {
         let original = simulate(&workload, &params, DetectionScheme::None);
@@ -44,13 +47,20 @@ pub fn table4() -> Report {
                 interleaved: true,
             },
         );
+        let hamming = simulate(
+            &workload,
+            &params,
+            DetectionScheme::Hamming { group_size: g },
+        );
         report.row(&[
             workload.name().to_owned(),
             format!("{:.1}ms", original.inference_seconds * 1e3),
             format!("{:.1}ms", plain.total_seconds() * 1e3),
             format!("{:.1}ms", inter.total_seconds() * 1e3),
+            format!("{:.1}ms", hamming.total_seconds() * 1e3),
             format!("{:.2}%", plain.overhead_percent()),
             format!("{:.2}%", inter.overhead_percent()),
+            format!("{:.2}%", hamming.overhead_percent()),
         ]);
     }
     report
@@ -114,6 +124,20 @@ pub fn table5() -> Report {
                 format!("{:.1}", crc10.storage_bytes(weights, g) as f64 / 1024.0),
             ]);
         }
+        // The SEC-DED baseline radar-integrity implements, at the same group size.
+        let hamming = HammingSecDed::new();
+        let hamming_report = simulate(
+            &workload,
+            &params,
+            DetectionScheme::Hamming { group_size: g },
+        );
+        report.row(&[
+            String::new(),
+            format!("{} (G={g})", hamming.name()),
+            format!("{:.3}s", hamming_report.total_seconds()),
+            format!("{:.3}s", hamming_report.detection_seconds),
+            format!("{:.1}", hamming.storage_bytes(weights, g) as f64 / 1024.0),
+        ]);
         report.row(&[
             String::new(),
             format!("RADAR (G={g})"),

@@ -11,6 +11,11 @@
 //! pool (`run_campaign` binary, `BENCH_campaign.json` artifact); the detection and
 //! recovery figure/table experiments are thin views over campaign cells.
 //!
+//! The run-time story — RADAR embedded in a live serving loop, attacked mid-service —
+//! runs through [`serving`] on the `radar-serve` engine (`run_serve` binary,
+//! `BENCH_serve.json` artifact): per-scenario latency percentiles, time-to-detect and
+//! served-accuracy windows.
+//!
 //! Budgets (rounds, epochs, evaluation samples, worker threads) are controlled through
 //! environment variables documented on [`harness::Budget`].
 
@@ -22,3 +27,4 @@ pub mod experiments;
 pub mod harness;
 pub mod profile_cache;
 pub mod report;
+pub mod serving;

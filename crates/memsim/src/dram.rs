@@ -107,6 +107,29 @@ impl WeightDram {
         self.image.len()
     }
 
+    /// Number of stored layers.
+    pub fn num_layers(&self) -> usize {
+        self.layer_offsets.len()
+    }
+
+    /// Number of weight bytes stored for `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of bounds.
+    pub fn layer_len(&self, layer: usize) -> usize {
+        assert!(
+            layer < self.layer_offsets.len(),
+            "layer {layer} out of bounds for {} stored layers",
+            self.layer_offsets.len()
+        );
+        self.layer_offsets
+            .get(layer + 1)
+            .copied()
+            .unwrap_or(self.image.len())
+            - self.layer_offsets[layer]
+    }
+
     /// Byte offset of `(layer, weight)` within the weight image.
     ///
     /// # Panics
@@ -134,6 +157,39 @@ impl WeightDram {
     /// Panics if `offset` is outside the weight image.
     pub fn read(&self, offset: usize) -> u8 {
         self.image[offset]
+    }
+
+    /// Overwrites the stored byte at `offset` — the write path a run-time recovery uses
+    /// to zero flagged groups *in main memory*, so every later fetch delivers the
+    /// recovered bytes instead of re-fetching the corruption.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is outside the weight image.
+    pub fn write(&mut self, offset: usize, value: u8) {
+        assert!(
+            offset < self.image.len(),
+            "offset {offset} out of bounds for {} stored bytes",
+            self.image.len()
+        );
+        self.image[offset] = value;
+    }
+
+    /// Copies one layer's stored bytes into `buf` as signed weight values, without
+    /// touching any model — the view a background scrubber verifies directly against
+    /// the golden signatures (via
+    /// [`RadarProtection::verify_layer_values`](radar_core::RadarProtection::verify_layer_values)).
+    ///
+    /// `buf` is cleared and refilled; its capacity is reused across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of bounds.
+    pub fn read_layer_into(&self, layer: usize, buf: &mut Vec<i8>) {
+        let start = self.layer_offsets[layer];
+        let len = self.layer_len(layer);
+        buf.clear();
+        buf.extend(self.image[start..start + len].iter().map(|&b| b as i8));
     }
 
     /// Flips `bit` of the byte at `offset` (what one rowhammer-induced disturbance
@@ -332,6 +388,44 @@ mod tests {
             m.layer_values(3)[11],
             dram.read(dram.offset_of(3, 11)) as i8
         );
+    }
+
+    #[test]
+    fn read_layer_into_matches_model_values_and_write_recovers() {
+        use radar_core::{RadarConfig, RadarProtection};
+
+        let mut m = model();
+        let radar = RadarProtection::new(&m, RadarConfig::paper_default(32));
+        let mut dram = WeightDram::load(&m, DramGeometry::default());
+        assert_eq!(dram.num_layers(), m.num_layers());
+        let mut buf = Vec::new();
+        for layer in 0..dram.num_layers() {
+            assert_eq!(dram.layer_len(layer), m.layer(layer).len());
+            dram.read_layer_into(layer, &mut buf);
+            assert_eq!(buf.as_slice(), m.layer_values(layer));
+        }
+
+        // Corrupt a byte in DRAM: the raw-slice verification over the stored bytes
+        // flags it without any model fetch, and `write` restores it in place.
+        let offset = dram.offset_of(4, 9);
+        let clean = dram.read(offset);
+        dram.flip_bit(offset, 7);
+        dram.read_layer_into(4, &mut buf);
+        assert!(radar.verify_layer_values(4, &buf).attack_detected());
+        dram.write(offset, clean);
+        dram.read_layer_into(4, &mut buf);
+        assert!(!radar.verify_layer_values(4, &buf).attack_detected());
+        // The in-core model was never involved.
+        dram.fetch_into(&mut m);
+        assert!(!radar.detect(&m).attack_detected());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn write_outside_image_panics() {
+        let m = model();
+        let mut dram = WeightDram::load(&m, DramGeometry::default());
+        dram.write(dram.weight_bytes(), 0);
     }
 
     #[test]

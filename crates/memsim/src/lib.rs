@@ -11,6 +11,9 @@
 //!   precomputed verification plan the moment its bytes arrive.
 //! * [`RowhammerInjector`] — mounts an [`AttackProfile`](radar_attack::AttackProfile)
 //!   onto the stored image, optionally with a per-flip success probability.
+//! * [`AttackTimeline`] / [`MountEvent`] — scripted mid-service strikes at
+//!   batch-granular timeline offsets, so an online serving run replays the same attack
+//!   deterministically; repeated mounts aggregate via [`MountReport::merge`].
 //!
 //! # Example
 //!
@@ -31,9 +34,11 @@
 
 mod dram;
 mod rowhammer;
+mod timeline;
 
 pub use dram::{DramAddress, DramGeometry, WeightDram};
 pub use rowhammer::{MountReport, RowhammerInjector};
+pub use timeline::{AttackTimeline, MountEvent};
 
 // Campaign workers own a `WeightDram` per scenario cell and share injector configs
 // across scoped threads; enforce `Send + Sync` at compile time so the parallel engine
@@ -45,4 +50,6 @@ const _: () = {
     assert_send_sync::<DramAddress>();
     assert_send_sync::<RowhammerInjector>();
     assert_send_sync::<MountReport>();
+    assert_send_sync::<MountEvent>();
+    assert_send_sync::<AttackTimeline>();
 };

@@ -15,6 +15,34 @@ pub struct MountReport {
     pub rows_hammered: usize,
 }
 
+impl MountReport {
+    /// Total flips the mount attempted (landed plus missed).
+    pub fn flips_attempted(&self) -> usize {
+        self.flips_landed + self.flips_missed
+    }
+
+    /// Folds another mount's counts into this one, so repeated timeline mounts
+    /// aggregate instead of each strike's report being dropped.
+    ///
+    /// All three counters are summed. `rows_hammered` is deduplicated only *within*
+    /// each mount (the report does not carry the row set), so the merged value is an
+    /// upper bound when two strikes hammer overlapping rows.
+    pub fn merge(&mut self, other: &MountReport) {
+        self.flips_landed += other.flips_landed;
+        self.flips_missed += other.flips_missed;
+        self.rows_hammered += other.rows_hammered;
+    }
+
+    /// Consuming form of [`merge`](Self::merge) for fold-style accumulation over a
+    /// timeline of mounts; `#[must_use]` because dropping the return value silently
+    /// discards the accumulated counts.
+    #[must_use]
+    pub fn merged(mut self, other: &MountReport) -> MountReport {
+        self.merge(other);
+        self
+    }
+}
+
 /// A rowhammer-style fault injector that mounts a PBFA "vulnerable bit profile" onto
 /// the weight bytes stored in the DRAM model at run time (step ② of the paper's threat
 /// model).
@@ -175,5 +203,47 @@ mod tests {
     #[should_panic(expected = "within [0, 1]")]
     fn invalid_success_rate_panics() {
         RowhammerInjector::new(1.5);
+    }
+
+    #[test]
+    fn merge_sums_all_counters() {
+        let mut a = MountReport {
+            flips_landed: 3,
+            flips_missed: 1,
+            rows_hammered: 2,
+        };
+        let b = MountReport {
+            flips_landed: 2,
+            flips_missed: 4,
+            rows_hammered: 5,
+        };
+        a.merge(&b);
+        assert_eq!(a.flips_landed, 5);
+        assert_eq!(a.flips_missed, 5);
+        assert_eq!(a.rows_hammered, 7);
+        assert_eq!(a.flips_attempted(), 10);
+        // Merging the empty report is the identity.
+        let before = a.clone();
+        a.merge(&MountReport::default());
+        assert_eq!(a, before);
+        // The consuming helper agrees with the in-place form.
+        let folded = MountReport::default().merged(&before).merged(&b);
+        assert_eq!(folded, before.clone().merged(&b));
+    }
+
+    #[test]
+    fn repeated_mounts_aggregate_via_merge() {
+        let (mut model, mut dram, profile) = setup();
+        let injector = RowhammerInjector::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut total = MountReport::default();
+        for _ in 0..3 {
+            total.merge(&injector.mount_and_fetch(&mut dram, &mut model, &profile, &mut rng));
+        }
+        // Every strike lands both flips at success rate 1.0 (re-flipping toggles the
+        // same bits back and forth; the counters still accumulate per attempt).
+        assert_eq!(total.flips_landed, 6);
+        assert_eq!(total.flips_missed, 0);
+        assert!(total.rows_hammered >= 3);
     }
 }

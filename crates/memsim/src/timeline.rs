@@ -1,0 +1,169 @@
+use radar_attack::AttackProfile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::dram::WeightDram;
+use crate::rowhammer::{MountReport, RowhammerInjector};
+
+/// One scripted rowhammer strike on a serving timeline: mount `profile` through
+/// `injector` once the serving engine's logical clock reaches `at_batch` dispatched
+/// batches.
+///
+/// The logical clock is deliberately batch-granular rather than wall-clock so attacked
+/// serving runs replay deterministically: "the attacker strikes while batch 20 is being
+/// formed" means the same thing on every machine and thread schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MountEvent {
+    /// Batch index (dispatched-batch count) at which the strike fires.
+    pub at_batch: usize,
+    /// The injector (per-flip success probability) used for this strike.
+    pub injector: RowhammerInjector,
+    /// The vulnerable-bit profile to mount.
+    pub profile: AttackProfile,
+    /// Seed of the strike's private RNG, so mounts with `success_rate < 1` land the
+    /// same subset of flips on every replay.
+    pub seed: u64,
+}
+
+impl MountEvent {
+    /// Mounts the strike onto `dram` with its own seeded RNG.
+    pub fn mount(&self, dram: &mut WeightDram) -> MountReport {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.injector.mount(dram, &self.profile, &mut rng)
+    }
+}
+
+/// A scripted attack timeline: [`MountEvent`]s ordered by batch offset, drained as the
+/// serving engine's logical clock advances.
+///
+/// # Example
+///
+/// ```
+/// use radar_attack::AttackProfile;
+/// use radar_memsim::{AttackTimeline, MountEvent, RowhammerInjector};
+///
+/// let timeline = AttackTimeline::new(vec![MountEvent {
+///     at_batch: 4,
+///     injector: RowhammerInjector::default(),
+///     profile: AttackProfile::default(),
+///     seed: 7,
+/// }]);
+/// assert_eq!(timeline.batch_offsets(), vec![4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AttackTimeline {
+    events: Vec<MountEvent>,
+    next: usize,
+}
+
+impl AttackTimeline {
+    /// Builds a timeline, sorting the events by `at_batch` (ties keep their order).
+    pub fn new(mut events: Vec<MountEvent>) -> Self {
+        events.sort_by_key(|e| e.at_batch);
+        AttackTimeline { events, next: 0 }
+    }
+
+    /// A timeline with no strikes (the clean-service scenario).
+    pub fn empty() -> Self {
+        AttackTimeline::default()
+    }
+
+    /// Total number of scripted strikes.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the timeline scripts no strikes at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Strikes not yet drained by [`pop_due`](Self::pop_due).
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.next
+    }
+
+    /// The sorted batch offsets of every strike — the schedule a batcher consults to
+    /// know *when* to hand control to the adversary, without owning the events.
+    pub fn batch_offsets(&self) -> Vec<usize> {
+        self.events.iter().map(|e| e.at_batch).collect()
+    }
+
+    /// Pops the next strike whose `at_batch` is `<= batch`, or `None` when the logical
+    /// clock has not reached the next strike yet. Call in a loop to drain multiple
+    /// strikes scheduled at the same offset.
+    pub fn pop_due(&mut self, batch: usize) -> Option<&MountEvent> {
+        if self.next < self.events.len() && self.events[self.next].at_batch <= batch {
+            let event = &self.events[self.next];
+            self.next += 1;
+            Some(event)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radar_attack::{BitFlip, FlipDirection};
+    use radar_nn::{resnet20, ResNetConfig};
+    use radar_quant::{QuantizedModel, MSB};
+
+    fn event(at_batch: usize, layer: usize, weight: usize) -> MountEvent {
+        MountEvent {
+            at_batch,
+            injector: RowhammerInjector::default(),
+            profile: AttackProfile {
+                flips: vec![BitFlip {
+                    layer,
+                    weight,
+                    bit: MSB,
+                    direction: FlipDirection::ZeroToOne,
+                    weight_before: 0,
+                }],
+                loss_before: 0.0,
+                loss_after: 0.0,
+            },
+            seed: 0xA77AC4,
+        }
+    }
+
+    #[test]
+    fn events_are_sorted_and_drained_in_offset_order() {
+        let mut timeline =
+            AttackTimeline::new(vec![event(8, 1, 0), event(2, 0, 0), event(5, 2, 0)]);
+        assert_eq!(timeline.batch_offsets(), vec![2, 5, 8]);
+        assert_eq!(timeline.len(), 3);
+        assert!(timeline.pop_due(1).is_none());
+        assert_eq!(timeline.pop_due(2).unwrap().at_batch, 2);
+        // Batch 6 drains the offset-5 strike but not the offset-8 one.
+        assert_eq!(timeline.pop_due(6).unwrap().at_batch, 5);
+        assert!(timeline.pop_due(6).is_none());
+        assert_eq!(timeline.remaining(), 1);
+        assert_eq!(timeline.pop_due(100).unwrap().at_batch, 8);
+        assert!(timeline.pop_due(100).is_none());
+        assert_eq!(timeline.remaining(), 0);
+    }
+
+    #[test]
+    fn mount_is_deterministic_per_event_seed() {
+        let model = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(4))));
+        let mut ev = event(0, 0, 3);
+        ev.injector = RowhammerInjector::new(0.5);
+        let mut a = crate::WeightDram::load(&model, crate::DramGeometry::default());
+        let mut b = a.clone();
+        let ra = ev.mount(&mut a);
+        let rb = ev.mount(&mut b);
+        assert_eq!(ra, rb);
+        assert_eq!(a, b, "same seed must land the same flip subset");
+    }
+
+    #[test]
+    fn empty_timeline_never_fires() {
+        let mut timeline = AttackTimeline::empty();
+        assert!(timeline.is_empty());
+        assert!(timeline.pop_due(0).is_none());
+        assert!(timeline.pop_due(usize::MAX).is_none());
+    }
+}

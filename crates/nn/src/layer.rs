@@ -42,8 +42,10 @@ impl Param {
 /// of the loss with respect to the layer output; it returns the gradient with respect to
 /// the layer input and accumulates parameter gradients internally.
 ///
-/// The trait is object safe so models can be composed from `Box<dyn Layer>`.
-pub trait Layer {
+/// The trait is object safe so models can be composed from `Box<dyn Layer>`, and
+/// requires `Send` so boxed models (and the quantized wrappers around them) can move
+/// into worker threads — every layer is plain tensor data, so this costs nothing.
+pub trait Layer: Send {
     /// Runs the layer on `input`. `train` selects training behaviour (e.g. batch
     /// statistics in [`BatchNorm2d`](crate::BatchNorm2d)).
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;

@@ -53,7 +53,7 @@ pub use init::he_normal;
 pub use layer::{Layer, Param};
 pub use linear::Linear;
 pub use loss::SoftmaxCrossEntropy;
-pub use metrics::{accuracy, evaluate_logits, Accuracy};
+pub use metrics::{accuracy, argmax_rows, evaluate_logits, Accuracy};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use pooling::{Flatten, GlobalAvgPool, MaxPool2d};
 pub use resnet::{resnet18, resnet20, ResNetConfig, ResidualBlock};

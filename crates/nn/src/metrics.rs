@@ -48,12 +48,14 @@ impl std::fmt::Display for Accuracy {
     }
 }
 
-/// Counts correct top-1 predictions given logits and integer labels.
+/// Top-1 prediction per row of a `(N, classes)` logits tensor. The first maximum wins
+/// on ties — the single source of argmax semantics for every accuracy number in the
+/// workspace (batch evaluation here, per-request served accuracy in `radar-serve`).
 ///
 /// # Panics
 ///
-/// Panics if `logits` is not 2-D or the label count differs from the batch size.
-pub fn evaluate_logits(logits: &Tensor, labels: &[usize]) -> Accuracy {
+/// Panics if `logits` is not 2-D.
+pub fn argmax_rows(logits: &Tensor) -> Vec<usize> {
     assert_eq!(
         logits.shape().rank(),
         2,
@@ -61,26 +63,44 @@ pub fn evaluate_logits(logits: &Tensor, labels: &[usize]) -> Accuracy {
         logits.shape()
     );
     let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    let data = logits.data();
+    (0..n)
+        .map(|i| {
+            let row = &data[i * c..(i + 1) * c];
+            let mut best = 0usize;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Counts correct top-1 predictions given logits and integer labels.
+///
+/// # Panics
+///
+/// Panics if `logits` is not 2-D or the label count differs from the batch size.
+pub fn evaluate_logits(logits: &Tensor, labels: &[usize]) -> Accuracy {
+    let predictions = argmax_rows(logits);
     assert_eq!(
         labels.len(),
-        n,
-        "label count {} != batch size {n}",
-        labels.len()
+        predictions.len(),
+        "label count {} != batch size {}",
+        labels.len(),
+        predictions.len()
     );
-    let mut correct = 0;
-    for (i, &label) in labels.iter().enumerate() {
-        let row = &logits.data()[i * c..(i + 1) * c];
-        let mut best = 0;
-        for (j, &v) in row.iter().enumerate() {
-            if v > row[best] {
-                best = j;
-            }
-        }
-        if best == label {
-            correct += 1;
-        }
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    Accuracy {
+        correct,
+        total: predictions.len(),
     }
-    Accuracy { correct, total: n }
 }
 
 /// Evaluates top-1 accuracy of `model` on `(images, labels)` in evaluation mode,

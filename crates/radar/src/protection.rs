@@ -394,6 +394,47 @@ impl RadarProtection {
         self.detect_layers(model, layer..layer + 1)
     }
 
+    /// Verifies one layer's signatures straight from raw weight values — bytes that are
+    /// still in a DRAM image (or any other store) rather than already fetched into a
+    /// [`QuantizedModel`]. This is what a background scrubber sweeping main memory
+    /// between inference batches uses: no model instance is needed at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of bounds or `values` does not have the layer's signed
+    /// size.
+    pub fn verify_layer_values(&self, layer: usize, values: &[i8]) -> DetectionReport {
+        let mut acc = Vec::new();
+        self.verify_layer_values_with_scratch(layer, values, &mut acc)
+    }
+
+    /// [`verify_layer_values`](Self::verify_layer_values) with a caller-owned
+    /// accumulator scratch, so a scrubber sweeping many layers reuses one buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`verify_layer_values`](Self::verify_layer_values).
+    pub fn verify_layer_values_with_scratch(
+        &self,
+        layer: usize,
+        values: &[i8],
+        acc: &mut Vec<i32>,
+    ) -> DetectionReport {
+        assert!(
+            layer < self.layers.len(),
+            "layer {layer} out of bounds for {} layers",
+            self.layers.len()
+        );
+        let groups = self.plan.layer(layer).num_groups();
+        if acc.len() < groups {
+            acc.resize(groups, 0);
+        }
+        let mut report = DetectionReport::default();
+        self.check_layer(layer, values, acc, &mut report);
+        report
+    }
+
     /// The group a given weight belongs to under this protection's layout.
     ///
     /// # Panics
@@ -428,6 +469,26 @@ impl RadarProtection {
         model: &mut QuantizedModel,
         report: &DetectionReport,
     ) -> RecoveryReport {
+        self.recover_in(report, |layer, members| {
+            let weights = model.layer_weights_mut(layer);
+            for &idx in members {
+                weights.set_value(idx as usize, 0);
+            }
+        })
+    }
+
+    /// [`recover`](Self::recover) with the actual zeroing delegated to the caller:
+    /// `zero_group(layer, members)` is invoked once per deduplicated flagged group and
+    /// must set every listed weight (original in-layer indices) to zero in whatever
+    /// store holds them — an in-core model, a DRAM image, or both.
+    ///
+    /// This is the seam the online serving path uses to recover the weight bytes *in
+    /// main memory* (so later fetches are clean) while this protection handles the
+    /// `(layer, group)` deduplication, golden-signature refresh and accounting.
+    pub fn recover_in<F>(&mut self, report: &DetectionReport, mut zero_group: F) -> RecoveryReport
+    where
+        F: FnMut(usize, &[u32]),
+    {
         let mut recovery = RecoveryReport::default();
         let mut zeroed: std::collections::HashSet<FlaggedGroup> = std::collections::HashSet::new();
         for flagged in &report.flagged {
@@ -435,10 +496,7 @@ impl RadarProtection {
                 continue;
             }
             let members = self.plan.layer(flagged.layer).group_members(flagged.group);
-            let weights = model.layer_weights_mut(flagged.layer);
-            for &idx in members {
-                weights.set_value(idx as usize, 0);
-            }
+            zero_group(flagged.layer, members);
             // Re-sign the zeroed group: its masked sum is 0 whatever the key, so the
             // fresh signature is the binarization of zero at the configured width.
             let sig = binarize(0, self.config.signature_bits);
@@ -630,6 +688,55 @@ mod tests {
                 assert_eq!(sig, radar.golden().signature(layer, g));
             }
         }
+    }
+
+    #[test]
+    fn verify_layer_values_matches_model_based_verification() {
+        let mut m = model();
+        let radar = RadarProtection::new(&m, RadarConfig::paper_default(32));
+        m.flip_bit(2, 5, MSB);
+        let mut acc = Vec::new();
+        for layer in 0..m.num_layers() {
+            let from_values =
+                radar.verify_layer_values_with_scratch(layer, m.layer_values(layer), &mut acc);
+            assert_eq!(from_values, radar.verify_layer(&m, layer));
+            assert_eq!(
+                from_values,
+                radar.verify_layer_values(layer, m.layer_values(layer))
+            );
+        }
+    }
+
+    #[test]
+    fn recover_in_zeroes_external_store_and_resigns() {
+        let mut m = model();
+        let mut radar = RadarProtection::new(&m, RadarConfig::paper_default(16));
+        m.flip_bit(2, 5, MSB);
+        // An "external store" of layer 2's bytes, corrupted the same way.
+        let mut store: Vec<i8> = m.layer_values(2).to_vec();
+        let report = radar.detect(&m);
+        let mut calls = 0usize;
+        let recovery = radar.recover_in(&report, |layer, members| {
+            assert_eq!(layer, 2);
+            calls += 1;
+            for &idx in members {
+                store[idx as usize] = 0;
+            }
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(recovery.groups_zeroed, 1);
+        assert_eq!(store[5], 0);
+        // The golden store accepted the zeroed group: verifying the external bytes
+        // (after zeroing) is clean even though the model itself was never touched.
+        assert!(!radar.verify_layer_values(2, &store).attack_detected());
+    }
+
+    #[test]
+    #[should_panic(expected = "size changed since signing")]
+    fn verify_layer_values_rejects_wrong_length() {
+        let m = model();
+        let radar = RadarProtection::new(&m, RadarConfig::paper_default(32));
+        radar.verify_layer_values(0, &[0i8; 3]);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+use std::time::Duration;
+
+/// Configuration of one serving run.
+///
+/// Environment knobs (applied by [`from_env`](Self::from_env)):
+///
+/// | Variable | Meaning | Default |
+/// |---|---|---|
+/// | `RADAR_SERVE_WORKERS` | inference worker threads | 2 |
+/// | `RADAR_SERVE_BATCH` | maximum requests coalesced per batch | 8 |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Number of inference worker threads (each owns a model replica).
+    pub workers: usize,
+    /// Maximum requests the batcher coalesces into one batch.
+    pub max_batch: usize,
+    /// How long the batcher waits for more requests before dispatching a partial batch.
+    pub max_wait: Duration,
+    /// When set, the batcher waits indefinitely for a full batch (only the end of the
+    /// request stream produces a partial one), ignoring `max_wait`. This makes batch
+    /// composition — and with it every logical outcome of a run — independent of
+    /// thread scheduling; the benchmark scenarios and the replay tests rely on it.
+    /// Off, `max_wait` bounds the wait, as a latency-conscious deployment would.
+    pub strict_batching: bool,
+    /// Capacity of the bounded request queue (senders block when it is full).
+    pub queue_capacity: usize,
+    /// Whether workers verify each layer in the weight-fetch path (RADAR's in-path
+    /// check). Off models a deployment that relies on the background scrubber alone.
+    pub inpath_verify: bool,
+    /// The scrubber performs one incremental sweep step every `scrub_every` dispatched
+    /// batches; `0` disables scrubbing entirely.
+    pub scrub_every: usize,
+    /// Layers verified per scrub step (clamped to the model's layer count; `0` means
+    /// the whole model per step).
+    pub scrub_layers: usize,
+    /// Served-accuracy window size, in requests.
+    pub window: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            max_batch: 8,
+            max_wait: Duration::from_millis(50),
+            strict_batching: false,
+            queue_capacity: 64,
+            inpath_verify: true,
+            scrub_every: 4,
+            scrub_layers: 4,
+            window: 64,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Applies the `RADAR_SERVE_*` environment overrides on top of `self`.
+    pub fn from_env(mut self) -> Self {
+        let get = |key: &str| -> Option<usize> { std::env::var(key).ok()?.parse().ok() };
+        if let Some(workers) = get("RADAR_SERVE_WORKERS") {
+            self.workers = workers.max(1);
+        }
+        if let Some(batch) = get("RADAR_SERVE_BATCH") {
+            self.max_batch = batch.max(1);
+        }
+        self
+    }
+
+    /// The unprotected-baseline variant: no in-path verification, no scrubbing.
+    pub fn unprotected(mut self) -> Self {
+        self.inpath_verify = false;
+        self.scrub_every = 0;
+        self
+    }
+
+    /// The scrub-only variant: detection happens exclusively in the background sweep,
+    /// never in the fetch path.
+    pub fn scrub_only(mut self) -> Self {
+        self.inpath_verify = false;
+        self
+    }
+
+    /// Panics unless the configuration is runnable (non-zero workers, batch size and
+    /// window; a non-empty queue).
+    pub fn validate(&self) {
+        assert!(self.workers >= 1, "at least one worker is required");
+        assert!(self.max_batch >= 1, "max_batch must be non-zero");
+        assert!(self.queue_capacity >= 1, "queue_capacity must be non-zero");
+        assert!(self.window >= 1, "window must be non-zero");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        let cfg = ServeConfig::default();
+        cfg.validate();
+        assert!(cfg.inpath_verify);
+        assert!(cfg.scrub_every > 0);
+    }
+
+    #[test]
+    fn unprotected_disables_both_detection_paths() {
+        let cfg = ServeConfig::default().unprotected();
+        assert!(!cfg.inpath_verify);
+        assert_eq!(cfg.scrub_every, 0);
+        let scrub_only = ServeConfig::default().scrub_only();
+        assert!(!scrub_only.inpath_verify);
+        assert!(scrub_only.scrub_every > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_is_rejected() {
+        ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,353 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError};
+use std::sync::{Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use radar_core::{DetectionReport, RadarProtection};
+use radar_data::Dataset;
+use radar_memsim::{AttackTimeline, WeightDram};
+use radar_nn::argmax_rows;
+use radar_quant::QuantizedModel;
+
+use crate::config::ServeConfig;
+use crate::recovery::recover_in_dram;
+use crate::telemetry::{RequestRecord, ServeOutcome, Telemetry};
+use crate::traffic::{Batch, Request, TrafficSchedule};
+
+/// Spins until every dispatched batch has completed its weight fetch. The batcher
+/// calls this before handing control to the adversary or the scrubber, so "the strike
+/// lands before batch `b`" and "the sweep runs between batches" are exact statements
+/// about which traffic saw which weight state — the property that makes attacked
+/// serving runs replay deterministically.
+fn fetch_barrier(fetched: &AtomicUsize, dispatched: usize) {
+    while fetched.load(Ordering::Acquire) < dispatched {
+        std::thread::yield_now();
+    }
+}
+
+/// Runs one complete serving session and returns its telemetry.
+///
+/// Components, all scoped threads (no async runtime):
+///
+/// * a **traffic driver** submitting `schedule`'s requests into a bounded queue;
+/// * a **batcher** coalescing up to `max_batch` requests (waiting at most `max_wait`
+///   for stragglers) and dispatching batches to the workers — it owns the logical
+///   clock (the dispatched-batch count) that the adversary and scrubber key off;
+/// * `workers` **inference workers**, each owning one model replica in `models`; every
+///   batch re-fetches the weights from the shared [`WeightDram`], verifying each layer
+///   in the fetch path when `inpath_verify` is on, and recovers flagged groups in the
+///   image before inferring;
+/// * a background **scrubber** sweeping `scrub_layers` layers of the DRAM image every
+///   `scrub_every` batches through [`RadarProtection::verify_layer_values`], merging
+///   its findings into the shared recovery path;
+/// * an **adversary** mounting `timeline`'s rowhammer strikes at their scripted batch
+///   offsets.
+///
+/// Weight fetches are ticketed in batch order (batch `b + 1` cannot fetch before
+/// batch `b` has fetched and recovered), and the adversary/scrubber only run at a
+/// fetch barrier; inference itself overlaps freely. Consequently every logical
+/// outcome — which batches served corrupted weights, the detecting batch, recovery
+/// counts, per-window served accuracy — is a pure function of
+/// `(models, schedule, timeline, config)`, independent of thread scheduling, provided
+/// batch composition itself is deterministic: either run with
+/// [`strict_batching`](ServeConfig::strict_batching) (the benchmark scenarios do), or
+/// accept that a driver descheduled for longer than `max_wait` may split a batch.
+/// Wall-clock latency telemetry is genuinely measured, and only it varies between
+/// replays.
+///
+/// Strikes scripted at batch offsets the run never reaches do not fire; the adversary
+/// logs a warning for each one left over when service ends.
+///
+/// # Panics
+///
+/// Panics if `models` does not provide exactly `config.workers` replicas, `eval` is
+/// empty, the configuration is invalid, or in-path verification / scrubbing is
+/// requested without a `protection`.
+pub fn serve(
+    models: Vec<QuantizedModel>,
+    protection: Option<RadarProtection>,
+    dram: WeightDram,
+    eval: &Dataset,
+    schedule: &TrafficSchedule,
+    timeline: AttackTimeline,
+    config: &ServeConfig,
+) -> ServeOutcome {
+    config.validate();
+    assert_eq!(
+        models.len(),
+        config.workers,
+        "one model replica per worker is required"
+    );
+    assert!(!eval.is_empty(), "evaluation pool must be non-empty");
+    assert!(
+        protection.is_some() || !config.inpath_verify,
+        "in-path verification requires a protection"
+    );
+    assert!(
+        protection.is_some() || config.scrub_every == 0,
+        "scrubbing requires a protection"
+    );
+    let scrub_enabled = config.scrub_every > 0;
+
+    let samples = schedule.sample_indices(eval.len());
+    let event_offsets = timeline.batch_offsets();
+    let dram = RwLock::new(dram);
+    let protection = protection.map(RwLock::new);
+    let telemetry = Telemetry::new(Instant::now());
+    // Batches whose weight fetch (and any in-path recovery) has completed; doubles as
+    // the fetch ticket: the worker holding batch `fetched` is the one allowed to fetch.
+    let fetched = AtomicUsize::new(0);
+
+    let (req_tx, req_rx) = sync_channel::<Request>(config.queue_capacity);
+    let (batch_tx, batch_rx) = sync_channel::<Batch>(config.workers);
+    let batch_rx = Mutex::new(batch_rx);
+    let (scrub_tx, scrub_rx) = channel::<usize>();
+    let (scrub_ack_tx, scrub_ack_rx) = channel::<()>();
+    let (adv_tx, adv_rx) = channel::<usize>();
+    let (adv_ack_tx, adv_ack_rx) = channel::<()>();
+
+    let mut batches = 0usize;
+    std::thread::scope(|scope| {
+        // Traffic driver: submits the scheduled requests as fast as the bounded queue
+        // accepts them (open-loop at the queue, closed-loop at the service rate).
+        scope.spawn(move || {
+            for (id, &sample) in samples.iter().enumerate() {
+                let request = Request {
+                    id,
+                    sample,
+                    submitted: Instant::now(),
+                };
+                if req_tx.send(request).is_err() {
+                    break;
+                }
+            }
+        });
+
+        // Adversary driver: owns the timeline, strikes when the batcher's logical
+        // clock reaches each scripted offset.
+        {
+            let dram = &dram;
+            let telemetry = &telemetry;
+            let mut timeline = timeline;
+            scope.spawn(move || {
+                for batch in adv_rx {
+                    while let Some(event) = timeline.pop_due(batch) {
+                        let mount = {
+                            let mut dram = dram.write().expect("dram lock poisoned");
+                            event.mount(&mut dram)
+                        };
+                        telemetry.strike(batch, mount);
+                    }
+                    if adv_ack_tx.send(()).is_err() {
+                        break;
+                    }
+                }
+                if timeline.remaining() > 0 {
+                    eprintln!(
+                        "[serve] warning: {} scripted strike(s) never fired — the run \
+                         ended before their batch offsets",
+                        timeline.remaining()
+                    );
+                }
+            });
+        }
+
+        // Background scrubber: verifies a rotating slice of the DRAM image between
+        // batches, straight from the stored bytes (no model replica involved).
+        if scrub_enabled {
+            let dram = &dram;
+            let telemetry = &telemetry;
+            let prot = protection.as_ref().expect("scrubbing requires protection");
+            let scrub_layers = config.scrub_layers;
+            scope.spawn(move || {
+                let num_layers = dram.read().expect("dram lock poisoned").num_layers();
+                let step = if scrub_layers == 0 {
+                    num_layers
+                } else {
+                    scrub_layers.min(num_layers)
+                };
+                let mut cursor = 0usize;
+                let mut buf: Vec<i8> = Vec::new();
+                let mut acc: Vec<i32> = Vec::new();
+                for batch in scrub_rx {
+                    let started = Instant::now();
+                    let mut flagged = DetectionReport::default();
+                    {
+                        let dram = dram.read().expect("dram lock poisoned");
+                        let prot = prot.read().expect("protection lock poisoned");
+                        for i in 0..step {
+                            let layer = (cursor + i) % num_layers;
+                            dram.read_layer_into(layer, &mut buf);
+                            flagged.merge(
+                                &prot.verify_layer_values_with_scratch(layer, &buf, &mut acc),
+                            );
+                        }
+                    }
+                    cursor = (cursor + step) % num_layers;
+                    if flagged.attack_detected() {
+                        telemetry.detection(batch, true, flagged.num_flagged());
+                        let mut dram = dram.write().expect("dram lock poisoned");
+                        let mut prot = prot.write().expect("protection lock poisoned");
+                        telemetry.recovered(recover_in_dram(&mut prot, &mut dram, &flagged));
+                    }
+                    telemetry.add_scrub_time(started.elapsed());
+                    if scrub_ack_tx.send(()).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+
+        // Inference workers: one model replica each, verified fetch in batch order,
+        // overlapped inference.
+        for mut model in models {
+            let dram = &dram;
+            let protection = protection.as_ref();
+            let telemetry = &telemetry;
+            let fetched = &fetched;
+            let batch_rx = &batch_rx;
+            scope.spawn(move || {
+                let mut acc: Vec<i32> = Vec::new();
+                loop {
+                    let received = batch_rx.lock().expect("batch queue lock poisoned").recv();
+                    let Ok(batch) = received else { break };
+                    // Wait for this batch's fetch ticket.
+                    while fetched.load(Ordering::Acquire) != batch.index {
+                        std::thread::yield_now();
+                    }
+                    let mut flagged = DetectionReport::default();
+                    {
+                        let dram = dram.read().expect("dram lock poisoned");
+                        match (config.inpath_verify, protection) {
+                            (true, Some(prot)) => {
+                                let prot = prot.read().expect("protection lock poisoned");
+                                // Time only the signature checks: the per-layer weight
+                                // copy is paid by the unprotected baseline too, so
+                                // folding it in would overstate the verification cost.
+                                let mut checking = Duration::ZERO;
+                                for layer in 0..model.num_layers() {
+                                    dram.fetch_layer_into(&mut model, layer);
+                                    let started = Instant::now();
+                                    flagged.merge(&prot.detect_layers_with_scratch(
+                                        &model,
+                                        layer..layer + 1,
+                                        &mut acc,
+                                    ));
+                                    checking += started.elapsed();
+                                }
+                                telemetry.add_verify_time(checking);
+                            }
+                            _ => dram.fetch_into(&mut model),
+                        }
+                    }
+                    if flagged.attack_detected() {
+                        telemetry.detection(batch.index, false, flagged.num_flagged());
+                        let mut dram = dram.write().expect("dram lock poisoned");
+                        let mut prot = protection
+                            .expect("in-path flags imply protection")
+                            .write()
+                            .expect("protection lock poisoned");
+                        telemetry.recovered(recover_in_dram(&mut prot, &mut dram, &flagged));
+                        // Refresh the recovered layers in this worker's replica so
+                        // inference consumes the zeroed (not corrupted) weights.
+                        let mut layers: Vec<usize> =
+                            flagged.flagged.iter().map(|f| f.layer).collect();
+                        layers.dedup();
+                        for layer in layers {
+                            dram.fetch_layer_into(&mut model, layer);
+                        }
+                    }
+                    fetched.store(batch.index + 1, Ordering::Release);
+
+                    let sample_ids: Vec<usize> = batch.requests.iter().map(|r| r.sample).collect();
+                    let subset = eval.subset(&sample_ids);
+                    let started = Instant::now();
+                    let logits = model.forward(subset.images());
+                    telemetry.add_infer_time(started.elapsed());
+                    let predictions = argmax_rows(&logits);
+                    for (request, (prediction, &label)) in batch
+                        .requests
+                        .iter()
+                        .zip(predictions.iter().zip(subset.labels()))
+                    {
+                        telemetry.complete(RequestRecord {
+                            id: request.id,
+                            batch: batch.index,
+                            correct: *prediction == label,
+                            latency_ns: request.submitted.elapsed().as_nanos() as u64,
+                        });
+                    }
+                }
+            });
+        }
+
+        // Batcher (this thread): coalesce, run the logical clock, dispatch.
+        let mut next_event = event_offsets.iter().peekable();
+        while let Ok(first) = req_rx.recv() {
+            let mut requests = vec![first];
+            let deadline = Instant::now() + config.max_wait;
+            while requests.len() < config.max_batch {
+                if config.strict_batching {
+                    // Deterministic-replay mode: only the end of the request stream
+                    // produces a partial batch, never a scheduling hiccup.
+                    match req_rx.recv() {
+                        Ok(request) => requests.push(request),
+                        Err(_) => break,
+                    }
+                } else {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    match req_rx.recv_timeout(remaining) {
+                        Ok(request) => requests.push(request),
+                        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                            break
+                        }
+                    }
+                }
+            }
+            // Scripted strikes due before this batch is dispatched.
+            while next_event.peek().is_some_and(|&&offset| offset <= batches) {
+                next_event.next();
+                fetch_barrier(&fetched, batches);
+                if adv_tx.send(batches).is_ok() {
+                    let _ = adv_ack_rx.recv();
+                }
+            }
+            // Scrub cadence: one sweep step between batches, every `scrub_every`.
+            if scrub_enabled && batches > 0 && batches % config.scrub_every == 0 {
+                fetch_barrier(&fetched, batches);
+                if scrub_tx.send(batches).is_ok() {
+                    let _ = scrub_ack_rx.recv();
+                }
+            }
+            if batch_tx
+                .send(Batch {
+                    index: batches,
+                    requests,
+                })
+                .is_err()
+            {
+                break;
+            }
+            batches += 1;
+        }
+        drop(batch_tx);
+        drop(scrub_tx);
+        drop(adv_tx);
+    });
+
+    telemetry.finish(batches, config.workers, config.window)
+}
+
+/// Builds the per-worker model replicas the engine consumes, by draining a
+/// caller-provided factory — a convenience for tests and harnesses that clone from a
+/// checkpoint.
+pub fn replicas(count: usize, mut factory: impl FnMut() -> QuantizedModel) -> Vec<QuantizedModel> {
+    (0..count).map(|_| factory()).collect()
+}
+
+// Workers share one dispatch receiver behind a mutex; that only compiles into a sound
+// program if the wrapped receiver is `Send` (making the mutex `Sync`).
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<Mutex<Receiver<Batch>>>();
+};

@@ -1,0 +1,199 @@
+/// Number of histogram buckets: four per factor-of-two ("quarter octaves") from 1 µs
+/// up past 100 s, which bounds the quantile error to about ±19% — plenty for p50/p99
+/// reporting without any external histogram dependency.
+const BUCKETS: usize = 112;
+
+/// Nanoseconds covered by the first bucket.
+const BASE_NS: f64 = 1_000.0;
+
+/// A fixed-bucket, log-spaced latency histogram (no heap allocation after
+/// construction, no external dependencies). Records nanosecond samples; reports
+/// quantiles as the upper bound of the containing bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            total: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index of a nanosecond sample (quarter-octave log spacing).
+    fn bucket(ns: u64) -> usize {
+        if (ns as f64) <= BASE_NS {
+            return 0;
+        }
+        let position = (ns as f64 / BASE_NS).log2() * 4.0;
+        (position.ceil() as usize).min(BUCKETS - 1)
+    }
+
+    /// Upper latency bound of `bucket`, in nanoseconds.
+    fn bucket_upper_ns(bucket: usize) -> f64 {
+        BASE_NS * (bucket as f64 / 4.0).exp2()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[Self::bucket(ns)] += 1;
+        self.total += 1;
+        self.sum_ns += u128::from(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Folds another histogram into this one (used to merge per-worker histograms).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.total as f64
+        }
+    }
+
+    /// Largest recorded sample in nanoseconds (0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.max_ns
+        }
+    }
+
+    /// Smallest recorded sample in nanoseconds (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) as the upper bound of the containing bucket, in
+    /// nanoseconds; 0 when the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `(0, 1]`.
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile {q} outside (0, 1]");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = (q * self.total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                // Clamp the coarse bucket bound into the observed sample range.
+                return Self::bucket_upper_ns(bucket).clamp(self.min_ns as f64, self.max_ns as f64);
+            }
+        }
+        self.max_ns as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.quantile_ns(0.5), 0.0);
+        assert_eq!(h.max_ns(), 0);
+    }
+
+    #[test]
+    fn quantiles_bound_the_true_value_within_a_bucket() {
+        let mut h = LatencyHistogram::new();
+        // 100 samples at 1ms, 10 at 100ms: p50 ~ 1ms, p99+ ~ 100ms.
+        for _ in 0..100 {
+            h.record(1_000_000);
+        }
+        for _ in 0..10 {
+            h.record(100_000_000);
+        }
+        assert_eq!(h.count(), 110);
+        let p50 = h.quantile_ns(0.5);
+        assert!((800_000.0..=1_300_000.0).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile_ns(0.99);
+        assert!((80_000_000.0..=120_000_000.0).contains(&p99), "p99 {p99}");
+        assert!(h.quantile_ns(1.0) >= p99);
+        let mean = h.mean_ns();
+        assert!((9_000_000.0..=11_000_000.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for (i, ns) in [500u64, 2_000, 40_000, 1_000_000, 2_500_000, 900_000_000]
+            .iter()
+            .enumerate()
+        {
+            if i % 2 == 0 {
+                a.record(*ns);
+            } else {
+                b.record(*ns);
+            }
+            all.record(*ns);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn extreme_samples_stay_in_range() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), u64::MAX);
+        assert!(h.quantile_ns(0.01) >= 0.0);
+        assert!(h.quantile_ns(1.0) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn zero_quantile_is_rejected() {
+        LatencyHistogram::new().quantile_ns(0.0);
+    }
+}

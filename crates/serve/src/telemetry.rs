@@ -1,0 +1,485 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use radar_core::RecoveryReport;
+use radar_memsim::MountReport;
+
+use crate::histogram::LatencyHistogram;
+
+/// Outcome of one completed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// Global submission order.
+    pub id: usize,
+    /// Batch the request was served in.
+    pub batch: usize,
+    /// Whether the model's top-1 prediction matched the label.
+    pub correct: bool,
+    /// Queue + batching + fetch + inference latency, in nanoseconds.
+    pub latency_ns: u64,
+}
+
+/// One adversary strike, as it landed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackStrike {
+    /// Batch index (logical clock) the strike fired at.
+    pub batch: usize,
+    /// What the mount achieved.
+    pub mount: MountReport,
+    /// Wall-clock seconds since serving started.
+    pub at_seconds: f64,
+}
+
+/// One detection event: the first moment a verification pass flagged groups.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionEvent {
+    /// Batch index (logical clock) the detecting pass is attributed to.
+    pub batch: usize,
+    /// Whether the background scrubber (rather than the in-path check) detected it.
+    pub via_scrub: bool,
+    /// Number of groups flagged by the pass.
+    pub groups_flagged: usize,
+    /// Wall-clock seconds since serving started.
+    pub at_seconds: f64,
+}
+
+/// Thread-shared telemetry collector: workers, the scrubber and the adversary all
+/// write into it; [`finish`](Telemetry::finish) folds everything into a
+/// [`ServeOutcome`].
+#[derive(Debug)]
+pub struct Telemetry {
+    start: Instant,
+    completions: Mutex<Vec<RequestRecord>>,
+    latency: Mutex<LatencyHistogram>,
+    strikes: Mutex<Vec<AttackStrike>>,
+    detections: Mutex<Vec<DetectionEvent>>,
+    recovery: Mutex<RecoveryReport>,
+    verify_ns: AtomicU64,
+    scrub_ns: AtomicU64,
+    infer_ns: AtomicU64,
+}
+
+impl Telemetry {
+    /// Creates a collector; `start` anchors every wall-clock offset.
+    pub fn new(start: Instant) -> Self {
+        Telemetry {
+            start,
+            completions: Mutex::new(Vec::new()),
+            latency: Mutex::new(LatencyHistogram::new()),
+            strikes: Mutex::new(Vec::new()),
+            detections: Mutex::new(Vec::new()),
+            recovery: Mutex::new(RecoveryReport::default()),
+            verify_ns: AtomicU64::new(0),
+            scrub_ns: AtomicU64::new(0),
+            infer_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Seconds elapsed since serving started.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Records a completed request (also feeds the latency histogram).
+    pub fn complete(&self, record: RequestRecord) {
+        self.latency
+            .lock()
+            .expect("latency lock poisoned")
+            .record(record.latency_ns);
+        self.completions
+            .lock()
+            .expect("completions lock poisoned")
+            .push(record);
+    }
+
+    /// Records an adversary strike.
+    pub fn strike(&self, batch: usize, mount: MountReport) {
+        let at_seconds = self.elapsed_seconds();
+        self.strikes
+            .lock()
+            .expect("strikes lock poisoned")
+            .push(AttackStrike {
+                batch,
+                mount,
+                at_seconds,
+            });
+    }
+
+    /// Records a detection event.
+    pub fn detection(&self, batch: usize, via_scrub: bool, groups_flagged: usize) {
+        self.detections
+            .lock()
+            .expect("detections lock poisoned")
+            .push(DetectionEvent {
+                batch,
+                via_scrub,
+                groups_flagged,
+                at_seconds: self.elapsed_seconds(),
+            });
+    }
+
+    /// Accumulates a recovery pass into the run totals.
+    pub fn recovered(&self, recovery: RecoveryReport) {
+        let mut total = self.recovery.lock().expect("recovery lock poisoned");
+        total.groups_zeroed += recovery.groups_zeroed;
+        total.weights_zeroed += recovery.weights_zeroed;
+    }
+
+    /// Adds in-path verification time (fetch-path signature checks).
+    pub fn add_verify_time(&self, elapsed: Duration) {
+        self.verify_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Adds background-scrub time.
+    pub fn add_scrub_time(&self, elapsed: Duration) {
+        self.scrub_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Adds pure inference (forward-pass) time.
+    pub fn add_infer_time(&self, elapsed: Duration) {
+        self.infer_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Folds everything collected into a [`ServeOutcome`].
+    ///
+    /// `batches` is the number of dispatched batches, `workers` the worker count (for
+    /// the verify duty-cycle normalization) and `window` the served-accuracy window
+    /// size in requests.
+    pub fn finish(self, batches: usize, workers: usize, window: usize) -> ServeOutcome {
+        let wall_seconds = self.start.elapsed().as_secs_f64();
+        let mut completions = self
+            .completions
+            .into_inner()
+            .expect("completions lock poisoned");
+        completions.sort_unstable_by_key(|r| r.id);
+        let latency = self.latency.into_inner().expect("latency lock poisoned");
+        let strikes = self.strikes.into_inner().expect("strikes lock poisoned");
+        let mut detections = self
+            .detections
+            .into_inner()
+            .expect("detections lock poisoned");
+        detections.sort_by(|a, b| {
+            (a.batch, a.at_seconds)
+                .partial_cmp(&(b.batch, b.at_seconds))
+                .expect("detection times are finite")
+        });
+        let recovery = self.recovery.into_inner().expect("recovery lock poisoned");
+
+        let windows: Vec<AccuracyWindow> = completions
+            .chunks(window.max(1))
+            .map(|chunk| {
+                let correct = chunk.iter().filter(|r| r.correct).count();
+                AccuracyWindow {
+                    start: chunk.first().map_or(0, |r| r.id),
+                    end: chunk.last().map_or(0, |r| r.id + 1),
+                    correct,
+                    total: chunk.len(),
+                }
+            })
+            .collect();
+
+        let attack = strikes.iter().fold(None, |acc: Option<AttackSummary>, s| {
+            Some(match acc {
+                None => AttackSummary {
+                    strikes: 1,
+                    first_batch: s.batch,
+                    first_at_seconds: s.at_seconds,
+                    mount: s.mount.clone(),
+                },
+                Some(mut sum) => {
+                    sum.strikes += 1;
+                    if s.batch < sum.first_batch {
+                        sum.first_batch = s.batch;
+                        sum.first_at_seconds = s.at_seconds;
+                    }
+                    // Timeline strikes aggregate instead of dropping earlier reports.
+                    sum.mount.merge(&s.mount);
+                    sum
+                }
+            })
+        });
+
+        // Time to detect: from the first strike that landed a flip to the first
+        // detection at or after it. Requests are counted over the batches served in
+        // between — the traffic exposed to corrupted weights before detection.
+        let time_to_detect = attack.as_ref().and_then(|attack| {
+            if attack.mount.flips_landed == 0 {
+                return None;
+            }
+            let first = detections.iter().find(|d| d.batch >= attack.first_batch)?;
+            let requests_between = completions
+                .iter()
+                .filter(|r| r.batch >= attack.first_batch && r.batch < first.batch)
+                .count();
+            Some(TimeToDetect {
+                batches: first.batch - attack.first_batch,
+                requests: requests_between,
+                seconds: (first.at_seconds - attack.first_at_seconds).max(0.0),
+                via_scrub: first.via_scrub,
+            })
+        });
+
+        let verify_seconds = self.verify_ns.load(Ordering::Relaxed) as f64 / 1e9;
+        let scrub_seconds = self.scrub_ns.load(Ordering::Relaxed) as f64 / 1e9;
+        let infer_seconds = self.infer_ns.load(Ordering::Relaxed) as f64 / 1e9;
+        ServeOutcome {
+            requests: completions.len(),
+            batches,
+            wall_seconds,
+            throughput_rps: if wall_seconds > 0.0 {
+                completions.len() as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            latency,
+            verify_seconds,
+            scrub_seconds,
+            infer_seconds,
+            verify_duty: if wall_seconds > 0.0 {
+                verify_seconds / (wall_seconds * workers.max(1) as f64)
+            } else {
+                0.0
+            },
+            scrub_duty: if wall_seconds > 0.0 {
+                scrub_seconds / wall_seconds
+            } else {
+                0.0
+            },
+            attack,
+            detections,
+            time_to_detect,
+            recovery,
+            windows,
+        }
+    }
+}
+
+/// Aggregate of every adversary strike in a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackSummary {
+    /// Number of strikes mounted.
+    pub strikes: usize,
+    /// Batch index of the earliest strike.
+    pub first_batch: usize,
+    /// Wall-clock offset of the earliest strike, in seconds since serving started.
+    pub first_at_seconds: f64,
+    /// Merged [`MountReport`] over all strikes.
+    pub mount: MountReport,
+}
+
+/// Detection latency relative to the first strike.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeToDetect {
+    /// Batches dispatched between the strike and the detecting pass.
+    pub batches: usize,
+    /// Requests served on potentially corrupted weights before detection.
+    pub requests: usize,
+    /// Wall-clock seconds from the strike to the detection.
+    pub seconds: f64,
+    /// Whether the scrubber (rather than the in-path check) made the detection.
+    pub via_scrub: bool,
+}
+
+/// Served accuracy over one contiguous window of request ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccuracyWindow {
+    /// First request id in the window.
+    pub start: usize,
+    /// One past the last request id.
+    pub end: usize,
+    /// Correctly answered requests.
+    pub correct: usize,
+    /// Requests in the window.
+    pub total: usize,
+}
+
+impl AccuracyWindow {
+    /// Window accuracy in percent.
+    pub fn percent(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.correct as f64 / self.total as f64
+        }
+    }
+}
+
+/// Everything one serving run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// Requests completed.
+    pub requests: usize,
+    /// Batches dispatched.
+    pub batches: usize,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_seconds: f64,
+    /// Completed requests per wall-clock second.
+    pub throughput_rps: f64,
+    /// Merged per-request latency histogram.
+    pub latency: LatencyHistogram,
+    /// Total seconds workers spent in fetch-path verification.
+    pub verify_seconds: f64,
+    /// Total seconds the scrubber spent sweeping.
+    pub scrub_seconds: f64,
+    /// Total seconds workers spent in the forward pass.
+    pub infer_seconds: f64,
+    /// Fetch-path verification duty cycle (verify time over total worker time).
+    pub verify_duty: f64,
+    /// Scrubber duty cycle (scrub time over wall time).
+    pub scrub_duty: f64,
+    /// Aggregate adversary activity (`None` for clean runs).
+    pub attack: Option<AttackSummary>,
+    /// Every detection event, in logical order.
+    pub detections: Vec<DetectionEvent>,
+    /// Detection latency for the first strike (`None` when nothing was detected or
+    /// nothing was attacked).
+    pub time_to_detect: Option<TimeToDetect>,
+    /// Total recovery work performed.
+    pub recovery: RecoveryReport,
+    /// Served accuracy per window of request ids.
+    pub windows: Vec<AccuracyWindow>,
+}
+
+impl ServeOutcome {
+    /// Lowest window accuracy in percent (0 when no requests completed).
+    pub fn min_window_percent(&self) -> f64 {
+        self.windows
+            .iter()
+            .map(AccuracyWindow::percent)
+            .reduce(f64::min)
+            .unwrap_or(0.0)
+    }
+
+    /// Accuracy of the final window in percent (0 when no requests completed).
+    pub fn final_window_percent(&self) -> f64 {
+        self.windows.last().map_or(0.0, AccuracyWindow::percent)
+    }
+
+    /// Overall served accuracy in percent.
+    pub fn overall_percent(&self) -> f64 {
+        let (correct, total) = self
+            .windows
+            .iter()
+            .fold((0usize, 0usize), |(c, t), w| (c + w.correct, t + w.total));
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * correct as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: usize, batch: usize, correct: bool) -> RequestRecord {
+        RequestRecord {
+            id,
+            batch,
+            correct,
+            latency_ns: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn windows_chunk_by_request_id_in_order() {
+        let telemetry = Telemetry::new(Instant::now());
+        // Complete out of order; windows must still chunk by id.
+        for id in [3usize, 0, 2, 1, 4] {
+            telemetry.complete(record(id, id / 2, id != 2));
+        }
+        let outcome = telemetry.finish(3, 2, 2);
+        assert_eq!(outcome.requests, 5);
+        assert_eq!(outcome.windows.len(), 3);
+        assert_eq!(outcome.windows[0].start, 0);
+        assert_eq!(outcome.windows[0].end, 2);
+        assert_eq!(outcome.windows[1].correct, 1); // id 2 was wrong
+        assert_eq!(outcome.windows[2].total, 1);
+        assert!((outcome.overall_percent() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_to_detect_counts_requests_between_strike_and_detection() {
+        let telemetry = Telemetry::new(Instant::now());
+        for id in 0..12 {
+            telemetry.complete(record(id, id / 2, true)); // batches 0..6, 2 requests each
+        }
+        telemetry.strike(
+            2,
+            MountReport {
+                flips_landed: 3,
+                flips_missed: 1,
+                rows_hammered: 2,
+            },
+        );
+        telemetry.detection(5, true, 4);
+        let outcome = telemetry.finish(6, 1, 4);
+        let ttd = outcome.time_to_detect.expect("attacked and detected");
+        assert_eq!(ttd.batches, 3);
+        // Requests in batches 2..5 = ids 4..10 → 6 requests.
+        assert_eq!(ttd.requests, 6);
+        assert!(ttd.via_scrub);
+        let attack = outcome.attack.expect("strike recorded");
+        assert_eq!(attack.strikes, 1);
+        assert_eq!(attack.mount.flips_landed, 3);
+    }
+
+    #[test]
+    fn detection_before_strike_batch_is_ignored_for_ttd() {
+        let telemetry = Telemetry::new(Instant::now());
+        telemetry.strike(
+            4,
+            MountReport {
+                flips_landed: 1,
+                flips_missed: 0,
+                rows_hammered: 1,
+            },
+        );
+        telemetry.detection(1, false, 1); // stale / unrelated
+        let outcome = telemetry.finish(6, 1, 4);
+        assert!(outcome.time_to_detect.is_none());
+    }
+
+    #[test]
+    fn strike_that_landed_nothing_yields_no_ttd() {
+        let telemetry = Telemetry::new(Instant::now());
+        telemetry.strike(
+            2,
+            MountReport {
+                flips_landed: 0,
+                flips_missed: 5,
+                rows_hammered: 1,
+            },
+        );
+        telemetry.detection(3, false, 1);
+        let outcome = telemetry.finish(4, 1, 4);
+        assert!(outcome.attack.is_some());
+        assert!(outcome.time_to_detect.is_none());
+    }
+
+    #[test]
+    fn multiple_strikes_merge_mount_reports() {
+        let telemetry = Telemetry::new(Instant::now());
+        for batch in [2usize, 6] {
+            telemetry.strike(
+                batch,
+                MountReport {
+                    flips_landed: 2,
+                    flips_missed: 1,
+                    rows_hammered: 2,
+                },
+            );
+        }
+        let outcome = telemetry.finish(8, 1, 4);
+        let attack = outcome.attack.expect("strikes recorded");
+        assert_eq!(attack.strikes, 2);
+        assert_eq!(attack.first_batch, 2);
+        assert_eq!(attack.mount.flips_landed, 4);
+        assert_eq!(attack.mount.flips_attempted(), 6);
+    }
+}

@@ -1,0 +1,79 @@
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic open-loop traffic schedule: `requests` inference requests whose
+/// sample indices are drawn (with replacement) from an evaluation pool by a seeded RNG.
+///
+/// The schedule fixes *what* is asked and in *which order*; the serving engine's
+/// batcher decides how the stream is coalesced into batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficSchedule {
+    /// Seed of the sample-index stream.
+    pub seed: u64,
+    /// Total number of requests submitted.
+    pub requests: usize,
+}
+
+impl TrafficSchedule {
+    /// Creates a schedule of `requests` requests under `seed`.
+    pub fn new(seed: u64, requests: usize) -> Self {
+        TrafficSchedule { seed, requests }
+    }
+
+    /// Materializes the per-request sample indices into a pool of `pool` evaluation
+    /// samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool` is zero.
+    pub fn sample_indices(&self, pool: usize) -> Vec<usize> {
+        assert!(pool > 0, "evaluation pool must be non-empty");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.requests).map(|_| rng.gen_range(0..pool)).collect()
+    }
+}
+
+/// One in-flight inference request.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Request {
+    /// Global submission order (0-based) — the unit the accuracy windows chunk by.
+    pub id: usize,
+    /// Index into the evaluation pool.
+    pub sample: usize,
+    /// When the request entered the queue (latency is measured from here).
+    pub submitted: Instant,
+}
+
+/// A coalesced batch of requests on its way to an inference worker.
+#[derive(Debug, Clone)]
+pub(crate) struct Batch {
+    /// Dispatch order (0-based) — the serving engine's logical clock.
+    pub index: usize,
+    /// The coalesced requests, in submission order.
+    pub requests: Vec<Request>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_indices_are_deterministic_and_in_range() {
+        let schedule = TrafficSchedule::new(42, 100);
+        let a = schedule.sample_indices(7);
+        let b = schedule.sample_indices(7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        assert!(a.iter().all(|&i| i < 7));
+        // A different seed gives a different stream.
+        assert_ne!(TrafficSchedule::new(43, 100).sample_indices(7), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool must be non-empty")]
+    fn empty_pool_is_rejected() {
+        TrafficSchedule::new(0, 1).sample_indices(0);
+    }
+}

@@ -32,4 +32,5 @@ pub use radar_integrity as integrity;
 pub use radar_memsim as memsim;
 pub use radar_nn as nn;
 pub use radar_quant as quant;
+pub use radar_serve as serve;
 pub use radar_tensor as tensor;

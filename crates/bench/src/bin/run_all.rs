@@ -3,7 +3,9 @@
 //! much faster than the first run.
 
 use radar_bench::campaign::{self, ScenarioGrid};
-use radar_bench::experiments::{characterize, detection, knowledgeable, recovery, timing, verify};
+use radar_bench::experiments::{
+    characterize, detection, infer, knowledgeable, recovery, timing, verify,
+};
 use radar_bench::harness::{pbfa_profiles, prepare, Budget, ModelKind};
 use radar_bench::serving;
 
@@ -15,6 +17,9 @@ fn main() {
     timing::table4().print_and_save("table4_time_overhead");
     timing::table5().print_and_save("table5_crc_comparison");
     verify::bench_verify(&budget).print_and_save("bench_verify");
+    let infer_outcome = infer::bench_infer(&infer::InferBenchParams::default_run());
+    infer_outcome.report().print_and_save("bench_infer");
+    infer_outcome.write_json();
     detection::missrate(
         std::env::var("RADAR_MISSRATE_TRIALS")
             .ok()

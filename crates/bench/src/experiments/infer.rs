@@ -1,0 +1,259 @@
+//! Inference-path benchmark: the float-shadow pipeline against quantized-native
+//! execution, measured end to end per batch — weight fetch from the DRAM image
+//! included, because that is what a serving worker pays every batch.
+//!
+//! * **float** — the pre-quantized-native pipeline: fetch every layer back into the
+//!   `QuantizedModel`, dequantize the whole model into its float shadow, run the
+//!   float forward ([`QuantizedModel::forward_float`]).
+//! * **quantized** — the native path: fetch every layer's bytes into a reusable
+//!   arena ([`WeightDram::read_layer_into`]) and run the fused
+//!   dequantize-in-kernel forward straight off them
+//!   ([`QuantizedModel::forward_with_values`]).
+//!
+//! Two shapes are measured: a single image (the latency floor) and a serve-shaped
+//! batch (the default `max_batch` of the serving engine). Results land in
+//! `artifacts/results/BENCH_infer.json`; the `bench_infer` binary's `--smoke` mode
+//! additionally *fails* when the quantized-native path does not beat the float path
+//! on the serve-shaped batch — CI's regression gate for the native path.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use radar_memsim::{DramGeometry, WeightDram};
+use radar_nn::{resnet20, ResNetConfig};
+use radar_quant::QuantizedModel;
+use radar_serve::ServeConfig;
+use radar_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::harness::artifacts_dir;
+use crate::report::Report;
+
+/// Sizing of one inference benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InferBenchParams {
+    /// Timed passes per measured point (the median is reported).
+    pub iters: usize,
+    /// Input spatial size (square).
+    pub image_size: usize,
+}
+
+impl InferBenchParams {
+    /// The default run: CIFAR-sized inputs.
+    pub fn default_run() -> Self {
+        InferBenchParams {
+            iters: 7,
+            image_size: 32,
+        }
+    }
+
+    /// The CI smoke run: smaller inputs, fewer passes — still large enough that the
+    /// dequantize-everything sync dominates the float path.
+    pub fn smoke() -> Self {
+        InferBenchParams {
+            iters: 3,
+            image_size: 16,
+        }
+    }
+}
+
+/// One measured shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferPoint {
+    /// Point name (`single_image` / `serve_batch`).
+    pub name: &'static str,
+    /// Batch size of the shape.
+    pub batch: usize,
+    /// Median seconds per fetch+forward on the float-shadow pipeline.
+    pub float_seconds: f64,
+    /// Median seconds per fetch+forward on the quantized-native path.
+    pub quantized_seconds: f64,
+}
+
+impl InferPoint {
+    /// Float-path time over quantized-native time (> 1 means the native path wins).
+    pub fn speedup(&self) -> f64 {
+        self.float_seconds / self.quantized_seconds
+    }
+}
+
+/// The full inference benchmark outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferBenchOutcome {
+    /// Model identifier.
+    pub model: String,
+    /// Total quantized weights of the model.
+    pub total_weights: usize,
+    /// The run sizing.
+    pub params: InferBenchParams,
+    /// Per-shape measurements.
+    pub points: Vec<InferPoint>,
+}
+
+/// Median wall-clock seconds of `iters` runs of `f` (one untimed warm-up first).
+fn median_seconds(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..iters.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+/// Runs the benchmark on the paper-width ResNet-20 (no training needed — latency
+/// does not depend on the weight values).
+pub fn bench_infer(params: &InferBenchParams) -> InferBenchOutcome {
+    let mut model = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::resnet20_paper(10))));
+    let dram = WeightDram::load(&model, DramGeometry::default());
+    let total_weights = model.total_weights();
+    let serve_batch = ServeConfig::default().max_batch;
+    let mut rng = StdRng::seed_from_u64(0xBE9C);
+
+    let mut points = Vec::new();
+    for (name, batch) in [("single_image", 1usize), ("serve_batch", serve_batch)] {
+        let x = Tensor::rand_normal(
+            &mut rng,
+            &[batch, 3, params.image_size, params.image_size],
+            0.0,
+            1.0,
+        );
+        eprintln!(
+            "[bench_infer] {name}: batch {batch}, {} iters…",
+            params.iters
+        );
+
+        // Float-shadow pipeline: fetch into the model, dequantize everything, float
+        // forward — what a serving worker paid per batch before the native path.
+        let float_seconds = median_seconds(params.iters, || {
+            dram.fetch_into(&mut model);
+            std::hint::black_box(model.forward_float(&x));
+        });
+
+        // Quantized-native: fetch into the arena, run fused-dequant GEMM off it.
+        let mut arena: Vec<Vec<i8>> = (0..model.num_layers()).map(|_| Vec::new()).collect();
+        let quantized_seconds = median_seconds(params.iters, || {
+            for (layer, buf) in arena.iter_mut().enumerate() {
+                dram.read_layer_into(layer, buf);
+            }
+            std::hint::black_box(model.forward_with_values(&arena, &x));
+        });
+
+        points.push(InferPoint {
+            name,
+            batch,
+            float_seconds,
+            quantized_seconds,
+        });
+    }
+
+    InferBenchOutcome {
+        model: "resnet20_paper_width".to_owned(),
+        total_weights,
+        params: *params,
+        points,
+    }
+}
+
+impl InferBenchOutcome {
+    /// The serve-shaped batch point — the shape the CI gate is judged on.
+    pub fn serve_point(&self) -> &InferPoint {
+        self.points
+            .iter()
+            .find(|p| p.name == "serve_batch")
+            .expect("serve_batch point is always measured")
+    }
+
+    /// Renders the measurement as a human-readable table.
+    pub fn report(&self) -> Report {
+        let mut report = Report::new(&format!(
+            "Inference path — float-shadow vs quantized-native on {} ({} weights, {}x{} input, median of {})",
+            self.model, self.total_weights, self.params.image_size, self.params.image_size,
+            self.params.iters
+        ));
+        report.row(&[
+            "shape".into(),
+            "batch".into(),
+            "float ms".into(),
+            "native ms".into(),
+            "speedup".into(),
+        ]);
+        for p in &self.points {
+            report.row(&[
+                p.name.into(),
+                p.batch.to_string(),
+                format!("{:.2}", p.float_seconds * 1e3),
+                format!("{:.2}", p.quantized_seconds * 1e3),
+                format!("{:.2}x", p.speedup()),
+            ]);
+        }
+        report.line("per pass: full weight fetch from the DRAM image + forward");
+        report
+    }
+
+    /// Serializes the measurement as `artifacts/results/BENCH_infer.json`
+    /// (hand-rolled: the workspace carries no JSON dependency).
+    pub fn write_json(&self) -> PathBuf {
+        let points: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    concat!(
+                        "    {{\"name\": \"{}\", \"batch\": {}, ",
+                        "\"float_seconds\": {:.9}, \"quantized_seconds\": {:.9}, ",
+                        "\"speedup\": {:.4}}}"
+                    ),
+                    p.name,
+                    p.batch,
+                    p.float_seconds,
+                    p.quantized_seconds,
+                    p.speedup()
+                )
+            })
+            .collect();
+        let json = format!(
+            concat!(
+                "{{\n  \"model\": \"{}\",\n  \"total_weights\": {},\n",
+                "  \"image_size\": {},\n  \"iters\": {},\n  \"points\": [\n{}\n  ]\n}}\n"
+            ),
+            self.model,
+            self.total_weights,
+            self.params.image_size,
+            self.params.iters,
+            points.join(",\n")
+        );
+        let path = artifacts_dir().join("results").join("BENCH_infer.json");
+        std::fs::write(&path, json).expect("artifact results directory is writable");
+        eprintln!("[bench_infer] wrote {}", path.display());
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_presets_are_sane() {
+        let run = InferBenchParams::default_run();
+        let smoke = InferBenchParams::smoke();
+        assert!(run.iters >= smoke.iters);
+        assert!(run.image_size > smoke.image_size);
+    }
+
+    #[test]
+    fn speedup_is_float_over_quantized() {
+        let p = InferPoint {
+            name: "serve_batch",
+            batch: 8,
+            float_seconds: 0.2,
+            quantized_seconds: 0.1,
+        };
+        assert!((p.speedup() - 2.0).abs() < 1e-12);
+    }
+}

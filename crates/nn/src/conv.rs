@@ -1,8 +1,9 @@
-use radar_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
+use radar_tensor::{col2im, gemm_i8_dequant, im2col, Conv2dGeometry, Tensor};
 use rand::Rng;
 
 use crate::init::he_normal;
 use crate::layer::{join_path, Layer, Param};
+use crate::quantized::QuantCursor;
 
 /// A 2-D convolution layer with square kernels, configurable stride and zero padding.
 ///
@@ -88,6 +89,28 @@ impl Conv2d {
         &self.weight
     }
 
+    /// Validates the input shape and returns `(n, c, h, w)`.
+    fn check_input(&self, input: &Tensor) -> (usize, usize, usize, usize) {
+        assert_eq!(
+            input.shape().rank(),
+            4,
+            "Conv2d expects (N, C, H, W), got {}",
+            input.shape()
+        );
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        assert_eq!(
+            c, self.in_channels,
+            "Conv2d input channels {} != expected {}",
+            c, self.in_channels
+        );
+        (n, c, h, w)
+    }
+
     /// Reorders `(C_out, N*Ho*Wo)` matmul output into `(N, C_out, Ho, Wo)`.
     fn to_nchw(out2: &Tensor, n: usize, c_out: usize, ho: usize, wo: usize) -> Tensor {
         let mut out = vec![0.0f32; n * c_out * ho * wo];
@@ -121,24 +144,7 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        assert_eq!(
-            input.shape().rank(),
-            4,
-            "Conv2d expects (N, C, H, W), got {}",
-            input.shape()
-        );
-        let (n, c, h, w) = (
-            input.dims()[0],
-            input.dims()[1],
-            input.dims()[2],
-            input.dims()[3],
-        );
-        assert_eq!(
-            c, self.in_channels,
-            "Conv2d input channels {} != expected {}",
-            c, self.in_channels
-        );
-
+        let (n, c, h, w) = self.check_input(input);
         let cols = im2col(input, &self.geom);
         let k = self.geom.kernel_h;
         let w2 = self
@@ -158,6 +164,35 @@ impl Layer for Conv2d {
         }
         self.cached_cols = Some(cols);
         self.cached_input_dims = Some([n, c, h, w]);
+        Self::to_nchw(&out2, n, self.out_channels, ho, wo)
+    }
+
+    fn forward_quantized(&mut self, input: &Tensor, weights: &mut QuantCursor<'_>) -> Tensor {
+        let (n, _, h, w) = self.check_input(input);
+        let (kh, kw) = (self.geom.kernel_h, self.geom.kernel_w);
+        let view = weights.take(&[self.out_channels, self.in_channels, kh, kw]);
+
+        let cols = im2col(input, &self.geom);
+        let kk = self.in_channels * kh * kw;
+        let (ho, wo) = self.geom.output_size(h, w);
+        let ncols = n * ho * wo;
+        // Fused dequantize-in-kernel product straight off the i8 weight panel; the
+        // float weight parameter is never read and nothing is cached (eval only).
+        let mut out2 = gemm_i8_dequant(
+            view.values,
+            cols.data(),
+            self.out_channels,
+            kk,
+            ncols,
+            view.scale,
+        );
+        for co in 0..self.out_channels {
+            let b = self.bias.value.data()[co];
+            for v in &mut out2[co * ncols..(co + 1) * ncols] {
+                *v += b;
+            }
+        }
+        let out2 = Tensor::from_vec(out2, &[self.out_channels, ncols]).expect("conv output shape");
         Self::to_nchw(&out2, n, self.out_channels, ho, wo)
     }
 
@@ -288,6 +323,42 @@ mod tests {
                 "idx {idx}: {analytic} vs {fd}"
             );
         }
+    }
+
+    #[test]
+    fn forward_quantized_matches_float_forward_on_integer_weights() {
+        use crate::quantized::forward_quantized_with;
+        use crate::QuantView;
+
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut conv = Conv2d::new(&mut rng, 2, 3, 3, 1, 1);
+        // Integer weights with unit scale: the fused kernel must be bit-identical.
+        let q: Vec<i8> = (0..3 * 2 * 3 * 3).map(|v| (v % 9) as i8 - 4).collect();
+        conv.weight.value =
+            Tensor::from_vec(q.iter().map(|&v| v as f32).collect(), &[3, 2, 3, 3]).unwrap();
+        conv.bias.value = Tensor::from_vec(vec![0.25, -0.5, 1.0], &[3]).unwrap();
+        let x = Tensor::rand_normal(&mut rng, &[2, 2, 5, 5], 0.0, 1.0);
+        let float_out = conv.forward(&x, false);
+
+        let dims = [3usize, 2, 3, 3];
+        let views = [QuantView::new(&q, 1.0, &dims)];
+        let quant_out = forward_quantized_with(&mut conv, &x, &views);
+        assert_eq!(float_out.data(), quant_out.data());
+        assert_eq!(float_out.dims(), quant_out.dims());
+    }
+
+    #[test]
+    #[should_panic(expected = "expects")]
+    fn forward_quantized_rejects_mismatched_view_shape() {
+        use crate::quantized::forward_quantized_with;
+        use crate::QuantView;
+
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut conv = Conv2d::new(&mut rng, 1, 1, 3, 1, 1);
+        let q = vec![1i8; 4];
+        let dims = [1usize, 1, 2, 2];
+        let views = [QuantView::new(&q, 1.0, &dims)];
+        forward_quantized_with(&mut conv, &Tensor::zeros(&[1, 1, 4, 4]), &views);
     }
 
     #[test]

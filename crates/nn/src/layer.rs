@@ -1,5 +1,7 @@
 use radar_tensor::Tensor;
 
+use crate::quantized::QuantCursor;
+
 /// A learnable parameter: its value and the gradient accumulated by the last backward
 /// pass.
 ///
@@ -71,6 +73,20 @@ pub trait Layer: Send {
     ///
     /// The default implementation visits nothing.
     fn visit_buffers(&mut self, _prefix: &str, _f: &mut dyn FnMut(&str, &mut Vec<f32>)) {}
+
+    /// Evaluation-mode forward pass executing directly off borrowed quantized
+    /// weights: weight-bearing layers ([`Conv2d`](crate::Conv2d),
+    /// [`Linear`](crate::Linear)) take their panel from `weights` and run the fused
+    /// dequantize-in-kernel GEMM; containers thread the cursor through their children
+    /// in forward order; everything else falls back to the float forward in
+    /// evaluation mode (the default implementation below).
+    ///
+    /// The float weight parameters of weight-bearing layers are never read — this is
+    /// the path that executes the DRAM-resident `i8` image the RADAR check verifies.
+    fn forward_quantized(&mut self, input: &Tensor, weights: &mut QuantCursor<'_>) -> Tensor {
+        let _ = weights;
+        self.forward(input, false)
+    }
 
     /// Resets all parameter gradients to zero.
     fn zero_grad(&mut self) {

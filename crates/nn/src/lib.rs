@@ -41,6 +41,7 @@ mod loss;
 mod metrics;
 mod optim;
 mod pooling;
+mod quantized;
 mod resnet;
 mod sequential;
 mod serialize;
@@ -53,9 +54,10 @@ pub use init::he_normal;
 pub use layer::{Layer, Param};
 pub use linear::Linear;
 pub use loss::SoftmaxCrossEntropy;
-pub use metrics::{accuracy, argmax_rows, evaluate_logits, Accuracy};
+pub use metrics::{accuracy, accuracy_with, argmax_rows, evaluate_logits, Accuracy};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use pooling::{Flatten, GlobalAvgPool, MaxPool2d};
+pub use quantized::{forward_quantized_with, QuantCursor, QuantView};
 pub use resnet::{resnet18, resnet20, ResNetConfig, ResidualBlock};
 pub use sequential::Sequential;
 pub use serialize::{load_params, save_params, SerializeError};

@@ -1,8 +1,9 @@
-use radar_tensor::Tensor;
+use radar_tensor::{linear_i8, Tensor};
 use rand::Rng;
 
 use crate::init::he_normal;
 use crate::layer::{join_path, Layer, Param};
+use crate::quantized::{add_row_bias, QuantCursor};
 
 /// A fully-connected layer: `y = x W^T + b` with `x: (N, in)`, `W: (out, in)`,
 /// `b: (out)`.
@@ -62,10 +63,9 @@ impl Linear {
     pub fn weight(&self) -> &Param {
         &self.weight
     }
-}
 
-impl Layer for Linear {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    /// Validates the input shape.
+    fn check_input(&self, input: &Tensor) {
         assert_eq!(
             input.shape().rank(),
             2,
@@ -79,6 +79,12 @@ impl Layer for Linear {
             input.dims()[1],
             self.in_features
         );
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.check_input(input);
         self.cached_input = Some(input.clone());
         let out = input.matmul(&self.weight.value.transpose2d());
         let n = out.dims()[0];
@@ -88,6 +94,24 @@ impl Layer for Linear {
                 data[row * self.out_features + j] += self.bias.value.data()[j];
             }
         }
+        Tensor::from_vec(data, &[n, self.out_features]).expect("linear output shape is consistent")
+    }
+
+    fn forward_quantized(&mut self, input: &Tensor, weights: &mut QuantCursor<'_>) -> Tensor {
+        self.check_input(input);
+        let view = weights.take(&[self.out_features, self.in_features]);
+        let n = input.dims()[0];
+        // Dot-product kernel over the i8 weights in their natural (out, in) order: no
+        // transpose, no dequantized weight tensor, nothing cached (eval only).
+        let mut data = linear_i8(
+            input.data(),
+            view.values,
+            n,
+            self.in_features,
+            self.out_features,
+            view.scale,
+        );
+        add_row_bias(&mut data, n, self.out_features, self.bias.value.data());
         Tensor::from_vec(data, &[n, self.out_features]).expect("linear output shape is consistent")
     }
 
@@ -175,6 +199,25 @@ mod tests {
             grad_in.data()[2],
             fd_x
         );
+    }
+
+    #[test]
+    fn forward_quantized_matches_float_forward_on_integer_weights() {
+        use crate::quantized::forward_quantized_with;
+        use crate::QuantView;
+
+        let mut fc = layer();
+        let q: Vec<i8> = vec![1, 0, -1, 2, 1, 0];
+        fc.weight.value = Tensor::from_vec(q.iter().map(|&v| v as f32).collect(), &[2, 3]).unwrap();
+        fc.bias.value = Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -0.5, 0.25, 4.0], &[2, 3]).unwrap();
+        let float_out = fc.forward(&x, false);
+
+        let dims = [2usize, 3];
+        let views = [QuantView::new(&q, 1.0, &dims)];
+        let quant_out = forward_quantized_with(&mut fc, &x, &views);
+        assert_eq!(float_out.data(), quant_out.data());
+        assert_eq!(quant_out.dims(), &[2, 2]);
     }
 
     #[test]

@@ -117,6 +117,30 @@ pub fn accuracy(
     labels: &[usize],
     batch_size: usize,
 ) -> Accuracy {
+    accuracy_with(
+        |batch| model.forward(batch, false),
+        images,
+        labels,
+        batch_size,
+    )
+}
+
+/// [`accuracy`] over an arbitrary forward function — the seam the quantized-native
+/// path evaluates through.
+///
+/// One scratch buffer backs every batch-slice tensor: the allocation is threaded
+/// through [`Tensor::into_vec`] and reused across iterations, so batched evaluation
+/// does not allocate per batch (visible in serving-worker profiles).
+///
+/// # Panics
+///
+/// Panics if the label count does not match the image count or `batch_size` is zero.
+pub fn accuracy_with(
+    mut forward: impl FnMut(&Tensor) -> Tensor,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+) -> Accuracy {
     assert!(batch_size > 0, "batch_size must be non-zero");
     let n = images.dims()[0];
     assert_eq!(
@@ -127,15 +151,19 @@ pub fn accuracy(
     );
     let sample = images.numel() / n.max(1);
     let mut total = Accuracy::default();
+    let mut scratch: Vec<f32> = Vec::with_capacity(batch_size.min(n) * sample);
     let mut start = 0;
     while start < n {
         let end = (start + batch_size).min(n);
         let count = end - start;
         let mut dims = images.dims().to_vec();
         dims[0] = count;
-        let batch = Tensor::from_vec(images.data()[start * sample..end * sample].to_vec(), &dims)
+        scratch.clear();
+        scratch.extend_from_slice(&images.data()[start * sample..end * sample]);
+        let batch = Tensor::from_vec(std::mem::take(&mut scratch), &dims)
             .expect("batch slicing preserves shape");
-        let logits = model.forward(&batch, false);
+        let logits = forward(&batch);
+        scratch = batch.into_vec();
         let acc = evaluate_logits(&logits, &labels[start..end]);
         total.correct += acc.correct;
         total.total += acc.total;

@@ -1,0 +1,199 @@
+//! Borrowed quantized-weight views for the native inference path.
+//!
+//! The RADAR threat model stores convolution and linear weights as 8-bit two's-
+//! complement values in DRAM; the quantized-native forward path executes straight off
+//! those bytes. A [`QuantView`] is one layer's borrowed weight panel (raw `&[i8]`
+//! values plus scale and shape); a [`QuantCursor`] streams the views to the model's
+//! layers in forward order, so
+//! [`Layer::forward_quantized`](crate::Layer::forward_quantized) never touches the
+//! float parameters.
+
+use radar_tensor::Tensor;
+
+/// One borrowed 8-bit quantized weight tensor: raw values in storage order plus the
+/// per-tensor dequantization scale (`float ≈ i8 * scale`) and the logical shape.
+///
+/// The view does not own the bytes — they may live in a `QuantizedTensor`, a serving
+/// worker's fetch arena, or any other buffer holding the layer's DRAM image.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantView<'a> {
+    /// The stored two's-complement weight values, row-major.
+    pub values: &'a [i8],
+    /// Per-tensor dequantization scale; must be positive.
+    pub scale: f32,
+    /// Logical tensor shape (e.g. `[C_out, C_in, K, K]` for a convolution).
+    pub dims: &'a [usize],
+}
+
+impl<'a> QuantView<'a> {
+    /// Creates a view, checking that the value count matches the shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` does not equal the shape's element count or `scale`
+    /// is not positive.
+    pub fn new(values: &'a [i8], scale: f32, dims: &'a [usize]) -> Self {
+        let numel: usize = dims.iter().product();
+        assert_eq!(
+            values.len(),
+            numel,
+            "quantized view holds {} values but the shape {:?} needs {numel}",
+            values.len(),
+            dims
+        );
+        assert!(scale > 0.0, "quantized view scale must be positive");
+        QuantView {
+            values,
+            scale,
+            dims,
+        }
+    }
+
+    /// Number of weights in the view.
+    pub fn numel(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// Streams [`QuantView`]s to a model's weight-bearing layers in forward order.
+///
+/// The cursor is position-based: each `Conv2d`/`Linear` takes the next view and
+/// asserts its shape, so a model whose forward order has drifted from the order the
+/// views were collected in fails loudly instead of silently computing with the wrong
+/// weights. After a full forward pass the caller checks [`consumed`](Self::consumed)
+/// against the view count to catch layers that fell back to their float parameters.
+#[derive(Debug)]
+pub struct QuantCursor<'a> {
+    views: &'a [QuantView<'a>],
+    next: usize,
+}
+
+impl<'a> QuantCursor<'a> {
+    /// Creates a cursor over `views`, ordered as the model's forward pass consumes
+    /// them (which for every layer in this crate equals parameter visit order).
+    pub fn new(views: &'a [QuantView<'a>]) -> Self {
+        QuantCursor { views, next: 0 }
+    }
+
+    /// Takes the next view, asserting it has the shape the consuming layer expects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the views are exhausted or the next view's shape differs from
+    /// `expect_dims` — both symptoms of a forward order that desynchronized from the
+    /// view collection order.
+    pub fn take(&mut self, expect_dims: &[usize]) -> QuantView<'a> {
+        assert!(
+            self.next < self.views.len(),
+            "quantized weight views exhausted after {} layers — model forward order \
+             does not match the collected views",
+            self.next
+        );
+        let view = self.views[self.next];
+        assert_eq!(
+            view.dims, expect_dims,
+            "quantized view {} has shape {:?} but the consuming layer expects {:?} — \
+             model forward order does not match the collected views",
+            self.next, view.dims, expect_dims
+        );
+        self.next += 1;
+        view
+    }
+
+    /// Number of views taken so far.
+    pub fn consumed(&self) -> usize {
+        self.next
+    }
+
+    /// Number of views not yet taken.
+    pub fn remaining(&self) -> usize {
+        self.views.len() - self.next
+    }
+}
+
+/// Adds `bias[j]` to every element of column-group `j` of a `(rows, out)` activation
+/// buffer — the shared bias epilogue of the quantized linear/conv kernels.
+pub(crate) fn add_row_bias(data: &mut [f32], rows: usize, out: usize, bias: &[f32]) {
+    debug_assert_eq!(data.len(), rows * out);
+    debug_assert_eq!(bias.len(), out);
+    for row in 0..rows {
+        for (v, &b) in data[row * out..(row + 1) * out].iter_mut().zip(bias.iter()) {
+            *v += b;
+        }
+    }
+}
+
+/// Convenience for tests and small harnesses: runs `layer` on `input` in quantized
+/// mode with exactly the given views, asserting every view is consumed.
+///
+/// # Panics
+///
+/// Panics if the model consumes fewer views than provided (a weight-bearing layer
+/// silently fell back to its float parameters).
+pub fn forward_quantized_with(
+    layer: &mut dyn crate::Layer,
+    input: &Tensor,
+    views: &[QuantView<'_>],
+) -> Tensor {
+    let mut cursor = QuantCursor::new(views);
+    let out = layer.forward_quantized(input, &mut cursor);
+    assert_eq!(
+        cursor.remaining(),
+        0,
+        "{} quantized weight views were never consumed — a weight-bearing layer fell \
+         back to its float parameters",
+        cursor.remaining()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_checks_shape_and_scale() {
+        let values = [1i8, 2, 3, 4];
+        let v = QuantView::new(&values, 0.5, &[2, 2]);
+        assert_eq!(v.numel(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 6")]
+    fn view_rejects_mismatched_shape() {
+        QuantView::new(&[1i8, 2], 1.0, &[2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn view_rejects_non_positive_scale() {
+        QuantView::new(&[1i8], 0.0, &[1]);
+    }
+
+    #[test]
+    fn cursor_streams_in_order_and_counts() {
+        let a = [1i8, 2];
+        let b = [3i8];
+        let views = [QuantView::new(&a, 1.0, &[2]), QuantView::new(&b, 1.0, &[1])];
+        let mut cursor = QuantCursor::new(&views);
+        assert_eq!(cursor.remaining(), 2);
+        assert_eq!(cursor.take(&[2]).values, &a);
+        assert_eq!(cursor.take(&[1]).values, &b);
+        assert_eq!(cursor.consumed(), 2);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects")]
+    fn cursor_rejects_out_of_order_consumption() {
+        let a = [1i8, 2];
+        let views = [QuantView::new(&a, 1.0, &[2])];
+        QuantCursor::new(&views).take(&[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "views exhausted")]
+    fn cursor_rejects_overconsumption() {
+        QuantCursor::new(&[]).take(&[1]);
+    }
+}

@@ -3,6 +3,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::layer::{join_path, Layer, Param};
+use crate::quantized::QuantCursor;
 use crate::{BatchNorm2d, Conv2d, GlobalAvgPool, Linear, MaxPool2d, Relu, Sequential};
 
 /// Configuration for the ResNet builders.
@@ -131,6 +132,18 @@ impl Layer for ResidualBlock {
             None => input.clone(),
         };
         self.relu.forward(&main_out.add(&short_out), train)
+    }
+
+    fn forward_quantized(&mut self, input: &Tensor, weights: &mut QuantCursor<'_>) -> Tensor {
+        // Same order as `visit_params`: main branch first, then the shortcut — the
+        // cursor's shape checks fail loudly if the two ever drift apart.
+        let main_out = self.main.forward_quantized(input, weights);
+        let short_out = match &mut self.shortcut {
+            Some(s) => s.forward_quantized(input, weights),
+            None => input.clone(),
+        };
+        self.relu
+            .forward_quantized(&main_out.add(&short_out), weights)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {

@@ -1,6 +1,7 @@
 use radar_tensor::Tensor;
 
 use crate::layer::{join_path, Layer, Param};
+use crate::quantized::QuantCursor;
 
 /// A container that applies layers in order and back-propagates in reverse order.
 ///
@@ -64,6 +65,14 @@ impl Layer for Sequential {
         let mut x = input.clone();
         for layer in &mut self.layers {
             x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    fn forward_quantized(&mut self, input: &Tensor, weights: &mut QuantCursor<'_>) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward_quantized(&x, weights);
         }
         x
     }

@@ -1,4 +1,6 @@
-use radar_nn::{accuracy, Accuracy, Layer, SoftmaxCrossEntropy};
+use radar_nn::{
+    accuracy_with, forward_quantized_with, Accuracy, Layer, QuantView, SoftmaxCrossEntropy,
+};
 use radar_tensor::Tensor;
 
 use crate::qtensor::QuantizedTensor;
@@ -42,10 +44,16 @@ pub struct WeightSnapshot {
 /// A neural network whose convolution and linear weights are stored as 8-bit
 /// quantized tensors, exactly as the RADAR threat model assumes they live in DRAM.
 ///
-/// The float model is kept alongside the quantized weights; before every forward or
-/// backward pass the (possibly attacker-modified) quantized values are dequantized and
-/// written back into the float model, so accuracy and gradients always reflect the
-/// current DRAM contents.
+/// Inference ([`forward`](Self::forward), [`accuracy`](Self::accuracy),
+/// [`loss`](Self::loss)) executes **quantized-native**: the stored `i8` values feed
+/// the fused dequantize-in-kernel GEMM directly, so no float weight tensor is ever
+/// materialized and attacker-modified values take effect immediately.
+///
+/// The float model is kept for the gradient/training helpers PBFA needs
+/// ([`weight_gradients`](Self::weight_gradients)) and as the equivalence oracle
+/// ([`forward_float`](Self::forward_float)): those paths dequantize the (possibly
+/// attacker-modified) values into the float parameters via [`sync`](Self::sync)
+/// first, so gradients also always reflect the current DRAM contents.
 ///
 /// # Example
 ///
@@ -96,8 +104,40 @@ impl QuantizedModel {
             dirty: true,
             loss: SoftmaxCrossEntropy::new(),
         };
+        qm.assert_layer_alignment();
         qm.sync();
         qm
+    }
+
+    /// Hard-verifies that walking the model's parameters matches every quantized
+    /// layer *in order*: [`sync`](Self::sync)'s cursor-based name matching and the
+    /// quantized forward's view streaming both silently desynchronize if a model
+    /// reorders parameters between quantization and execution, so a mismatch must
+    /// fail loudly at construction instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight-shaped parameter does not line up with the quantized
+    /// layer list.
+    fn assert_layer_alignment(&mut self) {
+        let layers = &self.layers;
+        let mut cursor = 0usize;
+        let mut misaligned: Vec<String> = Vec::new();
+        self.model.visit_params("", &mut |name, p| {
+            if name.ends_with("weight") && p.value.shape().rank() >= 2 {
+                if cursor < layers.len() && layers[cursor].name == name {
+                    cursor += 1;
+                } else {
+                    misaligned.push(name.to_owned());
+                }
+            }
+        });
+        assert!(
+            misaligned.is_empty() && cursor == layers.len(),
+            "quantized layers desynchronized from the model's parameter order: \
+             matched {cursor}/{} layers, misaligned weight params {misaligned:?}",
+            layers.len()
+        );
     }
 
     /// Number of quantized weight tensors.
@@ -145,7 +185,9 @@ impl QuantizedModel {
         &mut self.layers[index].weights
     }
 
-    /// Access to the underlying float model (weights reflect the last synchronization).
+    /// Access to the underlying float model (weights reflect the last
+    /// synchronization — call [`sync`](Self::sync) first to fold in quantized
+    /// modifications).
     pub fn float_model_mut(&mut self) -> &mut dyn Layer {
         self.model.as_mut()
     }
@@ -195,7 +237,9 @@ impl QuantizedModel {
     }
 
     /// Writes the dequantized weights into the float model. Called automatically by
-    /// [`forward`](Self::forward) and the gradient helpers when needed.
+    /// the gradient/training helpers ([`weight_gradients`](Self::weight_gradients))
+    /// and the [`forward_float`](Self::forward_float) oracle when needed; the
+    /// quantized-native inference path never calls it.
     pub fn sync(&mut self) {
         if !self.dirty {
             return;
@@ -216,8 +260,49 @@ impl QuantizedModel {
         self.dirty = false;
     }
 
-    /// Runs the model on `input` in evaluation mode using the current quantized weights.
+    /// Runs the model on `input` in evaluation mode, executing directly off the
+    /// current quantized `i8` values (fused dequantize-in-kernel GEMM): no float
+    /// weight tensor is materialized and no full-model synchronization happens.
     pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let views: Vec<QuantView<'_>> = self
+            .layers
+            .iter()
+            .map(|l| QuantView::new(l.weights.values(), l.weights.scale(), l.weights.dims()))
+            .collect();
+        forward_quantized_with(self.model.as_mut(), input, &views)
+    }
+
+    /// Runs the model on `input` in evaluation mode with the weight values of every
+    /// layer supplied externally (e.g. a serving worker's fetch arena holding the
+    /// bytes it just read and verified from DRAM), using this model's scales and
+    /// shapes. The model's own stored values are ignored and left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not provide exactly one correctly-sized slice per
+    /// quantized layer.
+    pub fn forward_with_values(&mut self, values: &[Vec<i8>], input: &Tensor) -> Tensor {
+        assert_eq!(
+            values.len(),
+            self.layers.len(),
+            "expected weight values for {} layers, got {}",
+            self.layers.len(),
+            values.len()
+        );
+        let views: Vec<QuantView<'_>> = self
+            .layers
+            .iter()
+            .zip(values.iter())
+            .map(|(l, v)| QuantView::new(v, l.weights.scale(), l.weights.dims()))
+            .collect();
+        forward_quantized_with(self.model.as_mut(), input, &views)
+    }
+
+    /// The pre-quantized-native inference path, kept as the equivalence oracle (and
+    /// for tests that need the float model's view of the weights): dequantizes every
+    /// layer into the float shadow model via [`sync`](Self::sync), then runs the
+    /// float forward. Not used anywhere on the eval/serve hot path.
+    pub fn forward_float(&mut self, input: &Tensor) -> Tensor {
         self.sync();
         self.model.forward(input, false)
     }
@@ -263,14 +348,26 @@ impl QuantizedModel {
         (loss_value, grads)
     }
 
-    /// Top-1 accuracy of the current quantized weights on `(images, labels)`.
+    /// Top-1 accuracy of the current quantized weights on `(images, labels)`,
+    /// evaluated over the quantized-native forward path with one reused batch
+    /// scratch buffer (no per-batch allocation, no float-weight synchronization).
     ///
     /// # Panics
     ///
     /// Panics if the label count does not match the image count or `batch_size` is zero.
     pub fn accuracy(&mut self, images: &Tensor, labels: &[usize], batch_size: usize) -> Accuracy {
-        self.sync();
-        accuracy(self.model.as_mut(), images, labels, batch_size)
+        let views: Vec<QuantView<'_>> = self
+            .layers
+            .iter()
+            .map(|l| QuantView::new(l.weights.values(), l.weights.scale(), l.weights.dims()))
+            .collect();
+        let model = self.model.as_mut();
+        accuracy_with(
+            |batch| forward_quantized_with(model, batch, &views),
+            images,
+            labels,
+            batch_size,
+        )
     }
 }
 

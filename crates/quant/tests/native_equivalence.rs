@@ -1,0 +1,96 @@
+//! Equivalence of the quantized-native forward path against the float-shadow oracle.
+//!
+//! The fused dequantize-in-kernel GEMM computes the same reals as
+//! dequantize-then-matmul, differing only in where the scale rounding is applied —
+//! so with an *exact* scale (unit scale here) the two paths must be bit-identical,
+//! and with the general scales real models quantize to, the two paths must agree on
+//! every argmax over a seeded evaluation set.
+
+use radar_nn::{argmax_rows, resnet20, Layer, Linear, ResNetConfig, Sequential};
+use radar_quant::QuantizedModel;
+use radar_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A linear model whose float weights are integers with max-abs exactly 127, so
+/// quantization is lossless with scale exactly 1.0 and both paths compute identical
+/// f32 sums.
+fn integer_exact_model() -> QuantizedModel {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut fc = Linear::new(&mut rng, 6, 4);
+    let weights: Vec<f32> = (0..24).map(|v| ((v * 11) % 255) as f32 - 127.0).collect();
+    assert!(weights.iter().any(|&w| w.abs() == 127.0));
+    fc.visit_params("", &mut |name, p| {
+        if name == "weight" {
+            p.value = Tensor::from_vec(weights.clone(), &[4, 6]).expect("shape matches");
+        }
+    });
+    let mut model = Sequential::new();
+    model.push(fc);
+    QuantizedModel::new(Box::new(model))
+}
+
+#[test]
+fn integer_exact_weights_make_native_and_float_paths_bit_identical() {
+    let mut qm = integer_exact_model();
+    assert_eq!(qm.layer(0).weights().scale(), 1.0, "lossless quantization");
+    let mut rng = StdRng::seed_from_u64(7);
+    let x = Tensor::rand_normal(&mut rng, &[5, 6], 0.0, 2.0);
+    let native = qm.forward(&x);
+    let float = qm.forward_float(&x);
+    assert_eq!(native.data(), float.data(), "exact scale → exact equality");
+}
+
+#[test]
+fn native_and_float_paths_agree_on_argmax_over_the_seeded_eval_set() {
+    let mut qm = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(10))));
+    let mut rng = StdRng::seed_from_u64(0xDA7A);
+    let x = Tensor::rand_normal(&mut rng, &[16, 3, 8, 8], 0.0, 1.0);
+    let native = qm.forward(&x);
+    let float = qm.forward_float(&x);
+    assert_eq!(native.dims(), float.dims());
+    assert_eq!(
+        argmax_rows(&native),
+        argmax_rows(&float),
+        "general scales → argmax agreement"
+    );
+    // The logits themselves track the oracle tightly.
+    for (a, b) in native.data().iter().zip(float.data()) {
+        assert!((a - b).abs() <= 1e-4 * (1.0 + b.abs()), "{a} vs {b}");
+    }
+}
+
+#[test]
+fn native_path_sees_bit_flips_without_any_synchronization() {
+    let mut qm = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(4))));
+    let x = Tensor::ones(&[1, 3, 8, 8]);
+    let clean = qm.forward(&x);
+    qm.flip_bit(0, 0, radar_quant::MSB);
+    let attacked = qm.forward(&x);
+    assert_ne!(clean.data(), attacked.data(), "flip visible immediately");
+    qm.flip_bit(0, 0, radar_quant::MSB);
+    let restored = qm.forward(&x);
+    assert_eq!(clean.data(), restored.data());
+}
+
+#[test]
+fn forward_with_values_matches_forward_on_the_same_bytes() {
+    let mut qm = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(4))));
+    let mut rng = StdRng::seed_from_u64(11);
+    let x = Tensor::rand_normal(&mut rng, &[2, 3, 8, 8], 0.0, 1.0);
+    let own = qm.forward(&x);
+    // An external arena holding the same bytes (what a serving worker fetches).
+    let arena: Vec<Vec<i8>> = (0..qm.num_layers())
+        .map(|l| qm.layer_values(l).to_vec())
+        .collect();
+    let external = qm.forward_with_values(&arena, &x);
+    assert_eq!(own.data(), external.data());
+}
+
+#[test]
+#[should_panic(expected = "expected weight values for")]
+fn forward_with_values_rejects_wrong_layer_count() {
+    let mut qm = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(4))));
+    let arena = vec![vec![0i8; 4]];
+    qm.forward_with_values(&arena, &Tensor::zeros(&[1, 3, 8, 8]));
+}

@@ -1,5 +1,20 @@
 use std::time::Duration;
 
+/// Which execution path workers run inference on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecPath {
+    /// Run forward straight off the fetched `i8` bytes: each worker keeps the
+    /// fetched layers in a reusable arena and the fused dequantize-in-kernel GEMM
+    /// consumes them directly — no float weight tensor, no model write-back.
+    #[default]
+    QuantizedNative,
+    /// The pre-quantized-native pipeline: fetched bytes are written back into the
+    /// worker's `QuantizedModel`, dequantized into its float shadow, and the float
+    /// forward runs. Kept as the equivalence oracle — the logical telemetry of a
+    /// seeded run must be identical across both paths.
+    FloatOracle,
+}
+
 /// Configuration of one serving run.
 ///
 /// Environment knobs (applied by [`from_env`](Self::from_env)):
@@ -35,6 +50,8 @@ pub struct ServeConfig {
     pub scrub_layers: usize,
     /// Served-accuracy window size, in requests.
     pub window: usize,
+    /// Which execution path workers run inference on (quantized-native by default).
+    pub exec: ExecPath,
 }
 
 impl Default for ServeConfig {
@@ -49,6 +66,7 @@ impl Default for ServeConfig {
             scrub_every: 4,
             scrub_layers: 4,
             window: 64,
+            exec: ExecPath::QuantizedNative,
         }
     }
 }
@@ -77,6 +95,14 @@ impl ServeConfig {
     /// never in the fetch path.
     pub fn scrub_only(mut self) -> Self {
         self.inpath_verify = false;
+        self
+    }
+
+    /// The float-oracle variant: workers run the pre-quantized-native pipeline
+    /// (fetch → model write-back → dequantize-everything → float forward). Used by
+    /// the equivalence tests and the `bench_infer` baseline.
+    pub fn float_oracle(mut self) -> Self {
+        self.exec = ExecPath::FloatOracle;
         self
     }
 

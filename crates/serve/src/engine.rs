@@ -9,20 +9,39 @@ use radar_memsim::{AttackTimeline, WeightDram};
 use radar_nn::argmax_rows;
 use radar_quant::QuantizedModel;
 
-use crate::config::ServeConfig;
+use crate::config::{ExecPath, ServeConfig};
 use crate::recovery::recover_in_dram;
 use crate::telemetry::{RequestRecord, ServeOutcome, Telemetry};
 use crate::traffic::{Batch, Request, TrafficSchedule};
 
-/// Spins until every dispatched batch has completed its weight fetch. The batcher
+/// Busy-wait iterations spent on [`std::hint::spin_loop`] before each wait falls
+/// back to yielding the time slice. Ticket waits are usually satisfied within a few
+/// microseconds (the preceding batch's fetch), so a short spin phase wins; on an
+/// oversubscribed or single-core host the yield fallback keeps the waiting thread
+/// from starving whoever holds the ticket.
+const SPIN_LIMIT: u32 = 64;
+
+/// Spins on `ready` with bounded busy-waiting: `SPIN_LIMIT` pause-hinted spins, then
+/// one `yield_now` per retry.
+fn spin_wait(mut ready: impl FnMut() -> bool) {
+    let mut spins = 0u32;
+    while !ready() {
+        if spins < SPIN_LIMIT {
+            std::hint::spin_loop();
+            spins += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Waits until every dispatched batch has completed its weight fetch. The batcher
 /// calls this before handing control to the adversary or the scrubber, so "the strike
 /// lands before batch `b`" and "the sweep runs between batches" are exact statements
 /// about which traffic saw which weight state — the property that makes attacked
 /// serving runs replay deterministically.
 fn fetch_barrier(fetched: &AtomicUsize, dispatched: usize) {
-    while fetched.load(Ordering::Acquire) < dispatched {
-        std::thread::yield_now();
-    }
+    spin_wait(|| fetched.load(Ordering::Acquire) >= dispatched);
 }
 
 /// Runs one complete serving session and returns its telemetry.
@@ -34,9 +53,13 @@ fn fetch_barrier(fetched: &AtomicUsize, dispatched: usize) {
 ///   for stragglers) and dispatching batches to the workers — it owns the logical
 ///   clock (the dispatched-batch count) that the adversary and scrubber key off;
 /// * `workers` **inference workers**, each owning one model replica in `models`; every
-///   batch re-fetches the weights from the shared [`WeightDram`], verifying each layer
-///   in the fetch path when `inpath_verify` is on, and recovers flagged groups in the
-///   image before inferring;
+///   batch re-fetches the weights from the shared [`WeightDram`] into a per-worker
+///   layer arena, verifying each layer's raw bytes in the fetch path when
+///   `inpath_verify` is on, recovers flagged groups in the image before inferring,
+///   and (on the default [`ExecPath::QuantizedNative`]) runs forward straight off the
+///   arena through the fused dequantize-in-kernel GEMM — fetch → verify → infer is
+///   one pass over each layer's bytes, with no model write-back and no float weight
+///   tensors;
 /// * a background **scrubber** sweeping `scrub_layers` layers of the DRAM image every
 ///   `scrub_every` batches through [`RadarProtection::verify_layer_values`], merging
 ///   its findings into the shared recovery path;
@@ -199,7 +222,12 @@ pub fn serve(
         }
 
         // Inference workers: one model replica each, verified fetch in batch order,
-        // overlapped inference.
+        // overlapped inference. On the quantized-native path the fetched bytes land
+        // in a per-worker layer arena — verified as raw slices, executed through the
+        // fused dequantize-in-kernel GEMM — and the replica contributes only its
+        // structure, scales and float-only layers; its stored weights are never
+        // written. The float-oracle path is the old fetch → write-back →
+        // dequantize-everything → float-forward pipeline.
         for mut model in models {
             let dram = &dram;
             let protection = protection.as_ref();
@@ -208,13 +236,17 @@ pub fn serve(
             let batch_rx = &batch_rx;
             scope.spawn(move || {
                 let mut acc: Vec<i32> = Vec::new();
+                let native = config.exec == ExecPath::QuantizedNative;
+                // Per-worker layer arena: one reusable buffer per layer holding the
+                // bytes this worker fetched from DRAM for the current batch.
+                let mut arena: Vec<Vec<i8>> = (0..model.num_layers())
+                    .map(|layer| Vec::with_capacity(model.layer(layer).len()))
+                    .collect();
                 loop {
                     let received = batch_rx.lock().expect("batch queue lock poisoned").recv();
                     let Ok(batch) = received else { break };
                     // Wait for this batch's fetch ticket.
-                    while fetched.load(Ordering::Acquire) != batch.index {
-                        std::thread::yield_now();
-                    }
+                    spin_wait(|| fetched.load(Ordering::Acquire) == batch.index);
                     let mut flagged = DetectionReport::default();
                     {
                         let dram = dram.read().expect("dram lock poisoned");
@@ -225,17 +257,31 @@ pub fn serve(
                                 // copy is paid by the unprotected baseline too, so
                                 // folding it in would overstate the verification cost.
                                 let mut checking = Duration::ZERO;
-                                for layer in 0..model.num_layers() {
-                                    dram.fetch_layer_into(&mut model, layer);
-                                    let started = Instant::now();
-                                    flagged.merge(&prot.detect_layers_with_scratch(
-                                        &model,
-                                        layer..layer + 1,
-                                        &mut acc,
-                                    ));
-                                    checking += started.elapsed();
+                                for (layer, buf) in arena.iter_mut().enumerate() {
+                                    if native {
+                                        dram.read_layer_into(layer, buf);
+                                        let started = Instant::now();
+                                        flagged.merge(&prot.verify_layer_values_with_scratch(
+                                            layer, buf, &mut acc,
+                                        ));
+                                        checking += started.elapsed();
+                                    } else {
+                                        dram.fetch_layer_into(&mut model, layer);
+                                        let started = Instant::now();
+                                        flagged.merge(&prot.detect_layers_with_scratch(
+                                            &model,
+                                            layer..layer + 1,
+                                            &mut acc,
+                                        ));
+                                        checking += started.elapsed();
+                                    }
                                 }
                                 telemetry.add_verify_time(checking);
+                            }
+                            _ if native => {
+                                for (layer, buf) in arena.iter_mut().enumerate() {
+                                    dram.read_layer_into(layer, buf);
+                                }
                             }
                             _ => dram.fetch_into(&mut model),
                         }
@@ -248,13 +294,18 @@ pub fn serve(
                             .write()
                             .expect("protection lock poisoned");
                         telemetry.recovered(recover_in_dram(&mut prot, &mut dram, &flagged));
-                        // Refresh the recovered layers in this worker's replica so
-                        // inference consumes the zeroed (not corrupted) weights.
+                        // Refresh the recovered layers in this worker's arena (or
+                        // replica) so inference consumes the zeroed (not corrupted)
+                        // weights.
                         let mut layers: Vec<usize> =
                             flagged.flagged.iter().map(|f| f.layer).collect();
                         layers.dedup();
                         for layer in layers {
-                            dram.fetch_layer_into(&mut model, layer);
+                            if native {
+                                dram.read_layer_into(layer, &mut arena[layer]);
+                            } else {
+                                dram.fetch_layer_into(&mut model, layer);
+                            }
                         }
                     }
                     fetched.store(batch.index + 1, Ordering::Release);
@@ -262,7 +313,11 @@ pub fn serve(
                     let sample_ids: Vec<usize> = batch.requests.iter().map(|r| r.sample).collect();
                     let subset = eval.subset(&sample_ids);
                     let started = Instant::now();
-                    let logits = model.forward(subset.images());
+                    let logits = if native {
+                        model.forward_with_values(&arena, subset.images())
+                    } else {
+                        model.forward_float(subset.images())
+                    };
                     telemetry.add_infer_time(started.elapsed());
                     let predictions = argmax_rows(&logits);
                     for (request, (prediction, &label)) in batch

@@ -49,7 +49,7 @@ mod recovery;
 mod telemetry;
 mod traffic;
 
-pub use config::ServeConfig;
+pub use config::{ExecPath, ServeConfig};
 pub use engine::{replicas, serve};
 pub use histogram::LatencyHistogram;
 pub use recovery::recover_in_dram;

@@ -11,7 +11,7 @@ use radar_core::{DetectionReport, RadarConfig, RadarProtection};
 use radar_memsim::{AttackTimeline, DramGeometry, MountEvent, RowhammerInjector, WeightDram};
 use radar_nn::{resnet20, ResNetConfig};
 use radar_quant::{QuantizedModel, MSB};
-use radar_serve::{recover_in_dram, replicas, serve, ServeConfig, TrafficSchedule};
+use radar_serve::{recover_in_dram, replicas, serve, ExecPath, ServeConfig, TrafficSchedule};
 use radar_tensor::Tensor;
 
 fn tiny_model() -> QuantizedModel {
@@ -157,6 +157,7 @@ fn engine_config() -> ServeConfig {
         scrub_every: 3,
         scrub_layers: 5,
         window: 8,
+        exec: ExecPath::QuantizedNative,
     }
 }
 
@@ -265,6 +266,64 @@ fn engine_scrub_only_detects_within_a_cycle_and_replays_deterministically() {
     let logical_ttd =
         |o: &radar_serve::ServeOutcome| o.time_to_detect.map(|t| (t.batches, t.requests));
     assert_eq!(logical_ttd(&a), logical_ttd(&b));
+}
+
+/// The quantized-native switch changes *how* workers compute, not *what* happens: an
+/// `attack_inpath`-shaped run replayed on the float-oracle path produces byte-identical
+/// logical telemetry — time-to-detect, recovery counts, detections, and every served
+/// accuracy window. (The two paths' logits differ only in where the scale rounding
+/// lands, which never moves an argmax on this seeded traffic.)
+#[test]
+fn quantized_native_switch_preserves_attack_inpath_telemetry_exactly() {
+    let run = |exec: ExecPath| {
+        let signer = tiny_model();
+        let protection = RadarProtection::new(&signer, RadarConfig::paper_default(32));
+        let dram = WeightDram::load(&signer, DramGeometry::default());
+        let eval = eval_set(16);
+        let mut cfg = engine_config();
+        cfg.exec = exec;
+        let timeline = AttackTimeline::new(vec![MountEvent {
+            at_batch: 4,
+            injector: RowhammerInjector::default(),
+            profile: profile(&[(2, 5), (7, 0)]),
+            seed: 1,
+        }]);
+        serve(
+            replicas(cfg.workers, tiny_model),
+            Some(protection),
+            dram,
+            &eval,
+            &TrafficSchedule::new(7, 64),
+            timeline,
+            &cfg,
+        )
+    };
+
+    let native = run(ExecPath::QuantizedNative);
+    let oracle = run(ExecPath::FloatOracle);
+
+    let ttd = |o: &radar_serve::ServeOutcome| {
+        o.time_to_detect
+            .map(|t| (t.batches, t.requests, t.via_scrub))
+    };
+    assert_eq!(ttd(&native), ttd(&oracle), "time-to-detect");
+    assert_eq!(native.recovery, oracle.recovery, "recovery counts");
+    assert_eq!(
+        native
+            .detections
+            .iter()
+            .map(|d| (d.batch, d.via_scrub, d.groups_flagged))
+            .collect::<Vec<_>>(),
+        oracle
+            .detections
+            .iter()
+            .map(|d| (d.batch, d.via_scrub, d.groups_flagged))
+            .collect::<Vec<_>>(),
+        "detection events"
+    );
+    assert_eq!(native.windows, oracle.windows, "served accuracy windows");
+    assert_eq!(native.requests, oracle.requests);
+    assert_eq!(native.batches, oracle.batches);
 }
 
 /// The unprotected baseline never detects or recovers: the corruption persists in the

@@ -1,0 +1,231 @@
+//! Blocked GEMM kernels for the inference hot path.
+//!
+//! Two entry points cover every matrix product on the forward path:
+//!
+//! * [`gemm_f32`] — the float kernel behind [`Tensor::matmul`](crate::Tensor::matmul):
+//!   `C(m×n) = A(m×k) × B(k×n)` over row-major slices, blocked over `k` and `n` so one
+//!   panel of `B` stays cache-resident while every row of `A` sweeps it.
+//! * [`gemm_i8_dequant`] — the fused dequantize-in-kernel variant: the left operand is
+//!   an `i8` quantized weight panel (`float ≈ i8 * scale`), products are accumulated on
+//!   the raw integer values (every `i8` is exactly representable in `f32`) and the
+//!   per-tensor scale is applied once per output element in a final epilogue. No
+//!   dequantized weight tensor is ever materialized.
+//!
+//! [`linear_i8`] covers the fully-connected layout (`x(n×k) × W(m×k)ᵀ`), where both
+//! operands are walked along contiguous rows, so no transpose of either the weights or
+//! the activations is needed.
+//!
+//! # Summation order
+//!
+//! All kernels accumulate every output element in strictly ascending `k` order — the
+//! same order as the textbook triple loop. Blocking only reorders *which* elements are
+//! worked on when, never the order of additions into one element, so [`gemm_f32`] is
+//! bit-identical to the naive product, and [`gemm_i8_dequant`] computes the same reals
+//! as dequantize-then-multiply up to where the scale rounding is applied (per weight
+//! there, per output element here). With a scale that is a power of two — in particular
+//! the exact integer case `scale = 1.0` — the two are bit-identical too. The property
+//! tests in `tests/gemm_equivalence.rs` pin both statements down.
+
+/// Rows of the right-hand operand per cache panel (the `k` blocking factor).
+const BLOCK_K: usize = 256;
+
+/// Columns of the right-hand operand per cache panel (the `n` blocking factor).
+///
+/// One panel is at most `BLOCK_K * BLOCK_N` floats (256 KiB) — sized to sit in a
+/// typical L2 while every row of the left operand streams over it.
+const BLOCK_N: usize = 256;
+
+/// `C(m×n) = A(m×k) × B(k×n)` over row-major slices, blocked for cache reuse.
+///
+/// Bit-identical to the naive `i-k-j` triple loop: each output element accumulates its
+/// `k` products in ascending order. Zero elements of `A` are skipped (adding
+/// `0.0 * b` never changes a finite sum, and activation matrices are often
+/// ReLU-sparse).
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `m*k`, `k*n`.
+pub fn gemm_f32(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "lhs length {} != {m}x{k}", a.len());
+    assert_eq!(b.len(), k * n, "rhs length {} != {k}x{n}", b.len());
+    let mut out = vec![0.0f32; m * n];
+    for jc in (0..n).step_by(BLOCK_N) {
+        let nc = BLOCK_N.min(n - jc);
+        for pc in (0..k).step_by(BLOCK_K) {
+            let kc = BLOCK_K.min(k - pc);
+            for i in 0..m {
+                let a_panel = &a[i * k + pc..i * k + pc + kc];
+                let out_row = &mut out[i * n + jc..i * n + jc + nc];
+                for (p, &a_ip) in a_panel.iter().enumerate() {
+                    if a_ip == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[(pc + p) * n + jc..(pc + p) * n + jc + nc];
+                    for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += a_ip * b_pj;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `C(m×n) = scale * (W(m×k) × B(k×n))` with `W` an `i8` quantized weight panel —
+/// the fused dequantize-in-kernel product.
+///
+/// The integer weight values go straight from their storage bytes into the multiplier
+/// (every `i8` converts exactly to `f32`); the per-tensor `scale` is applied exactly
+/// once per output element, in an epilogue after all accumulation finishes. Zero
+/// weights — including groups a RADAR recovery has zeroed out — are skipped.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `m*k`, `k*n`.
+pub fn gemm_i8_dequant(w: &[i8], b: &[f32], m: usize, k: usize, n: usize, scale: f32) -> Vec<f32> {
+    assert_eq!(w.len(), m * k, "weight length {} != {m}x{k}", w.len());
+    assert_eq!(b.len(), k * n, "rhs length {} != {k}x{n}", b.len());
+    let mut out = vec![0.0f32; m * n];
+    for jc in (0..n).step_by(BLOCK_N) {
+        let nc = BLOCK_N.min(n - jc);
+        for pc in (0..k).step_by(BLOCK_K) {
+            let kc = BLOCK_K.min(k - pc);
+            for i in 0..m {
+                let w_panel = &w[i * k + pc..i * k + pc + kc];
+                let out_row = &mut out[i * n + jc..i * n + jc + nc];
+                for (p, &w_ip) in w_panel.iter().enumerate() {
+                    if w_ip == 0 {
+                        continue;
+                    }
+                    let w_ip = w_ip as f32;
+                    let b_row = &b[(pc + p) * n + jc..(pc + p) * n + jc + nc];
+                    for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += w_ip * b_pj;
+                    }
+                }
+            }
+        }
+    }
+    for v in &mut out {
+        *v *= scale;
+    }
+    out
+}
+
+/// `C(rows×m) = scale * (X(rows×k) × W(m×k)ᵀ)` — the fully-connected forward product
+/// with an `i8` quantized weight matrix in its natural `(out, in)` storage order.
+///
+/// Both operands are walked along contiguous rows (each output element is a dot
+/// product of an activation row with a weight row), so neither matrix is transposed or
+/// copied. Accumulation per element is in ascending `k` order, matching
+/// `x.matmul(&w.transpose2d())` on the dequantized weights.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `rows*k`, `m*k`.
+pub fn linear_i8(x: &[f32], w: &[i8], rows: usize, k: usize, m: usize, scale: f32) -> Vec<f32> {
+    assert_eq!(
+        x.len(),
+        rows * k,
+        "activation length {} != {rows}x{k}",
+        x.len()
+    );
+    assert_eq!(w.len(), m * k, "weight length {} != {m}x{k}", w.len());
+    let mut out = vec![0.0f32; rows * m];
+    for i in 0..rows {
+        let x_row = &x[i * k..(i + 1) * k];
+        let out_row = &mut out[i * m..(i + 1) * m];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let w_row = &w[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&xv, &wv) in x_row.iter().zip(w_row.iter()) {
+                acc += xv * wv as f32;
+            }
+            *o = acc * scale;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The textbook reference: `i-k-j` accumulation, no blocking.
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let a_ip = a[i * k + p];
+                for j in 0..n {
+                    out[i * n + j] += a_ip * b[p * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_matches_naive_on_small_and_ragged_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (4, 300, 9), (2, 513, 300)] {
+            let a: Vec<f32> = (0..m * k).map(|v| ((v % 13) as f32 - 6.0) * 0.25).collect();
+            let b: Vec<f32> = (0..k * n).map(|v| ((v % 7) as f32 - 3.0) * 0.5).collect();
+            assert_eq!(
+                gemm_f32(&a, &b, m, k, n),
+                naive(&a, &b, m, k, n),
+                "{m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_dequant_equals_dequantize_then_gemm_at_unit_scale() {
+        let (m, k, n) = (3, 270, 5);
+        let w: Vec<i8> = (0..m * k).map(|v| ((v % 255) as i32 - 127) as i8).collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|v| ((v % 11) as f32 - 5.0) * 0.125)
+            .collect();
+        let wf: Vec<f32> = w.iter().map(|&q| q as f32).collect();
+        assert_eq!(
+            gemm_i8_dequant(&w, &b, m, k, n, 1.0),
+            gemm_f32(&wf, &b, m, k, n)
+        );
+    }
+
+    #[test]
+    fn fused_dequant_applies_scale() {
+        let w = [2i8, -3, 0, 1];
+        let b = [1.0f32, 0.5, -1.0, 2.0];
+        // W(2x2) × B(2x2), scale 0.5.
+        let out = gemm_i8_dequant(&w, &b, 2, 2, 2, 0.5);
+        // Row 0: [2*1 + (-3)*(-1), 2*0.5 + (-3)*2] = [5, -5]; row 1: [0*1+1*(-1), 0*0.5+1*2].
+        assert_eq!(out, vec![2.5, -2.5, -0.5, 1.0]);
+    }
+
+    #[test]
+    fn linear_i8_matches_transpose_then_gemm() {
+        let (rows, k, m) = (4, 130, 3);
+        let x: Vec<f32> = (0..rows * k)
+            .map(|v| ((v % 9) as f32 - 4.0) * 0.5)
+            .collect();
+        let w: Vec<i8> = (0..m * k).map(|v| ((v % 200) as i32 - 100) as i8).collect();
+        let wf: Vec<f32> = w.iter().map(|&q| q as f32).collect();
+        // Reference: X × Wᵀ at unit scale.
+        let mut wt = vec![0.0f32; k * m];
+        for j in 0..m {
+            for p in 0..k {
+                wt[p * m + j] = wf[j * k + p];
+            }
+        }
+        assert_eq!(
+            linear_i8(&x, &w, rows, k, m, 1.0),
+            gemm_f32(&x, &wt, rows, k, m)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lhs length")]
+    fn mismatched_lengths_panic() {
+        gemm_f32(&[1.0], &[1.0, 2.0], 1, 2, 1);
+    }
+}

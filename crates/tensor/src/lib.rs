@@ -28,11 +28,13 @@
 
 mod conv;
 mod error;
+mod gemm;
 mod ops;
 mod shape;
 mod tensor;
 
 pub use conv::{col2im, im2col, Conv2dGeometry};
 pub use error::TensorError;
+pub use gemm::{gemm_f32, gemm_i8_dequant, linear_i8};
 pub use shape::Shape;
 pub use tensor::Tensor;

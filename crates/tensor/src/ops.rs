@@ -55,7 +55,8 @@ impl Tensor {
 
     /// 2-D matrix multiplication: `self` is `(m, k)`, `other` is `(k, n)`, result is `(m, n)`.
     ///
-    /// Uses a cache-friendly i-k-j loop order over contiguous rows.
+    /// Runs on the blocked [`gemm_f32`](crate::gemm_f32) kernel, which accumulates each
+    /// output element in ascending `k` order — bit-identical to the naive triple loop.
     ///
     /// # Panics
     ///
@@ -83,22 +84,7 @@ impl Tensor {
             other.shape()
         );
 
-        let mut out = vec![0.0f32; m * n];
-        let a = self.data();
-        let b = other.data();
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a_ip) in a_row.iter().enumerate() {
-                if a_ip == 0.0 {
-                    continue;
-                }
-                let b_row = &b[p * n..(p + 1) * n];
-                for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ip * b_pj;
-                }
-            }
-        }
+        let out = crate::gemm::gemm_f32(self.data(), other.data(), m, k, n);
         Tensor::from_vec(out, &[m, n]).expect("matmul output shape is consistent by construction")
     }
 

@@ -1,0 +1,113 @@
+//! Property tests pinning the blocked GEMM kernels to their naive references, over
+//! ragged shapes that straddle the blocking factors (non-multiples of the `k`/`n`
+//! panel sizes included). `gemm_f32` must be *bit-identical* to the textbook triple
+//! loop — the kernel only reorders which elements are worked on, never the additions
+//! into one element — and `gemm_i8_dequant` must be bit-identical to
+//! dequantize-then-multiply whenever the scale is exact (unit scale here; the general
+//! argmax-level agreement is pinned in `radar-quant`'s `native_equivalence` tests).
+
+use proptest::prelude::*;
+use radar_tensor::{gemm_f32, gemm_i8_dequant, linear_i8};
+
+/// The textbook reference: `i-k-j` accumulation, no blocking, no zero skipping.
+fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let a_ip = a[i * k + p];
+            for j in 0..n {
+                out[i * n + j] += a_ip * b[p * n + j];
+            }
+        }
+    }
+    out
+}
+
+/// A `k`/`n` extent deliberately straddling the 256-wide panels: each draw lands
+/// below one block, around exactly one block, or around two blocks.
+fn edge_extent() -> impl Strategy<Value = usize> {
+    (0usize..3, 0usize..14).prop_map(|(band, off)| match band {
+        0 => 1 + off,
+        1 => 250 + off,
+        _ => 505 + off,
+    })
+}
+
+/// Small `m`, ragged `k`/`n`.
+fn ragged_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..8, edge_extent(), edge_extent())
+}
+
+/// An `i8` weight drawn over the full quantized range (including 0, the value a RADAR
+/// zero-out recovery writes).
+fn weight() -> impl Strategy<Value = i8> {
+    (-127i32..128).prop_map(|v| v as i8)
+}
+
+proptest! {
+    /// Blocked float GEMM is bit-identical to the naive triple loop.
+    #[test]
+    fn gemm_blocked_equals_naive_matmul(
+        (m, k, n) in ragged_dims(),
+        seed in prop::collection::vec(-3.0f32..3.0, 64..65),
+    ) {
+        let a: Vec<f32> = (0..m * k).map(|i| seed[i % seed.len()] * 0.5).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| seed[(i * 31 + 7) % seed.len()]).collect();
+        prop_assert_eq!(gemm_f32(&a, &b, m, k, n), naive(&a, &b, m, k, n));
+    }
+
+    /// At unit scale the fused dequantize-in-kernel product is bit-identical to
+    /// widening the weights to `f32` first (integer-exact inputs → exact equality).
+    #[test]
+    fn fused_dequant_gemm_is_exact_at_unit_scale(
+        (m, k, n) in ragged_dims(),
+        wseed in prop::collection::vec(weight(), 64..65),
+        bseed in prop::collection::vec(-3.0f32..3.0, 64..65),
+    ) {
+        let w: Vec<i8> = (0..m * k).map(|i| wseed[i % wseed.len()]).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| bseed[(i * 13 + 5) % bseed.len()]).collect();
+        let wf: Vec<f32> = w.iter().map(|&q| q as f32).collect();
+        prop_assert_eq!(gemm_i8_dequant(&w, &b, m, k, n, 1.0), naive(&wf, &b, m, k, n));
+    }
+
+    /// The fully-connected kernel matches transpose-then-multiply on the widened
+    /// weights (the float path of `Linear::forward`), again exactly at unit scale.
+    #[test]
+    fn linear_i8_equals_transpose_then_matmul(
+        (rows, k, m) in (1usize..6, 1usize..300, 1usize..10),
+        wseed in prop::collection::vec(weight(), 64..65),
+        xseed in prop::collection::vec(-2.0f32..2.0, 64..65),
+    ) {
+        let x: Vec<f32> = (0..rows * k).map(|i| xseed[i % xseed.len()]).collect();
+        let w: Vec<i8> = (0..m * k).map(|i| wseed[(i * 3 + 1) % wseed.len()]).collect();
+        let mut wt = vec![0.0f32; k * m];
+        for j in 0..m {
+            for p in 0..k {
+                wt[p * m + j] = w[j * k + p] as f32;
+            }
+        }
+        prop_assert_eq!(linear_i8(&x, &w, rows, k, m, 1.0), naive(&x, &wt, rows, k, m));
+    }
+
+    /// A general (inexact) scale still matches dequantize-then-multiply to within a
+    /// tight relative bound: the only divergence is where the scale rounding lands.
+    #[test]
+    fn fused_dequant_gemm_tracks_float_oracle_under_general_scale(
+        (m, k, n) in ragged_dims(),
+        wseed in prop::collection::vec(weight(), 64..65),
+        bseed in prop::collection::vec(-3.0f32..3.0, 64..65),
+        scale in 0.001f32..0.1,
+    ) {
+        let w: Vec<i8> = (0..m * k).map(|i| wseed[i % wseed.len()]).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| bseed[(i * 13 + 5) % bseed.len()]).collect();
+        let wf: Vec<f32> = w.iter().map(|&q| q as f32 * scale).collect();
+        let fused = gemm_i8_dequant(&w, &b, m, k, n, scale);
+        let oracle = naive(&wf, &b, m, k, n);
+        for (x, y) in fused.iter().zip(oracle.iter()) {
+            prop_assert!(
+                (x - y).abs() <= 1e-4 * (1.0 + y.abs()),
+                "fused {} vs oracle {}", x, y
+            );
+        }
+    }
+}

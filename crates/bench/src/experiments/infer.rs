@@ -4,17 +4,19 @@
 //!
 //! * **float** — the pre-quantized-native pipeline: fetch every layer back into the
 //!   `QuantizedModel`, dequantize the whole model into its float shadow, run the
-//!   float forward ([`QuantizedModel::forward_float`]).
-//! * **quantized** — the native path: fetch every layer's bytes into a reusable
-//!   arena ([`WeightDram::read_layer_into`]) and run the fused
-//!   dequantize-in-kernel forward straight off them
-//!   ([`QuantizedModel::forward_with_values`]).
+//!   float forward ([`QuantizedModel::forward_float`]). Always single-threaded —
+//!   this is the fixed oracle baseline.
+//! * **native** — the integer path: fetch every layer's bytes into a reusable
+//!   arena ([`WeightDram::read_layer_into`]) and run the i8×i8/i32 GEMM forward
+//!   straight off them ([`QuantizedModel::forward_with_values`]), once per swept
+//!   GEMM worker count (the `RADAR_GEMM_THREADS` axis, always including 1).
 //!
 //! Two shapes are measured: a single image (the latency floor) and a serve-shaped
 //! batch (the default `max_batch` of the serving engine). Results land in
-//! `artifacts/results/BENCH_infer.json`; the `bench_infer` binary's `--smoke` mode
-//! additionally *fails* when the quantized-native path does not beat the float path
-//! on the serve-shaped batch — CI's regression gate for the native path.
+//! `artifacts/results/BENCH_infer.json` with one point per shape × thread count;
+//! the `bench_infer` binary's `--smoke` mode additionally *fails* when any native
+//! thread count loses to the single-threaded float path — CI's regression gate for
+//! the integer kernels.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -23,7 +25,7 @@ use radar_memsim::{DramGeometry, WeightDram};
 use radar_nn::{resnet20, ResNetConfig};
 use radar_quant::QuantizedModel;
 use radar_serve::ServeConfig;
-use radar_tensor::Tensor;
+use radar_tensor::{set_gemm_threads, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -58,23 +60,72 @@ impl InferBenchParams {
     }
 }
 
-/// One measured shape.
+/// The GEMM worker counts to sweep: `RADAR_GEMM_THREADS` parsed as a
+/// comma-separated list, with `1` (the bit-identical fallback) always included
+/// first. Unset or unparsable → `[1]`.
+pub fn thread_axis() -> Vec<usize> {
+    let mut axis = vec![1usize];
+    if let Ok(v) = std::env::var("RADAR_GEMM_THREADS") {
+        for t in v.split(',').filter_map(|t| t.trim().parse::<usize>().ok()) {
+            if t > 1 && !axis.contains(&t) {
+                axis.push(t);
+            }
+        }
+    }
+    axis.sort_unstable();
+    axis
+}
+
+/// One native measurement at a fixed GEMM worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NativePoint {
+    /// GEMM worker count the kernels ran with.
+    pub threads: usize,
+    /// Median seconds per fetch+forward.
+    pub seconds: f64,
+}
+
+/// One measured shape: the float baseline plus the native path per thread count.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InferPoint {
     /// Point name (`single_image` / `serve_batch`).
     pub name: &'static str,
     /// Batch size of the shape.
     pub batch: usize,
-    /// Median seconds per fetch+forward on the float-shadow pipeline.
+    /// Median seconds per fetch+forward on the float-shadow pipeline
+    /// (single-threaded — the fixed baseline).
     pub float_seconds: f64,
-    /// Median seconds per fetch+forward on the quantized-native path.
-    pub quantized_seconds: f64,
+    /// Native-path measurements, one per swept GEMM worker count (ascending,
+    /// starting at 1).
+    pub native: Vec<NativePoint>,
 }
 
 impl InferPoint {
-    /// Float-path time over quantized-native time (> 1 means the native path wins).
+    /// Float-path time over the given native measurement (> 1 means native wins).
+    pub fn speedup_at(&self, native: &NativePoint) -> f64 {
+        self.float_seconds / native.seconds
+    }
+
+    /// The fastest native measurement across the thread axis.
+    pub fn best_native(&self) -> &NativePoint {
+        self.native
+            .iter()
+            .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
+            .expect("the thread axis always includes 1")
+    }
+
+    /// The slowest native measurement — what the smoke gate judges, so *every*
+    /// swept thread count must beat the float baseline.
+    pub fn worst_native(&self) -> &NativePoint {
+        self.native
+            .iter()
+            .max_by(|a, b| a.seconds.total_cmp(&b.seconds))
+            .expect("the thread axis always includes 1")
+    }
+
+    /// Float-path time over the best native time.
     pub fn speedup(&self) -> f64 {
-        self.float_seconds / self.quantized_seconds
+        self.speedup_at(self.best_native())
     }
 }
 
@@ -87,6 +138,8 @@ pub struct InferBenchOutcome {
     pub total_weights: usize,
     /// The run sizing.
     pub params: InferBenchParams,
+    /// The swept GEMM worker counts.
+    pub threads: Vec<usize>,
     /// Per-shape measurements.
     pub points: Vec<InferPoint>,
 }
@@ -112,6 +165,7 @@ pub fn bench_infer(params: &InferBenchParams) -> InferBenchOutcome {
     let dram = WeightDram::load(&model, DramGeometry::default());
     let total_weights = model.total_weights();
     let serve_batch = ServeConfig::default().max_batch;
+    let threads = thread_axis();
     let mut rng = StdRng::seed_from_u64(0xBE9C);
 
     let mut points = Vec::new();
@@ -123,7 +177,7 @@ pub fn bench_infer(params: &InferBenchParams) -> InferBenchOutcome {
             1.0,
         );
         eprintln!(
-            "[bench_infer] {name}: batch {batch}, {} iters…",
+            "[bench_infer] {name}: batch {batch}, threads {threads:?}, {} iters…",
             params.iters
         );
 
@@ -134,20 +188,30 @@ pub fn bench_infer(params: &InferBenchParams) -> InferBenchOutcome {
             std::hint::black_box(model.forward_float(&x));
         });
 
-        // Quantized-native: fetch into the arena, run fused-dequant GEMM off it.
+        // Quantized-native: fetch into the arena, run the integer GEMM off it —
+        // once per GEMM worker count on the sweep axis.
         let mut arena: Vec<Vec<i8>> = (0..model.num_layers()).map(|_| Vec::new()).collect();
-        let quantized_seconds = median_seconds(params.iters, || {
-            for (layer, buf) in arena.iter_mut().enumerate() {
-                dram.read_layer_into(layer, buf);
-            }
-            std::hint::black_box(model.forward_with_values(&arena, &x));
-        });
+        let mut native = Vec::new();
+        for &t in &threads {
+            set_gemm_threads(t);
+            let seconds = median_seconds(params.iters, || {
+                for (layer, buf) in arena.iter_mut().enumerate() {
+                    dram.read_layer_into(layer, buf);
+                }
+                std::hint::black_box(model.forward_with_values(&arena, &x));
+            });
+            native.push(NativePoint {
+                threads: t,
+                seconds,
+            });
+        }
+        set_gemm_threads(0);
 
         points.push(InferPoint {
             name,
             batch,
             float_seconds,
-            quantized_seconds,
+            native,
         });
     }
 
@@ -155,6 +219,7 @@ pub fn bench_infer(params: &InferBenchParams) -> InferBenchOutcome {
         model: "resnet20_paper_width".to_owned(),
         total_weights,
         params: *params,
+        threads,
         points,
     }
 }
@@ -168,7 +233,8 @@ impl InferBenchOutcome {
             .expect("serve_batch point is always measured")
     }
 
-    /// Renders the measurement as a human-readable table.
+    /// Renders the measurement as a human-readable table: one row per
+    /// shape × GEMM worker count.
     pub fn report(&self) -> Report {
         let mut report = Report::new(&format!(
             "Inference path — float-shadow vs quantized-native on {} ({} weights, {}x{} input, median of {})",
@@ -178,20 +244,25 @@ impl InferBenchOutcome {
         report.row(&[
             "shape".into(),
             "batch".into(),
+            "threads".into(),
             "float ms".into(),
             "native ms".into(),
             "speedup".into(),
         ]);
         for p in &self.points {
-            report.row(&[
-                p.name.into(),
-                p.batch.to_string(),
-                format!("{:.2}", p.float_seconds * 1e3),
-                format!("{:.2}", p.quantized_seconds * 1e3),
-                format!("{:.2}x", p.speedup()),
-            ]);
+            for n in &p.native {
+                report.row(&[
+                    p.name.into(),
+                    p.batch.to_string(),
+                    n.threads.to_string(),
+                    format!("{:.2}", p.float_seconds * 1e3),
+                    format!("{:.2}", n.seconds * 1e3),
+                    format!("{:.2}x", p.speedup_at(n)),
+                ]);
+            }
         }
         report.line("per pass: full weight fetch from the DRAM image + forward");
+        report.line("float baseline is single-threaded; native sweeps RADAR_GEMM_THREADS");
         report
     }
 
@@ -202,29 +273,45 @@ impl InferBenchOutcome {
             .points
             .iter()
             .map(|p| {
+                let native: Vec<String> = p
+                    .native
+                    .iter()
+                    .map(|n| {
+                        format!(
+                            concat!(
+                                "      {{\"threads\": {}, \"seconds\": {:.9}, ",
+                                "\"speedup\": {:.4}}}"
+                            ),
+                            n.threads,
+                            n.seconds,
+                            p.speedup_at(n)
+                        )
+                    })
+                    .collect();
                 format!(
                     concat!(
                         "    {{\"name\": \"{}\", \"batch\": {}, ",
-                        "\"float_seconds\": {:.9}, \"quantized_seconds\": {:.9}, ",
-                        "\"speedup\": {:.4}}}"
+                        "\"float_seconds\": {:.9}, \"native\": [\n{}\n    ]}}"
                     ),
                     p.name,
                     p.batch,
                     p.float_seconds,
-                    p.quantized_seconds,
-                    p.speedup()
+                    native.join(",\n")
                 )
             })
             .collect();
+        let threads: Vec<String> = self.threads.iter().map(|t| t.to_string()).collect();
         let json = format!(
             concat!(
                 "{{\n  \"model\": \"{}\",\n  \"total_weights\": {},\n",
-                "  \"image_size\": {},\n  \"iters\": {},\n  \"points\": [\n{}\n  ]\n}}\n"
+                "  \"image_size\": {},\n  \"iters\": {},\n  \"threads\": [{}],\n",
+                "  \"points\": [\n{}\n  ]\n}}\n"
             ),
             self.model,
             self.total_weights,
             self.params.image_size,
             self.params.iters,
+            threads.join(", "),
             points.join(",\n")
         );
         let path = artifacts_dir().join("results").join("BENCH_infer.json");
@@ -246,14 +333,39 @@ mod tests {
         assert!(run.image_size > smoke.image_size);
     }
 
-    #[test]
-    fn speedup_is_float_over_quantized() {
-        let p = InferPoint {
+    fn point() -> InferPoint {
+        InferPoint {
             name: "serve_batch",
             batch: 8,
             float_seconds: 0.2,
-            quantized_seconds: 0.1,
-        };
-        assert!((p.speedup() - 2.0).abs() < 1e-12);
+            native: vec![
+                NativePoint {
+                    threads: 1,
+                    seconds: 0.1,
+                },
+                NativePoint {
+                    threads: 4,
+                    seconds: 0.05,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn speedup_is_float_over_best_native() {
+        let p = point();
+        assert!((p.speedup() - 4.0).abs() < 1e-12);
+        assert_eq!(p.best_native().threads, 4);
+        assert_eq!(p.worst_native().threads, 1);
+    }
+
+    #[test]
+    fn thread_axis_always_includes_single_threaded() {
+        // The axis reflects the environment, but 1 is always present and first
+        // after sorting (the sweep never skips the bit-identical fallback).
+        let axis = thread_axis();
+        assert!(axis.contains(&1));
+        assert_eq!(axis.first(), Some(&1));
+        assert!(axis.windows(2).all(|w| w[0] < w[1]));
     }
 }

@@ -76,10 +76,11 @@ pub trait Layer: Send {
 
     /// Evaluation-mode forward pass executing directly off borrowed quantized
     /// weights: weight-bearing layers ([`Conv2d`](crate::Conv2d),
-    /// [`Linear`](crate::Linear)) take their panel from `weights` and run the fused
-    /// dequantize-in-kernel GEMM; containers thread the cursor through their children
-    /// in forward order; everything else falls back to the float forward in
-    /// evaluation mode (the default implementation below).
+    /// [`Linear`](crate::Linear)) take their panel from `weights` and run the true
+    /// integer GEMM — quantized activations, i8×i8 products accumulated in `i32`,
+    /// scales and bias folded into the requantization epilogue; containers thread the
+    /// cursor through their children in forward order; everything else falls back to
+    /// the float forward in evaluation mode (the default implementation below).
     ///
     /// The float weight parameters of weight-bearing layers are never read — this is
     /// the path that executes the DRAM-resident `i8` image the RADAR check verifies.

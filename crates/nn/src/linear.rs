@@ -1,9 +1,9 @@
-use radar_tensor::{linear_i8, Tensor};
+use radar_tensor::{gemm_threads, linear_i8_requant, quantize_activations, Tensor};
 use rand::Rng;
 
 use crate::init::he_normal;
 use crate::layer::{join_path, Layer, Param};
-use crate::quantized::{add_row_bias, QuantCursor};
+use crate::quantized::QuantCursor;
 
 /// A fully-connected layer: `y = x W^T + b` with `x: (N, in)`, `W: (out, in)`,
 /// `b: (out)`.
@@ -101,17 +101,21 @@ impl Layer for Linear {
         self.check_input(input);
         let view = weights.take(&[self.out_features, self.in_features]);
         let n = input.dims()[0];
-        // Dot-product kernel over the i8 weights in their natural (out, in) order: no
-        // transpose, no dequantized weight tensor, nothing cached (eval only).
-        let mut data = linear_i8(
-            input.data(),
+        // Integer dot-product kernel over the i8 weights in their natural (out, in)
+        // order: activations quantize at a power-of-two scale, products accumulate in
+        // i32, and the epilogue folds both scales plus the bias — no transpose, no
+        // dequantized weight tensor, nothing cached (eval only).
+        let (xq, a_scale) = quantize_activations(input.data());
+        let data = linear_i8_requant(
+            &xq,
             view.values,
             n,
             self.in_features,
             self.out_features,
-            view.scale,
+            &[view.scale * a_scale],
+            Some(self.bias.value.data()),
+            gemm_threads(),
         );
-        add_row_bias(&mut data, n, self.out_features, self.bias.value.data());
         Tensor::from_vec(data, &[n, self.out_features]).expect("linear output shape is consistent")
     }
 

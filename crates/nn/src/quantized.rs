@@ -6,7 +6,20 @@
 //! values plus scale and shape); a [`QuantCursor`] streams the views to the model's
 //! layers in forward order, so
 //! [`Layer::forward_quantized`](crate::Layer::forward_quantized) never touches the
-//! float parameters.
+//! float parameters. The consuming layers hand each view's `values` slice directly to
+//! the integer GEMM kernels in `radar-tensor` (`gemm_i8_requant` /
+//! `linear_i8_requant`): i8×i8 products accumulate in `i32` and the view's `scale`
+//! is folded with the activation scale in the requantization epilogue, so no `f32`
+//! multiply touches the weight bytes. See `docs/KERNELS.md` for the full pipeline.
+//!
+//! # Equivalence guarantee
+//!
+//! For integer-valued weights at unit scale and activations whose values quantize
+//! exactly at a power-of-two scale (any dyadic values of magnitude ≤ 127 × the
+//! activation scale), the quantized forward pass is **bit-identical** to the float
+//! forward pass — both compute exact integer arithmetic below the `f32` mantissa
+//! limit. For general scales the paths agree to the requantization rounding
+//! (`radar-quant`'s `native_equivalence` tests pin argmax-level agreement).
 
 use radar_tensor::Tensor;
 
@@ -108,18 +121,6 @@ impl<'a> QuantCursor<'a> {
     /// Number of views not yet taken.
     pub fn remaining(&self) -> usize {
         self.views.len() - self.next
-    }
-}
-
-/// Adds `bias[j]` to every element of column-group `j` of a `(rows, out)` activation
-/// buffer — the shared bias epilogue of the quantized linear/conv kernels.
-pub(crate) fn add_row_bias(data: &mut [f32], rows: usize, out: usize, bias: &[f32]) {
-    debug_assert_eq!(data.len(), rows * out);
-    debug_assert_eq!(bias.len(), out);
-    for row in 0..rows {
-        for (v, &b) in data[row * out..(row + 1) * out].iter_mut().zip(bias.iter()) {
-            *v += b;
-        }
     }
 }
 

@@ -9,6 +9,8 @@
 //! * [`QuantizedModel`] — a model whose convolution/linear weights live in quantized
 //!   form; forward passes, losses, accuracies and weight gradients always reflect the
 //!   current (possibly attacked) integer values.
+//! * [`RequantParams`] — the per-layer requantization constants the integer GEMM
+//!   epilogue applies (weight scale, folded with the run-time activation scale).
 //!
 //! # Example
 //!
@@ -29,6 +31,8 @@
 
 mod qmodel;
 mod qtensor;
+mod requant;
 
 pub use qmodel::{QuantizedLayer, QuantizedModel, WeightSnapshot};
 pub use qtensor::{QuantizedTensor, MSB, WEIGHT_BITS};
+pub use requant::RequantParams;

@@ -46,7 +46,9 @@ pub struct WeightSnapshot {
 ///
 /// Inference ([`forward`](Self::forward), [`accuracy`](Self::accuracy),
 /// [`loss`](Self::loss)) executes **quantized-native**: the stored `i8` values feed
-/// the fused dequantize-in-kernel GEMM directly, so no float weight tensor is ever
+/// the true integer GEMM directly — i8×i8 products accumulated in `i32`, scales
+/// applied once in the requantization epilogue (see
+/// [`RequantParams`](crate::RequantParams)) — so no float weight tensor is ever
 /// materialized and attacker-modified values take effect immediately.
 ///
 /// The float model is kept for the gradient/training helpers PBFA needs
@@ -261,8 +263,9 @@ impl QuantizedModel {
     }
 
     /// Runs the model on `input` in evaluation mode, executing directly off the
-    /// current quantized `i8` values (fused dequantize-in-kernel GEMM): no float
-    /// weight tensor is materialized and no full-model synchronization happens.
+    /// current quantized `i8` values (integer GEMM with `i32` accumulation and a
+    /// requantization epilogue): no float weight tensor is materialized and no
+    /// full-model synchronization happens.
     pub fn forward(&mut self, input: &Tensor) -> Tensor {
         let views: Vec<QuantView<'_>> = self
             .layers
@@ -307,13 +310,28 @@ impl QuantizedModel {
         self.model.forward(input, false)
     }
 
-    /// Mean cross-entropy loss of the current quantized weights on `(input, labels)`.
+    /// Mean cross-entropy loss of the current quantized weights on `(input, labels)`,
+    /// evaluated over the quantized-native forward path (integer GEMM with quantized
+    /// activations) — the loss an attacker probing the deployed model observes.
     ///
     /// # Panics
     ///
     /// Panics if `labels.len()` does not match the batch size.
     pub fn loss(&mut self, input: &Tensor, labels: &[usize]) -> f32 {
         let logits = self.forward(input);
+        self.loss.loss(&logits, labels)
+    }
+
+    /// Mean cross-entropy loss evaluated over the [`forward_float`](Self::forward_float)
+    /// oracle — the differentiable loss that [`weight_gradients`](Self::weight_gradients)
+    /// is the exact gradient of (the native loss additionally quantizes activations,
+    /// so its finite differences carry requantization noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` does not match the batch size.
+    pub fn loss_float(&mut self, input: &Tensor, labels: &[usize]) -> f32 {
+        let logits = self.forward_float(input);
         self.loss.loss(&logits, labels)
     }
 
@@ -346,6 +364,20 @@ impl QuantizedModel {
             .map(|g| g.expect("every quantized layer has a matching float parameter"))
             .collect();
         (loss_value, grads)
+    }
+
+    /// The per-layer requantization parameters the integer GEMM epilogue applies,
+    /// in layer order — what an accelerator would program into its output-stage
+    /// registers. Scales are fixed at quantization time; only the run-time
+    /// activation scale is folded in per input (see
+    /// [`RequantParams::fold`](crate::RequantParams::fold)).
+    pub fn requant_params(&self) -> Vec<crate::RequantParams> {
+        self.layers
+            .iter()
+            .map(|l| crate::RequantParams {
+                weight_scale: l.weights.scale(),
+            })
+            .collect()
     }
 
     /// Top-1 accuracy of the current quantized weights on `(images, labels)`,
@@ -442,11 +474,14 @@ mod tests {
         let layer = 0;
         let idx = 3;
         let scale = qm.layer(layer).weights().scale();
-        let base = qm.loss(&x, &labels);
+        // Finite differences through the float oracle: the analytic gradient is of
+        // the differentiable dequantized loss, while the native loss additionally
+        // quantizes activations (stepwise, non-differentiable).
+        let base = qm.loss_float(&x, &labels);
         let orig = qm.layer(layer).weights().value(idx);
         qm.layer_weights_mut(layer)
             .set_value(idx, orig.saturating_add(2));
-        let plus = qm.loss(&x, &labels);
+        let plus = qm.loss_float(&x, &labels);
         let fd = (plus - base) / (2.0 * scale);
         let analytic = grads[layer].data()[idx];
         assert!(

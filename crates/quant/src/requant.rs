@@ -1,0 +1,74 @@
+//! Per-layer requantization parameters for the integer execution path.
+//!
+//! The quantized-native forward runs entirely in integer arithmetic: a layer's `i8`
+//! weight panel multiplies the `i8`-quantized activations, products accumulate in
+//! `i32`, and a single epilogue maps the accumulator back to real-valued activations.
+//! That epilogue is parameterized per layer by the constants collected here — the
+//! weight scale fixed at quantization time, folded at run time with the
+//! power-of-two activation scale chosen per input tensor.
+//!
+//! The math (see `docs/KERNELS.md` for the full derivation):
+//!
+//! ```text
+//! out[i][j] = (Σ_p wq[i][p] · xq[p][j]) · (weight_scale · activation_scale) + bias[i]
+//! ```
+//!
+//! Rounding mode: the accumulator is exact (`i32`, depth-bounded); the epilogue then
+//! performs exactly three `f32` roundings — widen the accumulator, multiply by the
+//! folded scale, add the bias — each round-to-nearest-even. Because activation
+//! scales are powers of two, folding ([`RequantParams::fold`]) is itself exact: it
+//! only adjusts the weight scale's exponent.
+
+/// The requantization constants one layer's integer GEMM epilogue applies.
+///
+/// Produced by [`QuantizedModel::requant_params`](crate::QuantizedModel::requant_params);
+/// the weight scale is the layer's symmetric per-tensor quantization scale
+/// (`float ≈ i8 × scale`), fixed when the model was quantized and unchanged by any
+/// weight attack (attacks flip stored bits, not scales).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequantParams {
+    /// Per-tensor weight dequantization scale; always positive.
+    pub weight_scale: f32,
+}
+
+impl RequantParams {
+    /// Folds the per-input activation scale into the weight scale, yielding the one
+    /// combined factor the GEMM epilogue multiplies the `i32` accumulator by.
+    ///
+    /// Activation scales produced by `radar_tensor::quantize_activations` are powers
+    /// of two, so this multiplication is exact (it shifts the weight scale's
+    /// exponent): the epilogue's only roundings are its own three `f32` operations,
+    /// never the folding.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use radar_quant::RequantParams;
+    ///
+    /// let p = RequantParams { weight_scale: 0.011718750 }; // 3/256
+    /// // Power-of-two activation scale: folding is an exact exponent shift.
+    /// assert_eq!(p.fold(0.03125), 3.0 / 8192.0);
+    /// ```
+    pub fn fold(&self, activation_scale: f32) -> f32 {
+        self.weight_scale * activation_scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folding_a_power_of_two_activation_scale_is_exact() {
+        // Any weight scale times a power of two only changes the exponent, so
+        // repeated fold/unfold round-trips exactly.
+        let p = RequantParams {
+            weight_scale: 0.037109375, // 19/512, exactly representable
+        };
+        for e in [-8i32, -4, -1, 0, 1, 4] {
+            let a = (2.0f32).powi(e);
+            let folded = p.fold(a);
+            assert_eq!(folded / a, p.weight_scale);
+        }
+    }
+}

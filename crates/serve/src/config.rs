@@ -4,8 +4,10 @@ use std::time::Duration;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecPath {
     /// Run forward straight off the fetched `i8` bytes: each worker keeps the
-    /// fetched layers in a reusable arena and the fused dequantize-in-kernel GEMM
-    /// consumes them directly — no float weight tensor, no model write-back.
+    /// fetched layers in a reusable arena and the true integer GEMM consumes them
+    /// directly — i8×i8 products accumulated in `i32`, scales applied in the
+    /// requantization epilogue, optionally threaded via `RADAR_GEMM_THREADS` — no
+    /// float weight tensor, no model write-back.
     #[default]
     QuantizedNative,
     /// The pre-quantized-native pipeline: fetched bytes are written back into the

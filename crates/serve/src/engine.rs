@@ -224,7 +224,9 @@ pub fn serve(
         // Inference workers: one model replica each, verified fetch in batch order,
         // overlapped inference. On the quantized-native path the fetched bytes land
         // in a per-worker layer arena — verified as raw slices, executed through the
-        // fused dequantize-in-kernel GEMM — and the replica contributes only its
+        // integer GEMM (i8×i8 products, i32 accumulation, requantization epilogue;
+        // GEMM-level threading stays at the RADAR_GEMM_THREADS default so worker
+        // parallelism composes predictably) — and the replica contributes only its
         // structure, scales and float-only layers; its stored weights are never
         // written. The float-oracle path is the old fetch → write-back →
         // dequantize-everything → float-forward pipeline.

@@ -105,6 +105,76 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Tensor {
     Tensor::from_vec(out, &[rows, cols]).expect("im2col output shape is consistent by construction")
 }
 
+/// Unfolds an already-quantized `(N, C, H, W)` input (raw row-major `i8` slice) into
+/// a `(C*K*K, N*H_out*W_out)` `i8` matrix — the integer-pipeline twin of [`im2col`],
+/// feeding `gemm_i8_requant` directly.
+///
+/// Quantizing *before* unfolding is what makes the native convolution cheap: the
+/// rounding pass touches each input element once instead of once per kernel
+/// position, and the unfolded matrix occupies a quarter of the float version's
+/// bytes. Padding contributes quantized zero (exactly representable at any scale),
+/// so `im2col_i8(quantize(x)) == quantize(im2col(x))` element-for-element whenever
+/// the same scale is used.
+///
+/// # Example
+///
+/// ```
+/// use radar_tensor::{im2col_i8, Conv2dGeometry};
+///
+/// // 1x1 kernel, stride 1: im2col is a reshape, so the values come back unchanged.
+/// let g = Conv2dGeometry::new(1, 1, 1, 0);
+/// let cols = im2col_i8(&[1, -2, 3, -4], 1, 1, 2, 2, &g);
+/// assert_eq!(cols, vec![1, -2, 3, -4]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `data.len()` does not equal `n*c*h*w`.
+pub fn im2col_i8(
+    data: &[i8],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: &Conv2dGeometry,
+) -> Vec<i8> {
+    assert_eq!(
+        data.len(),
+        n * c * h * w,
+        "im2col_i8 input length {} != {n}x{c}x{h}x{w}",
+        data.len()
+    );
+    let (h_out, w_out) = geom.output_size(h, w);
+    let rows = c * geom.kernel_h * geom.kernel_w;
+    let cols = n * h_out * w_out;
+    let mut out = vec![0i8; rows * cols];
+
+    for ni in 0..n {
+        for ci in 0..c {
+            for kh in 0..geom.kernel_h {
+                for kw in 0..geom.kernel_w {
+                    let row = ci * geom.kernel_h * geom.kernel_w + kh * geom.kernel_w + kw;
+                    for oh in 0..h_out {
+                        let ih = (oh * geom.stride + kh) as isize - geom.padding as isize;
+                        for ow in 0..w_out {
+                            let iw = (ow * geom.stride + kw) as isize - geom.padding as isize;
+                            let col = ni * h_out * w_out + oh * w_out + ow;
+                            let v = if ih >= 0 && iw >= 0 && (ih as usize) < h && (iw as usize) < w
+                            {
+                                data[((ni * c + ci) * h + ih as usize) * w + iw as usize]
+                            } else {
+                                0
+                            };
+                            out[row * cols + col] = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Folds a `(C*K*K, N*H_out*W_out)` matrix back into an `(N, C, H, W)` tensor, summing
 /// overlapping contributions. This is the adjoint of [`im2col`] and is used for the
 /// gradient with respect to the convolution input.

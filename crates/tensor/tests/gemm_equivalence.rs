@@ -1,15 +1,27 @@
-//! Property tests pinning the blocked GEMM kernels to their naive references, over
-//! ragged shapes that straddle the blocking factors (non-multiples of the `k`/`n`
-//! panel sizes included). `gemm_f32` must be *bit-identical* to the textbook triple
-//! loop — the kernel only reorders which elements are worked on, never the additions
-//! into one element — and `gemm_i8_dequant` must be bit-identical to
-//! dequantize-then-multiply whenever the scale is exact (unit scale here; the general
-//! argmax-level agreement is pinned in `radar-quant`'s `native_equivalence` tests).
+//! Property tests pinning the GEMM kernels to their naive references, over ragged
+//! shapes that straddle the blocking factors (non-multiples of the `k`/`n` panel
+//! sizes included).
+//!
+//! Contracts proved here:
+//! - `gemm_f32` is *bit-identical* to the textbook triple loop — the kernel only
+//!   reorders which elements are worked on, never the additions into one element.
+//! - `gemm_i8` is *integer-exact*: equal to widening every operand to `i32` and
+//!   running the textbook loop. Integer addition is associative, so blocking and
+//!   zero-skipping cannot change a single bit.
+//! - `gemm_i8_requant` / `linear_i8_requant` threaded output is *bit-identical* to
+//!   single-threaded for any thread count (each output element is computed by exactly
+//!   one worker, from the same exact integer accumulator).
+//! - The requantization epilogue tracks the infinitely-precise `acc·scale + bias` to
+//!   within its three `f32` roundings (widen, multiply, add).
+//! - End to end: integer weights at unit scale × integer-valued activations (which
+//!   quantize exactly at a power-of-two scale) make the whole integer pipeline
+//!   bit-identical to the float oracle. The general argmax-level agreement is pinned
+//!   in `radar-quant`'s `native_equivalence` tests.
 
 use proptest::prelude::*;
-use radar_tensor::{gemm_f32, gemm_i8_dequant, linear_i8};
+use radar_tensor::{gemm_f32, gemm_i8, gemm_i8_requant, linear_i8_requant, quantize_activations};
 
-/// The textbook reference: `i-k-j` accumulation, no blocking, no zero skipping.
+/// The textbook f32 reference: `i-k-j` accumulation, no blocking, no zero skipping.
 fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     let mut out = vec![0.0f32; m * n];
     for i in 0..m {
@@ -17,6 +29,21 @@ fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
             let a_ip = a[i * k + p];
             for j in 0..n {
                 out[i * n + j] += a_ip * b[p * n + j];
+            }
+        }
+    }
+    out
+}
+
+/// The widen-to-i32 reference for the integer kernels: every product formed after
+/// sign-extending both operands, accumulated in `i32`, no blocking.
+fn naive_i32(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
+    let mut out = vec![0i32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let a_ip = a[i * k + p] as i32;
+            for j in 0..n {
+                out[i * n + j] += a_ip * b[p * n + j] as i32;
             }
         }
     }
@@ -39,9 +66,9 @@ fn ragged_dims() -> impl Strategy<Value = (usize, usize, usize)> {
 }
 
 /// An `i8` weight drawn over the full quantized range (including 0, the value a RADAR
-/// zero-out recovery writes).
+/// zero-out recovery writes, and -128, the value a bit flip can mint).
 fn weight() -> impl Strategy<Value = i8> {
-    (-127i32..128).prop_map(|v| v as i8)
+    (-128i32..128).prop_map(|v| v as i8)
 }
 
 proptest! {
@@ -56,58 +83,107 @@ proptest! {
         prop_assert_eq!(gemm_f32(&a, &b, m, k, n), naive(&a, &b, m, k, n));
     }
 
-    /// At unit scale the fused dequantize-in-kernel product is bit-identical to
-    /// widening the weights to `f32` first (integer-exact inputs → exact equality).
+    /// The blocked, tiled, zero-skipping integer kernel is integer-exact: bit-equal
+    /// to the widen-to-i32 textbook loop over ragged panel-straddling shapes.
     #[test]
-    fn fused_dequant_gemm_is_exact_at_unit_scale(
+    fn gemm_i8_equals_widen_to_i32_reference(
         (m, k, n) in ragged_dims(),
         wseed in prop::collection::vec(weight(), 64..65),
-        bseed in prop::collection::vec(-3.0f32..3.0, 64..65),
+        xseed in prop::collection::vec(weight(), 64..65),
     ) {
         let w: Vec<i8> = (0..m * k).map(|i| wseed[i % wseed.len()]).collect();
-        let b: Vec<f32> = (0..k * n).map(|i| bseed[(i * 13 + 5) % bseed.len()]).collect();
-        let wf: Vec<f32> = w.iter().map(|&q| q as f32).collect();
-        prop_assert_eq!(gemm_i8_dequant(&w, &b, m, k, n, 1.0), naive(&wf, &b, m, k, n));
+        let x: Vec<i8> = (0..k * n).map(|i| xseed[(i * 13 + 5) % xseed.len()]).collect();
+        prop_assert_eq!(gemm_i8(&w, &x, m, k, n), naive_i32(&w, &x, m, k, n));
     }
 
-    /// The fully-connected kernel matches transpose-then-multiply on the widened
-    /// weights (the float path of `Linear::forward`), again exactly at unit scale.
+    /// Threaded requantizing GEMM is bit-identical to single-threaded for any thread
+    /// count — covering both the row-split (`m >= threads`) and the column-split
+    /// (`m < threads`) path, per-row scales and fused bias included.
     #[test]
-    fn linear_i8_equals_transpose_then_matmul(
-        (rows, k, m) in (1usize..6, 1usize..300, 1usize..10),
+    fn threaded_gemm_requant_is_bit_identical_to_single_threaded(
+        (m, k, n) in ragged_dims(),
+        threads in 2usize..6,
         wseed in prop::collection::vec(weight(), 64..65),
-        xseed in prop::collection::vec(-2.0f32..2.0, 64..65),
+        xseed in prop::collection::vec(weight(), 64..65),
+        sseed in prop::collection::vec(0.001f32..0.75, 8..9),
     ) {
-        let x: Vec<f32> = (0..rows * k).map(|i| xseed[i % xseed.len()]).collect();
+        let w: Vec<i8> = (0..m * k).map(|i| wseed[i % wseed.len()]).collect();
+        let x: Vec<i8> = (0..k * n).map(|i| xseed[(i * 13 + 5) % xseed.len()]).collect();
+        let scales: Vec<f32> = (0..m).map(|i| sseed[i % sseed.len()]).collect();
+        let bias: Vec<f32> = (0..m).map(|i| sseed[(i * 3 + 1) % sseed.len()] - 0.4).collect();
+        let single = gemm_i8_requant(&w, &x, m, k, n, &scales, Some(&bias), 1);
+        let multi = gemm_i8_requant(&w, &x, m, k, n, &scales, Some(&bias), threads);
+        prop_assert_eq!(single, multi);
+    }
+
+    /// Threaded fully-connected kernel is bit-identical to single-threaded over
+    /// ragged depths, including the `rows < threads` remainder handling.
+    #[test]
+    fn threaded_linear_requant_is_bit_identical_to_single_threaded(
+        (rows, k, m) in (1usize..6, 1usize..300, 1usize..10),
+        threads in 2usize..6,
+        wseed in prop::collection::vec(weight(), 64..65),
+        xseed in prop::collection::vec(weight(), 64..65),
+    ) {
+        let x: Vec<i8> = (0..rows * k).map(|i| xseed[i % xseed.len()]).collect();
         let w: Vec<i8> = (0..m * k).map(|i| wseed[(i * 3 + 1) % wseed.len()]).collect();
-        let mut wt = vec![0.0f32; k * m];
-        for j in 0..m {
-            for p in 0..k {
-                wt[p * m + j] = w[j * k + p] as f32;
+        let scale = [0.03125f32];
+        let single = linear_i8_requant(&x, &w, rows, k, m, &scale, None, 1);
+        let multi = linear_i8_requant(&x, &w, rows, k, m, &scale, None, threads);
+        prop_assert_eq!(single, multi);
+    }
+
+    /// The requantization epilogue tracks the infinitely-precise `acc·scale + bias`
+    /// (computed in f64) to within its three f32 roundings: widen the i32
+    /// accumulator, multiply by the folded scale, add the bias.
+    #[test]
+    fn requantization_tracks_exact_epilogue_within_rounding(
+        (m, k, n) in ragged_dims(),
+        wseed in prop::collection::vec(weight(), 64..65),
+        xseed in prop::collection::vec(weight(), 64..65),
+        scale in 0.0001f32..0.1,
+        bias0 in -2.0f32..2.0,
+    ) {
+        let w: Vec<i8> = (0..m * k).map(|i| wseed[i % wseed.len()]).collect();
+        let x: Vec<i8> = (0..k * n).map(|i| xseed[(i * 13 + 5) % xseed.len()]).collect();
+        let bias: Vec<f32> = (0..m).map(|i| bias0 + i as f32 * 0.125).collect();
+        let acc = naive_i32(&w, &x, m, k, n);
+        let out = gemm_i8_requant(&w, &x, m, k, n, &[scale], Some(&bias), 1);
+        for i in 0..m {
+            for j in 0..n {
+                let exact = acc[i * n + j] as f64 * scale as f64 + bias[i] as f64;
+                let got = out[i * n + j] as f64;
+                // Three roundings, each ≤ half an ulp of its intermediate: bound by
+                // 3 ulp of the result magnitude (plus the bias magnitude, in case of
+                // cancellation in the final add).
+                let ulp = f32::EPSILON as f64
+                    * (acc[i * n + j].unsigned_abs() as f64 * scale as f64
+                        + bias[i].abs() as f64
+                        + f32::MIN_POSITIVE as f64);
+                prop_assert!(
+                    (got - exact).abs() <= 3.0 * ulp,
+                    "requant {} vs exact {} (bound {})", got, exact, 3.0 * ulp
+                );
             }
         }
-        prop_assert_eq!(linear_i8(&x, &w, rows, k, m, 1.0), naive(&x, &wt, rows, k, m));
     }
 
-    /// A general (inexact) scale still matches dequantize-then-multiply to within a
-    /// tight relative bound: the only divergence is where the scale rounding lands.
+    /// End to end: integer weights at unit scale and integer-valued activations make
+    /// the full pipeline — `quantize_activations` → `gemm_i8_requant` with the folded
+    /// scale — bit-identical to the float oracle. Power-of-two activation scales
+    /// quantize integer values exactly, and every intermediate stays below the f32
+    /// mantissa limit, so both paths compute the same exact integers.
     #[test]
-    fn fused_dequant_gemm_tracks_float_oracle_under_general_scale(
+    fn integer_pipeline_is_bit_identical_to_float_oracle(
         (m, k, n) in ragged_dims(),
-        wseed in prop::collection::vec(weight(), 64..65),
-        bseed in prop::collection::vec(-3.0f32..3.0, 64..65),
-        scale in 0.001f32..0.1,
+        wseed in prop::collection::vec(-127i32..128, 64..65),
+        xseed in prop::collection::vec(-5i32..6, 64..65),
     ) {
-        let w: Vec<i8> = (0..m * k).map(|i| wseed[i % wseed.len()]).collect();
-        let b: Vec<f32> = (0..k * n).map(|i| bseed[(i * 13 + 5) % bseed.len()]).collect();
-        let wf: Vec<f32> = w.iter().map(|&q| q as f32 * scale).collect();
-        let fused = gemm_i8_dequant(&w, &b, m, k, n, scale);
-        let oracle = naive(&wf, &b, m, k, n);
-        for (x, y) in fused.iter().zip(oracle.iter()) {
-            prop_assert!(
-                (x - y).abs() <= 1e-4 * (1.0 + y.abs()),
-                "fused {} vs oracle {}", x, y
-            );
-        }
+        let w: Vec<i8> = (0..m * k).map(|i| wseed[i % wseed.len()] as i8).collect();
+        let x: Vec<f32> = (0..k * n).map(|i| xseed[(i * 13 + 5) % xseed.len()] as f32).collect();
+        let (xq, a_scale) = quantize_activations(&x);
+        let native = gemm_i8_requant(&w, &xq, m, k, n, &[a_scale], None, 1);
+        let wf: Vec<f32> = w.iter().map(|&q| q as f32).collect();
+        prop_assert_eq!(native, naive(&wf, &x, m, k, n));
     }
 }

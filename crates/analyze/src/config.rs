@@ -1,0 +1,413 @@
+//! A dependency-free parser for the TOML subset `lints.toml` uses.
+//!
+//! Supported grammar: `# comments`, `[[rule]]` / `[[rule.allow]]` array-of-tables
+//! headers, and `key = value` pairs where a value is a quoted string (with `\"`,
+//! `\\`, `\n` and `\t` escapes), a boolean, or an array of quoted strings that may
+//! span multiple lines. That is everything the lint configuration needs; anything
+//! else is a hard error so a typo cannot silently disable a rule.
+
+use std::fmt;
+
+/// What a rule checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleKind {
+    /// Listed tokens may not appear in scope at all (unless allowlisted).
+    ForbiddenTokens,
+    /// Listed tokens need an adjacent justification comment.
+    JustifiedTokens,
+    /// Every crate root must carry an attribute (or the manifest fallback).
+    CrateAttr,
+}
+
+impl fmt::Display for RuleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RuleKind::ForbiddenTokens => "forbidden-tokens",
+            RuleKind::JustifiedTokens => "justified-tokens",
+            RuleKind::CrateAttr => "crate-attr",
+        })
+    }
+}
+
+/// An allowlist entry: a scoped, *reasoned* exemption from its rule.
+#[derive(Debug, Clone, Default)]
+pub struct AllowEntry {
+    /// Path substring the exemption applies to (unix-style, workspace-relative).
+    pub file: String,
+    /// Token the exemption applies to; empty means every token of the rule.
+    pub token: String,
+    /// Why the exemption is sound. Mandatory — enforced at parse time.
+    pub reason: String,
+}
+
+/// One declared rule.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Stable identifier, used in reports and fixture names.
+    pub id: String,
+    /// What the rule checks.
+    pub kind: RuleKind,
+    /// Human-readable rationale, one line.
+    pub description: String,
+    /// Tokens to match (after comment/string stripping).
+    pub tokens: Vec<String>,
+    /// Path substrings restricting which files are in scope; empty = all files.
+    pub files: Vec<String>,
+    /// Enclosing-function names restricting matches; empty = anywhere.
+    pub functions: Vec<String>,
+    /// For [`RuleKind::JustifiedTokens`]: the comment marker that justifies a hit.
+    pub justification: String,
+    /// For [`RuleKind::CrateAttr`]: the attribute each crate root must carry.
+    pub attr: String,
+    /// For [`RuleKind::CrateAttr`]: a root-manifest line that satisfies the rule
+    /// workspace-wide (the crate must also opt in with `[lints] workspace = true`).
+    pub manifest_key: String,
+    /// Whether `#[cfg(test)]` regions are exempt (default `true`).
+    pub skip_tests: bool,
+    /// Scoped, reasoned exemptions.
+    pub allow: Vec<AllowEntry>,
+}
+
+impl Default for Rule {
+    fn default() -> Self {
+        Rule {
+            id: String::new(),
+            kind: RuleKind::ForbiddenTokens,
+            description: String::new(),
+            tokens: Vec::new(),
+            files: Vec::new(),
+            functions: Vec::new(),
+            justification: String::new(),
+            attr: String::new(),
+            manifest_key: String::new(),
+            skip_tests: true,
+            allow: Vec::new(),
+        }
+    }
+}
+
+/// The whole lint configuration.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// Rules, in declaration order.
+    pub rules: Vec<Rule>,
+}
+
+/// One parsed `key = value` assignment.
+enum Value {
+    Str(String),
+    List(Vec<String>),
+    Bool(bool),
+}
+
+/// Strips a `#` comment that is outside any quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses one quoted string starting at `s` (which must begin with `"`); returns
+/// the string and the rest of the input after the closing quote.
+fn parse_string(s: &str, line_no: usize) -> Result<(String, &str), String> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    match chars.next() {
+        Some((_, '"')) => {}
+        _ => return Err(format!("line {line_no}: expected a quoted string")),
+    }
+    let mut escaped = false;
+    for (i, c) in chars {
+        if escaped {
+            out.push(match c {
+                'n' => '\n',
+                't' => '\t',
+                other => other, // covers \" and \\
+            });
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            return Ok((out, &s[i + c.len_utf8()..]));
+        } else {
+            out.push(c);
+        }
+    }
+    Err(format!("line {line_no}: unterminated string"))
+}
+
+/// Parses the elements of an array body (the text between `[` and `]`, possibly
+/// accumulated across lines, with the brackets removed).
+fn parse_list(body: &str, line_no: usize) -> Result<Vec<String>, String> {
+    let mut items = Vec::new();
+    let mut rest = body.trim_start();
+    while !rest.is_empty() {
+        let (item, after) = parse_string(rest, line_no)?;
+        items.push(item);
+        rest = after.trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("line {line_no}: expected ',' between array items"));
+        }
+    }
+    Ok(items)
+}
+
+fn parse_value(raw: &str, line_no: usize) -> Result<Value, String> {
+    let raw = raw.trim();
+    if raw == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if raw == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(body) = raw.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| format!("line {line_no}: unterminated array"))?;
+        return Ok(Value::List(parse_list(body, line_no)?));
+    }
+    if raw.starts_with('"') {
+        let (s, rest) = parse_string(raw, line_no)?;
+        if !rest.trim().is_empty() {
+            return Err(format!("line {line_no}: trailing input after string"));
+        }
+        return Ok(Value::Str(s));
+    }
+    Err(format!("line {line_no}: unsupported value `{raw}`"))
+}
+
+#[derive(PartialEq)]
+enum Section {
+    Top,
+    Rule,
+    Allow,
+}
+
+/// Parses `lints.toml` text into a [`LintConfig`], validating that every rule is
+/// well-formed and every allowlist entry carries a reason.
+pub fn parse(text: &str) -> Result<LintConfig, String> {
+    let mut config = LintConfig::default();
+    let mut section = Section::Top;
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw_line)) = lines.next() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[rule]]" {
+            config.rules.push(Rule::default());
+            section = Section::Rule;
+            continue;
+        }
+        if line == "[[rule.allow]]" {
+            let rule = config
+                .rules
+                .last_mut()
+                .ok_or_else(|| format!("line {line_no}: [[rule.allow]] before any [[rule]]"))?;
+            rule.allow.push(AllowEntry::default());
+            section = Section::Allow;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!("line {line_no}: unsupported section `{line}`"));
+        }
+        let (key, mut value_text) = line
+            .split_once('=')
+            .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+            .ok_or_else(|| format!("line {line_no}: expected `key = value`"))?;
+        // Multi-line array: accumulate until the closing bracket.
+        if value_text.starts_with('[') && !value_text.ends_with(']') {
+            for (_, more) in lines.by_ref() {
+                let more = strip_comment(more).trim();
+                value_text.push(' ');
+                value_text.push_str(more);
+                if more.ends_with(']') {
+                    break;
+                }
+            }
+        }
+        let value = parse_value(&value_text, line_no)?;
+        match section {
+            Section::Top => {
+                return Err(format!("line {line_no}: `{key}` outside any [[rule]]"));
+            }
+            Section::Rule => {
+                let rule = config.rules.last_mut().expect("section implies a rule");
+                assign_rule(rule, &key, value, line_no)?;
+            }
+            Section::Allow => {
+                let entry = config
+                    .rules
+                    .last_mut()
+                    .and_then(|r| r.allow.last_mut())
+                    .expect("section implies an allow entry");
+                assign_allow(entry, &key, value, line_no)?;
+            }
+        }
+    }
+    validate(&config)?;
+    Ok(config)
+}
+
+fn expect_str(value: Value, key: &str, line_no: usize) -> Result<String, String> {
+    match value {
+        Value::Str(s) => Ok(s),
+        _ => Err(format!("line {line_no}: `{key}` must be a string")),
+    }
+}
+
+fn assign_rule(rule: &mut Rule, key: &str, value: Value, line_no: usize) -> Result<(), String> {
+    match (key, value) {
+        ("id", v) => rule.id = expect_str(v, key, line_no)?,
+        ("kind", v) => {
+            rule.kind = match expect_str(v, key, line_no)?.as_str() {
+                "forbidden-tokens" => RuleKind::ForbiddenTokens,
+                "justified-tokens" => RuleKind::JustifiedTokens,
+                "crate-attr" => RuleKind::CrateAttr,
+                other => return Err(format!("line {line_no}: unknown rule kind `{other}`")),
+            }
+        }
+        ("description", v) => rule.description = expect_str(v, key, line_no)?,
+        ("justification", v) => rule.justification = expect_str(v, key, line_no)?,
+        ("attr", v) => rule.attr = expect_str(v, key, line_no)?,
+        ("manifest_key", v) => rule.manifest_key = expect_str(v, key, line_no)?,
+        ("tokens", Value::List(l)) => rule.tokens = l,
+        ("files", Value::List(l)) => rule.files = l,
+        ("functions", Value::List(l)) => rule.functions = l,
+        ("skip_tests", Value::Bool(b)) => rule.skip_tests = b,
+        (other, _) => {
+            return Err(format!(
+                "line {line_no}: unknown or mistyped rule key `{other}`"
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn assign_allow(
+    entry: &mut AllowEntry,
+    key: &str,
+    value: Value,
+    line_no: usize,
+) -> Result<(), String> {
+    match key {
+        "file" => entry.file = expect_str(value, key, line_no)?,
+        "token" => entry.token = expect_str(value, key, line_no)?,
+        "reason" => entry.reason = expect_str(value, key, line_no)?,
+        other => return Err(format!("line {line_no}: unknown allow key `{other}`")),
+    }
+    Ok(())
+}
+
+fn validate(config: &LintConfig) -> Result<(), String> {
+    if config.rules.is_empty() {
+        return Err("config declares no rules".to_string());
+    }
+    for rule in &config.rules {
+        if rule.id.is_empty() {
+            return Err("a rule is missing its `id`".to_string());
+        }
+        match rule.kind {
+            RuleKind::ForbiddenTokens | RuleKind::JustifiedTokens => {
+                if rule.tokens.is_empty() {
+                    return Err(format!("rule `{}` declares no tokens", rule.id));
+                }
+                if rule.kind == RuleKind::JustifiedTokens && rule.justification.is_empty() {
+                    return Err(format!("rule `{}` is missing `justification`", rule.id));
+                }
+            }
+            RuleKind::CrateAttr => {
+                if rule.attr.is_empty() {
+                    return Err(format!("rule `{}` is missing `attr`", rule.id));
+                }
+            }
+        }
+        for entry in &rule.allow {
+            if entry.file.is_empty() {
+                return Err(format!("rule `{}`: allow entry without `file`", rule.id));
+            }
+            if entry.reason.trim().is_empty() {
+                return Err(format!(
+                    "rule `{}`: allow entry for `{}` has no `reason` — every exemption must say why it is sound",
+                    rule.id, entry.file
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_rules_allow_entries_and_multiline_arrays() {
+        let config = parse(
+            r#"
+# comment
+[[rule]]
+id = "demo"
+kind = "justified-tokens"
+description = "d # not a comment inside a string"
+tokens = [
+    "Ordering::Relaxed", # trailing comment
+    "escaped \" quote",
+]
+justification = "// relaxed:"
+skip_tests = false
+
+[[rule.allow]]
+file = "crates/x"
+reason = "because"
+"#,
+        )
+        .expect("parses");
+        assert_eq!(config.rules.len(), 1);
+        let rule = &config.rules[0];
+        assert_eq!(rule.kind, RuleKind::JustifiedTokens);
+        assert_eq!(rule.tokens, ["Ordering::Relaxed", "escaped \" quote"]);
+        assert!(!rule.skip_tests);
+        assert!(rule.description.contains("# not a comment"));
+        assert_eq!(rule.allow[0].reason, "because");
+    }
+
+    #[test]
+    fn reasonless_allow_entries_are_config_errors() {
+        let err = parse(
+            r#"
+[[rule]]
+id = "demo"
+kind = "forbidden-tokens"
+tokens = ["x"]
+
+[[rule.allow]]
+file = "crates/x"
+"#,
+        )
+        .expect_err("must reject");
+        assert!(err.contains("no `reason`"), "got: {err}");
+    }
+
+    #[test]
+    fn unknown_keys_and_kinds_are_rejected() {
+        assert!(parse("[[rule]]\nid = \"a\"\nkind = \"nope\"\ntokens=[\"x\"]").is_err());
+        assert!(parse("[[rule]]\nid = \"a\"\nbogus = \"x\"\ntokens=[\"x\"]").is_err());
+        assert!(parse("stray = \"x\"").is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! cargo run -p radar-analyze [-- --root DIR] [--config FILE] [--json FILE] [--quiet]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` configuration or I/O error.
+
+use std::env;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Walks up from `start` to the first directory whose `Cargo.toml` declares a
+/// `[workspace]`.
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+struct Args {
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+    json: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        config: None,
+        json: None,
+        quiet: false,
+    };
+    let mut it = env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut path_flag = |name: &str| {
+            it.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{name} requires a path argument"))
+        };
+        match arg.as_str() {
+            "--root" => args.root = Some(path_flag("--root")?),
+            "--config" => args.config = Some(path_flag("--config")?),
+            "--json" => args.json = Some(path_flag("--json")?),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "radar-analyze: workspace invariant linter\n\n\
+                     USAGE: radar-analyze [--root DIR] [--config FILE] [--json FILE] [--quiet]\n\n\
+                     Defaults: root = nearest [workspace] ancestor, config = <root>/crates/analyze/lints.toml,\n\
+                     json = <root>/artifacts/results/ANALYZE.json.\n\
+                     Exits 0 when clean, 1 on violations, 2 on config/I-O errors."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let root = match args.root {
+        Some(root) => root,
+        None => {
+            let cwd = env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+            find_workspace_root(&cwd).ok_or_else(|| {
+                "no [workspace] Cargo.toml above the current directory".to_string()
+            })?
+        }
+    };
+    let config_path = args
+        .config
+        .unwrap_or_else(|| root.join("crates/analyze/lints.toml"));
+    let json_path = args
+        .json
+        .unwrap_or_else(|| root.join("artifacts/results/ANALYZE.json"));
+
+    let report = radar_analyze::analyze_with_config_file(&root, &config_path)?;
+
+    if let Some(dir) = json_path.parent() {
+        fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    fs::write(&json_path, report.to_json())
+        .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+
+    if !args.quiet {
+        print!("{}", report.render_table());
+        println!("report: {}", json_path.display());
+    }
+    Ok(report.clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(err) => {
+            eprintln!("radar-analyze: error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Analysis results, their JSON serialization and the human-readable table.
+//!
+//! The JSON writer is hand-rolled (the linter is dependency-free by design); the
+//! schema is stable so CI artifacts remain diffable across runs.
+
+use std::fmt::Write as _;
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The token (or attribute) that matched.
+    pub token: String,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+/// A token hit that an allowlist entry exempted, recorded with its reason so the
+/// report shows *why* each exemption exists.
+#[derive(Debug, Clone)]
+pub struct AllowedHit {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The exempted token.
+    pub token: String,
+    /// The allowlist entry's reason.
+    pub reason: String,
+}
+
+/// Per-rule results.
+#[derive(Debug, Clone)]
+pub struct RuleSummary {
+    /// Rule identifier.
+    pub id: String,
+    /// Rule kind name.
+    pub kind: String,
+    /// Rule description.
+    pub description: String,
+    /// Unallowlisted violations.
+    pub violations: Vec<Finding>,
+    /// Allowlisted hits.
+    pub allowed: Vec<AllowedHit>,
+}
+
+/// The full analysis report.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Workspace root analyzed.
+    pub root: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Per-rule results, in declaration order.
+    pub rules: Vec<RuleSummary>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl AnalysisReport {
+    /// Total unallowlisted violations across all rules.
+    pub fn total_violations(&self) -> usize {
+        self.rules.iter().map(|r| r.violations.len()).sum()
+    }
+
+    /// Whether the workspace is clean under every rule.
+    pub fn clean(&self) -> bool {
+        self.total_violations() == 0
+    }
+
+    /// The findings for one rule, by id (used by fixture tests).
+    pub fn rule(&self, id: &str) -> Option<&RuleSummary> {
+        self.rules.iter().find(|r| r.id == id)
+    }
+
+    /// Serializes the report as stable, pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"root\": \"{}\",", json_escape(&self.root));
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"total_violations\": {},", self.total_violations());
+        out.push_str("  \"rules\": [\n");
+        for (i, rule) in self.rules.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"id\": \"{}\",", json_escape(&rule.id));
+            let _ = writeln!(out, "      \"kind\": \"{}\",", json_escape(&rule.kind));
+            let _ = writeln!(
+                out,
+                "      \"description\": \"{}\",",
+                json_escape(&rule.description)
+            );
+            out.push_str("      \"violations\": [");
+            for (j, v) in rule.violations.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "{}\n        {{\"file\": \"{}\", \"line\": {}, \"token\": \"{}\", \"excerpt\": \"{}\"}}",
+                    if j == 0 { "" } else { "," },
+                    json_escape(&v.file),
+                    v.line,
+                    json_escape(&v.token),
+                    json_escape(&v.excerpt)
+                );
+            }
+            if rule.violations.is_empty() {
+                out.push_str("],\n");
+            } else {
+                out.push_str("\n      ],\n");
+            }
+            out.push_str("      \"allowed\": [");
+            for (j, a) in rule.allowed.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "{}\n        {{\"file\": \"{}\", \"line\": {}, \"token\": \"{}\", \"reason\": \"{}\"}}",
+                    if j == 0 { "" } else { "," },
+                    json_escape(&a.file),
+                    a.line,
+                    json_escape(&a.token),
+                    json_escape(&a.reason)
+                );
+            }
+            if rule.allowed.is_empty() {
+                out.push_str("]\n");
+            } else {
+                out.push_str("\n      ]\n");
+            }
+            out.push_str(if i + 1 == self.rules.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders the human-readable summary table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "radar-analyze: {} files scanned under {}",
+            self.files_scanned, self.root
+        );
+        let width = self.rules.iter().map(|r| r.id.len()).max().unwrap_or(4);
+        for rule in &self.rules {
+            let status = if rule.violations.is_empty() {
+                "PASS"
+            } else {
+                "FAIL"
+            };
+            let _ = writeln!(
+                out,
+                "  {status}  {:width$}  {:2} violation(s)  {:2} allowed  {}",
+                rule.id,
+                rule.violations.len(),
+                rule.allowed.len(),
+                rule.description,
+            );
+            for v in &rule.violations {
+                let _ = writeln!(
+                    out,
+                    "        {}:{}  `{}`  {}",
+                    v.file, v.line, v.token, v.excerpt
+                );
+            }
+        }
+        let _ = writeln!(out, "total violations: {}", self.total_violations());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AnalysisReport {
+        AnalysisReport {
+            root: "/ws".to_string(),
+            files_scanned: 2,
+            rules: vec![RuleSummary {
+                id: "demo".to_string(),
+                kind: "forbidden-tokens".to_string(),
+                description: "d".to_string(),
+                violations: vec![Finding {
+                    file: "crates/x/src/lib.rs".to_string(),
+                    line: 3,
+                    token: "bad(".to_string(),
+                    excerpt: "bad(\"quote \\\" inside\")".to_string(),
+                }],
+                allowed: vec![],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let json = sample().to_json();
+        assert!(json.contains("\"total_violations\": 1"));
+        assert!(json.contains("quote \\\\\\\" inside"));
+        // Balanced braces/brackets — cheap structural sanity for the hand-rolled writer.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn table_marks_failing_rules() {
+        let table = sample().render_table();
+        assert!(table.contains("FAIL"));
+        assert!(table.contains("crates/x/src/lib.rs:3"));
+    }
+}

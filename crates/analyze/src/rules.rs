@@ -1,0 +1,181 @@
+//! Rule evaluation over scanned sources.
+
+use std::fs;
+use std::path::Path;
+
+use crate::config::{LintConfig, Rule, RuleKind};
+use crate::report::{AllowedHit, AnalysisReport, Finding, RuleSummary};
+use crate::scan::SourceFile;
+
+/// Whether `rule` applies to the file at `rel` (empty `files` = every file).
+fn file_in_scope(rule: &Rule, rel: &str) -> bool {
+    rule.files.is_empty() || rule.files.iter().any(|f| rel.contains(f.as_str()))
+}
+
+/// Returns the matching allowlist reason, if any.
+fn allowed_reason<'a>(rule: &'a Rule, rel: &str, token: &str) -> Option<&'a str> {
+    rule.allow
+        .iter()
+        .find(|a| rel.contains(a.file.as_str()) && (a.token.is_empty() || a.token == token))
+        .map(|a| a.reason.as_str())
+}
+
+/// Whether the token hit at `line_idx` carries a justification marker: on the same
+/// raw line, or above it across an immediately preceding run of comment lines,
+/// further token lines (one comment may cover a contiguous block of identical
+/// operations) or statement continuations (a multi-line expression counts as one
+/// statement — the comment sits above its first line).
+fn justified(file: &SourceFile, line_idx: usize, token: &str, marker: &str) -> bool {
+    let mut j = line_idx;
+    loop {
+        if file.raw_lines[j].contains(marker) {
+            return true;
+        }
+        if j == 0 {
+            return false;
+        }
+        let prev_raw = file.raw_lines[j - 1].trim();
+        let prev_terminates = prev_raw.is_empty()
+            || prev_raw.ends_with(';')
+            || prev_raw.ends_with('{')
+            || prev_raw.ends_with('}');
+        if prev_raw.starts_with("//") || file.code_lines[j - 1].contains(token) || !prev_terminates
+        {
+            j -= 1;
+        } else {
+            return false;
+        }
+    }
+}
+
+fn eval_token_rule(rule: &Rule, file: &SourceFile, summary: &mut RuleSummary) {
+    for (idx, code_line) in file.code_lines.iter().enumerate() {
+        if rule.skip_tests && file.in_test[idx] {
+            continue;
+        }
+        for token in &rule.tokens {
+            if !code_line.contains(token.as_str()) {
+                continue;
+            }
+            if !rule.functions.is_empty() {
+                let in_scope = file.enclosing_fn[idx]
+                    .as_deref()
+                    .is_some_and(|name| rule.functions.iter().any(|f| f == name));
+                if !in_scope {
+                    continue;
+                }
+            }
+            if rule.kind == RuleKind::JustifiedTokens
+                && justified(file, idx, token, &rule.justification)
+            {
+                continue;
+            }
+            let excerpt = file.raw_lines[idx].trim().to_string();
+            if let Some(reason) = allowed_reason(rule, &file.rel, token) {
+                summary.allowed.push(AllowedHit {
+                    file: file.rel.clone(),
+                    line: idx + 1,
+                    token: token.clone(),
+                    reason: reason.to_string(),
+                });
+            } else {
+                summary.violations.push(Finding {
+                    file: file.rel.clone(),
+                    line: idx + 1,
+                    token: token.clone(),
+                    excerpt,
+                });
+            }
+        }
+    }
+}
+
+/// Whether the crate owning `root_file` opts into the workspace lint table that
+/// satisfies `rule` (its manifest says `[lints] workspace = true` and the workspace
+/// root manifest carries the rule's `manifest_key` line).
+fn manifest_satisfies(rule: &Rule, workspace_root: &Path, file: &SourceFile) -> bool {
+    if rule.manifest_key.is_empty() {
+        return false;
+    }
+    let crate_manifest = match file.path.parent().and_then(Path::parent) {
+        Some(crate_dir) => crate_dir.join("Cargo.toml"),
+        None => return false,
+    };
+    let crate_toml = fs::read_to_string(&crate_manifest).unwrap_or_default();
+    let opted_in = crate_toml.contains("[lints]")
+        && crate_toml
+            .lines()
+            .any(|l| l.trim().starts_with("workspace") && l.contains("true"));
+    if !opted_in {
+        return false;
+    }
+    let root_toml = fs::read_to_string(workspace_root.join("Cargo.toml")).unwrap_or_default();
+    root_toml.contains(rule.manifest_key.as_str())
+}
+
+fn eval_crate_attr_rule(
+    rule: &Rule,
+    workspace_root: &Path,
+    files: &[SourceFile],
+    summary: &mut RuleSummary,
+) {
+    for file in files.iter().filter(|f| f.is_crate_root) {
+        if !file_in_scope(rule, &file.rel) {
+            continue;
+        }
+        let has_attr = file.raw_lines.iter().any(|l| l.contains(&rule.attr));
+        if has_attr || manifest_satisfies(rule, workspace_root, file) {
+            continue;
+        }
+        if let Some(reason) = allowed_reason(rule, &file.rel, &rule.attr) {
+            summary.allowed.push(AllowedHit {
+                file: file.rel.clone(),
+                line: 1,
+                token: rule.attr.clone(),
+                reason: reason.to_string(),
+            });
+        } else {
+            summary.violations.push(Finding {
+                file: file.rel.clone(),
+                line: 1,
+                token: rule.attr.clone(),
+                excerpt: format!(
+                    "crate root lacks `{}` and its manifest does not opt into the workspace lint table",
+                    rule.attr
+                ),
+            });
+        }
+    }
+}
+
+/// Evaluates every rule of `config` over `files`, producing the full report.
+pub fn evaluate(
+    workspace_root: &Path,
+    config: &LintConfig,
+    files: &[SourceFile],
+) -> AnalysisReport {
+    let mut rules = Vec::with_capacity(config.rules.len());
+    for rule in &config.rules {
+        let mut summary = RuleSummary {
+            id: rule.id.clone(),
+            kind: rule.kind.to_string(),
+            description: rule.description.clone(),
+            violations: Vec::new(),
+            allowed: Vec::new(),
+        };
+        match rule.kind {
+            RuleKind::ForbiddenTokens | RuleKind::JustifiedTokens => {
+                for file in files.iter().filter(|f| file_in_scope(rule, &f.rel)) {
+                    eval_token_rule(rule, file, &mut summary);
+                }
+            }
+            RuleKind::CrateAttr => eval_crate_attr_rule(rule, workspace_root, files, &mut summary),
+        }
+        rules.push(summary);
+    }
+    AnalysisReport {
+        root: workspace_root.display().to_string(),
+        files_scanned: files.len(),
+        rules,
+    }
+}

@@ -1,0 +1,366 @@
+//! Source discovery and token-level preprocessing.
+//!
+//! The scanner walks a workspace tree for `.rs` files (skipping `vendor/`,
+//! `target/`, `artifacts/` and fixture trees), then preprocesses each file so rules
+//! match against *code*, not prose:
+//!
+//! * comments (line, nested block) and string/char literal contents are blanked;
+//! * every line is classified as inside or outside a `#[cfg(test)]` region;
+//! * every line records its innermost enclosing named `fn`, for function-scoped
+//!   rules.
+//!
+//! The preprocessing is a line-faithful transformation: `code_lines[i]` always
+//! corresponds to `raw_lines[i]`, so reports can quote the original source.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A scanned source file, preprocessed for rule matching.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Workspace-relative path with `/` separators (what rules match against).
+    pub rel: String,
+    /// Original source lines.
+    pub raw_lines: Vec<String>,
+    /// Source lines with comments and literal contents blanked.
+    pub code_lines: Vec<String>,
+    /// Per-line: inside a `#[cfg(test)]` region?
+    pub in_test: Vec<bool>,
+    /// Per-line: innermost enclosing named function at the start of the line.
+    pub enclosing_fn: Vec<Option<String>>,
+    /// Whether this file is a crate root (`src/lib.rs` or `src/main.rs`).
+    pub is_crate_root: bool,
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 5] = ["vendor", "target", "artifacts", ".git", "fixtures"];
+
+/// Recursively collects `.rs` files under `dir`, skipping [`SKIP_DIRS`].
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read entry in {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Blanks comments and string/char literal contents, preserving line structure.
+///
+/// Handles `//` line comments, nested `/* */` block comments, `"…"` strings with
+/// escapes, raw strings `r"…"` / `r#"…"#` (any hash count), and char literals
+/// (distinguished from lifetimes by lookahead). Blanked characters become spaces so
+/// column positions stay stable.
+fn strip_comments_and_strings(source: &str) -> String {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut i = 0;
+    let n = chars.len();
+    let keep_newlines = |out: &mut String, slice: &[char]| {
+        for &c in slice {
+            out.push(if c == '\n' { '\n' } else { ' ' });
+        }
+    };
+    while i < n {
+        let c = chars[i];
+        // Line comment.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            keep_newlines(&mut out, &chars[start..i]);
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start = i;
+            let mut depth = 0usize;
+            while i < n {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            keep_newlines(&mut out, &chars[start..i]);
+            continue;
+        }
+        // Raw string: r"…" or r#…#"…"#…# (also br…).
+        if (c == 'r' || (c == 'b' && i + 1 < n && chars[i + 1] == 'r')) && !prev_is_ident(&chars, i)
+        {
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while j < n && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && chars[j] == '"' {
+                out.push(c); // keep the prefix characters as-is
+                if c == 'b' {
+                    out.push('r');
+                }
+                for _ in 0..hashes {
+                    out.push('#');
+                }
+                out.push('"');
+                let start = j + 1;
+                let mut k = start;
+                'raw: while k < n {
+                    if chars[k] == '"' {
+                        let mut m = 0usize;
+                        while m < hashes && k + 1 + m < n && chars[k + 1 + m] == '#' {
+                            m += 1;
+                        }
+                        if m == hashes {
+                            keep_newlines(&mut out, &chars[start..k]);
+                            out.push('"');
+                            for _ in 0..hashes {
+                                out.push('#');
+                            }
+                            k += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    k += 1;
+                }
+                i = k;
+                continue;
+            }
+        }
+        // Plain (or byte) string.
+        if c == '"' {
+            out.push('"');
+            let start = i + 1;
+            let mut k = start;
+            let mut escaped = false;
+            while k < n {
+                if escaped {
+                    escaped = false;
+                } else if chars[k] == '\\' {
+                    escaped = true;
+                } else if chars[k] == '"' {
+                    break;
+                }
+                k += 1;
+            }
+            keep_newlines(&mut out, &chars[start..k.min(n)]);
+            if k < n {
+                out.push('"');
+                k += 1;
+            }
+            i = k;
+            continue;
+        }
+        // Char literal vs lifetime: '\…' or 'x' with a closing quote nearby.
+        if c == '\'' {
+            let is_char = if i + 1 < n && chars[i + 1] == '\\' {
+                true
+            } else {
+                i + 2 < n && chars[i + 2] == '\''
+            };
+            if is_char {
+                out.push('\'');
+                let mut k = i + 1;
+                let mut escaped = false;
+                while k < n {
+                    if escaped {
+                        escaped = false;
+                    } else if chars[k] == '\\' {
+                        escaped = true;
+                    } else if chars[k] == '\'' {
+                        break;
+                    }
+                    k += 1;
+                }
+                keep_newlines(&mut out, &chars[i + 1..k.min(n)]);
+                if k < n {
+                    out.push('\'');
+                    k += 1;
+                }
+                i = k;
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Extracts `(column, name)` for every `fn <name>` declaration in a code line.
+fn fn_names_in(line: &str) -> Vec<(usize, String)> {
+    let bytes = line.as_bytes();
+    let mut found = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = line[i..].find("fn ") {
+        let at = i + pos;
+        let boundary_ok = at == 0 || {
+            let prev = bytes[at - 1] as char;
+            !(prev.is_alphanumeric() || prev == '_')
+        };
+        if boundary_ok {
+            let rest = line[at + 3..].trim_start();
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                found.push((at, name));
+            }
+        }
+        i = at + 3;
+    }
+    found
+}
+
+/// Classifies lines into `#[cfg(test)]` regions and enclosing-function scopes with
+/// a single brace-depth walk over the blanked code text.
+fn classify(code_lines: &[String]) -> (Vec<bool>, Vec<Option<String>>) {
+    let mut in_test = vec![false; code_lines.len()];
+    let mut enclosing = vec![None; code_lines.len()];
+    let mut depth: i64 = 0;
+    // Depths (post-increment) at which a `#[cfg(test)]` block opened.
+    let mut test_depths: Vec<i64> = Vec::new();
+    // (depth, fn name) for every open named-fn brace.
+    let mut fn_stack: Vec<(i64, Option<String>)> = Vec::new();
+    let mut pending_test = false;
+    let mut pending_fn: Option<String> = None;
+    for (idx, line) in code_lines.iter().enumerate() {
+        let started_in_test = !test_depths.is_empty();
+        enclosing[idx] = fn_stack.iter().rev().find_map(|(_, name)| name.clone());
+        if line.contains("#[cfg(test)]") {
+            pending_test = true;
+        }
+        let mut names = fn_names_in(line).into_iter().peekable();
+        for (col, c) in line.char_indices() {
+            while names.peek().is_some_and(|(at, _)| *at <= col) {
+                pending_fn = names.next().map(|(_, name)| name);
+            }
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending_test {
+                        test_depths.push(depth);
+                        pending_test = false;
+                    }
+                    fn_stack.push((depth, pending_fn.take()));
+                }
+                '}' => {
+                    while fn_stack.last().is_some_and(|(d, _)| *d >= depth) {
+                        fn_stack.pop();
+                    }
+                    if test_depths.last() == Some(&depth) {
+                        test_depths.pop();
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        // Remaining declarations on the line whose brace opens later.
+        if let Some((_, name)) = names.next() {
+            pending_fn = Some(name);
+        }
+        in_test[idx] = started_in_test || !test_depths.is_empty();
+    }
+    (in_test, enclosing)
+}
+
+/// Scans the workspace rooted at `root`, returning preprocessed source files in
+/// deterministic (sorted-path) order.
+pub fn scan_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut paths = Vec::new();
+    collect_rs(root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let rel: String = path
+            .strip_prefix(root)
+            .map_err(|_| format!("{} escapes the root", path.display()))?
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        let source = fs::read_to_string(&path).map_err(|e| format!("cannot read {rel}: {e}"))?;
+        let code = strip_comments_and_strings(&source);
+        let raw_lines: Vec<String> = source.lines().map(str::to_string).collect();
+        let code_lines: Vec<String> = code.lines().map(str::to_string).collect();
+        let (in_test, enclosing_fn) = classify(&code_lines);
+        let is_crate_root = rel == "src/lib.rs"
+            || rel == "src/main.rs"
+            || (rel.starts_with("crates/")
+                && (rel.ends_with("/src/lib.rs") || rel.ends_with("/src/main.rs"))
+                && rel.matches('/').count() == 3);
+        files.push(SourceFile {
+            path,
+            rel,
+            raw_lines,
+            code_lines,
+            in_test,
+            enclosing_fn,
+            is_crate_root,
+        });
+    }
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_strings_and_char_literals_but_keeps_lifetimes() {
+        let code = strip_comments_and_strings(
+            "let a = \"Ordering::Relaxed\"; // Ordering::Relaxed\nlet b: &'a str = x; let c = '\\n'; let d = 'x';\n/* outer /* nested Ordering::Relaxed */ still comment */ real()",
+        );
+        assert!(!code.contains("Relaxed"));
+        assert!(code.contains("&'a str"));
+        assert!(code.contains("real()"));
+        // Line structure preserved.
+        assert_eq!(code.lines().count(), 3);
+    }
+
+    #[test]
+    fn raw_strings_are_blanked_to_the_matching_hash_count() {
+        let code = strip_comments_and_strings("let s = r#\"hidden \" quote\"# ; after()");
+        assert!(!code.contains("hidden"));
+        assert!(code.contains("after()"));
+    }
+
+    #[test]
+    fn classify_marks_test_regions_and_function_extents() {
+        let source = "fn hot() {\n    step();\n}\n#[cfg(test)]\nmod tests {\n    fn helper() { x(); }\n}\nfn after() { y(); }\n";
+        let code = strip_comments_and_strings(source);
+        let lines: Vec<String> = code.lines().map(str::to_string).collect();
+        let (in_test, enclosing) = classify(&lines);
+        assert!(!in_test[1], "hot body is not test code");
+        assert!(in_test[5], "helper body is test code");
+        assert!(!in_test[7], "code after the test module is live again");
+        assert_eq!(enclosing[1].as_deref(), Some("hot"));
+        assert_eq!(enclosing[0], None, "the fn line itself has outer scope");
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: a ticket publish with Relaxed ordering. The justification comment
+// satisfies `atomics-justify`, but `atomics-barrier` forbids Relaxed in the sync
+// protocol regardless — rule layering is the point of this fixture.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn publish(ticket: &AtomicUsize, next: usize) {
+    // relaxed: (wrong) the ticket hand-off needs Release, a comment cannot fix it
+    ticket.store(next, Ordering::Relaxed);
+}

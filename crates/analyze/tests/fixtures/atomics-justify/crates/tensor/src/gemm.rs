@@ -1,0 +1,7 @@
+// Fixture: a relaxed atomic with no `// relaxed:` justification comment.
+// Seeded violation for the `atomics-justify` rule.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn bump(counter: &AtomicUsize) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,6 @@
+// Fixture: ambient wall-clock in a logical (non-telemetry) path.
+// Seeded violation for the `determinism` rule.
+fn entropy_seed() -> u64 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,12 @@
+// Fixture: a per-batch verify step that allocates its accumulator every call.
+// Seeded violation for the `hot-path-alloc` rule (function-scoped).
+fn verify_layer_values_with_scratch(values: &[i8]) -> Vec<i32> {
+    let mut acc = Vec::new();
+    acc.push(values.len() as i32);
+    acc
+}
+
+fn cold_setup() -> Vec<i32> {
+    // Same token outside the hot functions is fine — the rule is function-scoped.
+    Vec::new()
+}

@@ -1,0 +1,5 @@
+// Fixture: a worker step that falls back to float weights mid-serve.
+// Seeded violation for the `hot-path-purity` rule.
+fn worker_step(q: &QuantizedTensor) -> Tensor {
+    q.dequantize()
+}

@@ -1,0 +1,15 @@
+// Fixture: an unwrap in serve recovery code — a panic here tears down a scoped
+// worker thread mid-service. Seeded violation for the `no-unwrap-worker` rule.
+fn drain(rx: &std::sync::mpsc::Receiver<u8>) -> u8 {
+    rx.recv().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        // The rule skips #[cfg(test)] regions; this unwrap must not be flagged.
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

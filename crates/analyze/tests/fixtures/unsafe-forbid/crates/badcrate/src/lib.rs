@@ -1,0 +1,4 @@
+// Fixture: a crate root that neither carries the unsafe-forbidding root
+// attribute nor opts into the workspace lint table via its manifest.
+// Seeded violation for the `unsafe-forbid` rule.
+pub fn nothing() {}

@@ -24,9 +24,6 @@
 //! println!("overhead: {:.2}%", report.overhead_percent());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod params;
 mod simulate;
 mod workload;

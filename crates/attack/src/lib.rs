@@ -28,9 +28,6 @@
 //! assert_eq!(profile.len(), 10);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod knowledgeable;
 mod pbfa;
 mod profile;

@@ -2,6 +2,9 @@
 //! checksum, per-layer signing, and the gather-vs-streaming verification comparison
 //! (the legacy per-group gather path against the precomputed `LayerPlan` sweep).
 
+// criterion_group! expands to undocumented glue functions.
+#![allow(missing_docs)]
+
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use radar_core::{
     gather_signatures, group_signature, masked_sum, GroupLayout, Grouping, LayerPlan, SecretKey,

@@ -1,6 +1,9 @@
 //! Criterion micro-benchmarks comparing RADAR's signature with CRC and Hamming SEC-DED
 //! on a 512-weight group (the paper's Table V setting).
 
+// criterion_group! expands to undocumented glue functions.
+#![allow(missing_docs)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use radar_core::{group_signature, SecretKey, SignatureBits};
 use radar_integrity::{Crc, GroupCode, HammingSecDed};

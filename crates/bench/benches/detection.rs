@@ -1,6 +1,9 @@
 //! Criterion benchmarks of full-model detection and recovery latency (the run-time path
 //! RADAR embeds into inference).
 
+// criterion_group! expands to undocumented glue functions.
+#![allow(missing_docs)]
+
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use radar_core::{RadarConfig, RadarProtection};
 use radar_nn::{resnet20, ResNetConfig};

@@ -2,6 +2,9 @@
 //! in-repo analogue of the paper's Table IV measurement (absolute times differ from
 //! gem5; the overhead ratio is what matters).
 
+// criterion_group! expands to undocumented glue functions.
+#![allow(missing_docs)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use radar_core::{ProtectedModel, RadarConfig};
 use radar_nn::{resnet20, ResNetConfig};

@@ -641,6 +641,8 @@ pub fn run(prepared: &mut Prepared, grid: &ScenarioGrid) -> CampaignOutcome {
                 // checkpoint, so cells never contend on weight state.
                 let mut qm = fresh_model(kind, budget);
                 loop {
+                    // relaxed: work-stealing index only claims a slot; the per-slot
+                    // mutex orders the result write.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= cells.len() {
                         break;

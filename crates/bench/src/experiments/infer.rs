@@ -154,7 +154,7 @@ fn median_seconds(iters: usize, mut f: impl FnMut()) -> f64 {
             start.elapsed().as_secs_f64()
         })
         .collect();
-    times.sort_by(|a, b| a.total_cmp(b));
+    times.sort_by(f64::total_cmp);
     times[times.len() / 2]
 }
 
@@ -300,7 +300,11 @@ impl InferBenchOutcome {
                 )
             })
             .collect();
-        let threads: Vec<String> = self.threads.iter().map(|t| t.to_string()).collect();
+        let threads: Vec<String> = self
+            .threads
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         let json = format!(
             concat!(
                 "{{\n  \"model\": \"{}\",\n  \"total_weights\": {},\n",

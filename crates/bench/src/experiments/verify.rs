@@ -57,7 +57,7 @@ fn median_seconds(iters: usize, mut f: impl FnMut()) -> f64 {
             start.elapsed().as_secs_f64()
         })
         .collect();
-    times.sort_by(|a, b| a.total_cmp(b));
+    times.sort_by(f64::total_cmp);
     times[times.len() / 2]
 }
 

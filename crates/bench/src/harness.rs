@@ -119,9 +119,7 @@ impl Default for Budget {
 
 /// Number of hardware threads available to this process (1 when undetectable).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 impl Budget {

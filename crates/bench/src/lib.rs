@@ -19,9 +19,6 @@
 //! Budgets (rounds, epochs, evaluation samples, worker threads) are controlled through
 //! environment variables documented on [`harness::Budget`].
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod campaign;
 pub mod experiments;
 pub mod harness;

@@ -17,9 +17,6 @@
 //! assert_eq!(test.images().dims()[1], 3);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod dataset;
 mod generator;
 

@@ -17,9 +17,6 @@
 //! assert_ne!(crc.encode(&group), golden);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod code;
 mod crc;
 mod hamming;

@@ -29,9 +29,6 @@
 //! let _injector = RowhammerInjector::default();
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod dram;
 mod rowhammer;
 mod timeline;

@@ -28,9 +28,6 @@
 //! assert_eq!(logits.dims(), &[1, 10]);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod activations;
 mod batchnorm;
 mod conv;

@@ -26,9 +26,6 @@
 //! assert_ne!(before.data(), after.data());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod qmodel;
 mod qtensor;
 mod requant;

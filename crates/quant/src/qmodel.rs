@@ -149,7 +149,7 @@ impl QuantizedModel {
 
     /// Total number of quantized weights across all layers.
     pub fn total_weights(&self) -> usize {
-        self.layers.iter().map(|l| l.len()).sum()
+        self.layers.iter().map(QuantizedLayer::len).sum()
     }
 
     /// The quantized layers in visit order.

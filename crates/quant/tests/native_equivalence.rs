@@ -73,8 +73,8 @@ fn native_and_float_paths_agree_on_argmax_over_the_seeded_eval_set() {
     for i in 0..batch {
         let row_f = &float.data()[i * classes..(i + 1) * classes];
         let row_n = &native.data()[i * classes..(i + 1) * classes];
-        let hi = row_f.iter().cloned().fold(f32::MIN, f32::max);
-        let lo = row_f.iter().cloned().fold(f32::MAX, f32::min);
+        let hi = row_f.iter().copied().fold(f32::MIN, f32::max);
+        let lo = row_f.iter().copied().fold(f32::MAX, f32::min);
         let tol = 0.05 * (1.0 + hi - lo);
         for (a, b) in row_n.iter().zip(row_f) {
             assert!(

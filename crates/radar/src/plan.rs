@@ -256,7 +256,7 @@ impl VerifyPlan {
     pub fn max_groups(&self) -> usize {
         self.layers
             .iter()
-            .map(|l| l.num_groups())
+            .map(LayerPlan::num_groups)
             .max()
             .unwrap_or(0)
     }

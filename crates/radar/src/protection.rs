@@ -250,12 +250,13 @@ impl RadarProtection {
             "layer range {layers:?} out of bounds for {} layers",
             self.layers.len()
         );
-        let max_groups = self
-            .plan
-            .layers()
-            .get(layers.clone())
-            .map(|plans| plans.iter().map(|p| p.num_groups()).max().unwrap_or(0))
-            .unwrap_or(0);
+        let max_groups = self.plan.layers().get(layers.clone()).map_or(0, |plans| {
+            plans
+                .iter()
+                .map(super::plan::LayerPlan::num_groups)
+                .max()
+                .unwrap_or(0)
+        });
         if acc.len() < max_groups {
             acc.resize(max_groups, 0);
         }
@@ -296,7 +297,12 @@ impl RadarProtection {
     /// Splits the planned layers into at most `shards` contiguous ranges of roughly
     /// equal total weight count (the unit of detect work is one weight).
     fn shard_ranges(&self, shards: usize) -> Vec<Range<usize>> {
-        let total: usize = self.plan.layers().iter().map(|l| l.len()).sum();
+        let total: usize = self
+            .plan
+            .layers()
+            .iter()
+            .map(super::plan::LayerPlan::len)
+            .sum();
         let num_layers = self.layers.len();
         let shards = shards.clamp(1, num_layers.max(1));
         let target = total.div_ceil(shards).max(1);

@@ -1,4 +1,3 @@
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError};
 use std::sync::{Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -11,38 +10,10 @@ use radar_quant::QuantizedModel;
 
 use crate::config::{ExecPath, ServeConfig};
 use crate::recovery::recover_in_dram;
+use crate::steps::{fetch_arena_verified, flagged_layers, scrub_sweep};
+use crate::sync::{lock, read_lock, write_lock, FetchTicket};
 use crate::telemetry::{RequestRecord, ServeOutcome, Telemetry};
 use crate::traffic::{Batch, Request, TrafficSchedule};
-
-/// Busy-wait iterations spent on [`std::hint::spin_loop`] before each wait falls
-/// back to yielding the time slice. Ticket waits are usually satisfied within a few
-/// microseconds (the preceding batch's fetch), so a short spin phase wins; on an
-/// oversubscribed or single-core host the yield fallback keeps the waiting thread
-/// from starving whoever holds the ticket.
-const SPIN_LIMIT: u32 = 64;
-
-/// Spins on `ready` with bounded busy-waiting: `SPIN_LIMIT` pause-hinted spins, then
-/// one `yield_now` per retry.
-fn spin_wait(mut ready: impl FnMut() -> bool) {
-    let mut spins = 0u32;
-    while !ready() {
-        if spins < SPIN_LIMIT {
-            std::hint::spin_loop();
-            spins += 1;
-        } else {
-            std::thread::yield_now();
-        }
-    }
-}
-
-/// Waits until every dispatched batch has completed its weight fetch. The batcher
-/// calls this before handing control to the adversary or the scrubber, so "the strike
-/// lands before batch `b`" and "the sweep runs between batches" are exact statements
-/// about which traffic saw which weight state — the property that makes attacked
-/// serving runs replay deterministically.
-fn fetch_barrier(fetched: &AtomicUsize, dispatched: usize) {
-    spin_wait(|| fetched.load(Ordering::Acquire) >= dispatched);
-}
 
 /// Runs one complete serving session and returns its telemetry.
 ///
@@ -66,17 +37,20 @@ fn fetch_barrier(fetched: &AtomicUsize, dispatched: usize) {
 /// * an **adversary** mounting `timeline`'s rowhammer strikes at their scripted batch
 ///   offsets.
 ///
-/// Weight fetches are ticketed in batch order (batch `b + 1` cannot fetch before
-/// batch `b` has fetched and recovered), and the adversary/scrubber only run at a
-/// fetch barrier; inference itself overlaps freely. Consequently every logical
-/// outcome — which batches served corrupted weights, the detecting batch, recovery
-/// counts, per-window served accuracy — is a pure function of
-/// `(models, schedule, timeline, config)`, independent of thread scheduling, provided
-/// batch composition itself is deterministic: either run with
+/// Weight fetches are ticketed in batch order through a [`FetchTicket`] (batch
+/// `b + 1` cannot fetch before batch `b` has fetched and recovered), and the
+/// adversary/scrubber only run at a fetch barrier; inference itself overlaps freely.
+/// Consequently every logical outcome — which batches served corrupted weights, the
+/// detecting batch, recovery counts, per-window served accuracy — is a pure function
+/// of `(models, schedule, timeline, config)`, independent of thread scheduling,
+/// provided batch composition itself is deterministic: either run with
 /// [`strict_batching`](ServeConfig::strict_batching) (the benchmark scenarios do), or
 /// accept that a driver descheduled for longer than `max_wait` may split a batch.
 /// Wall-clock latency telemetry is genuinely measured, and only it varies between
-/// replays.
+/// replays. The deterministic schedule model-checker in [`crate::schedule`]
+/// exhaustively verifies this protocol for small configurations, and a watchdog in
+/// [`crate::sync`] turns any ticket/barrier stall into a loud panic with the stuck
+/// ticket state instead of a hung job.
 ///
 /// Strikes scripted at batch offsets the run never reaches do not fire; the adversary
 /// logs a warning for each one left over when service ends.
@@ -119,7 +93,7 @@ pub fn serve(
     let telemetry = Telemetry::new(Instant::now());
     // Batches whose weight fetch (and any in-path recovery) has completed; doubles as
     // the fetch ticket: the worker holding batch `fetched` is the one allowed to fetch.
-    let fetched = AtomicUsize::new(0);
+    let fetched = FetchTicket::new();
 
     let (req_tx, req_rx) = sync_channel::<Request>(config.queue_capacity);
     let (batch_tx, batch_rx) = sync_channel::<Batch>(config.workers);
@@ -156,7 +130,7 @@ pub fn serve(
                 for batch in adv_rx {
                     while let Some(event) = timeline.pop_due(batch) {
                         let mount = {
-                            let mut dram = dram.write().expect("dram lock poisoned");
+                            let mut dram = write_lock(dram);
                             event.mount(&mut dram)
                         };
                         telemetry.strike(batch, mount);
@@ -177,13 +151,12 @@ pub fn serve(
 
         // Background scrubber: verifies a rotating slice of the DRAM image between
         // batches, straight from the stored bytes (no model replica involved).
-        if scrub_enabled {
+        if let (true, Some(prot)) = (scrub_enabled, protection.as_ref()) {
             let dram = &dram;
             let telemetry = &telemetry;
-            let prot = protection.as_ref().expect("scrubbing requires protection");
             let scrub_layers = config.scrub_layers;
             scope.spawn(move || {
-                let num_layers = dram.read().expect("dram lock poisoned").num_layers();
+                let num_layers = read_lock(dram).num_layers();
                 let step = if scrub_layers == 0 {
                     num_layers
                 } else {
@@ -194,23 +167,16 @@ pub fn serve(
                 let mut acc: Vec<i32> = Vec::new();
                 for batch in scrub_rx {
                     let started = Instant::now();
-                    let mut flagged = DetectionReport::default();
-                    {
-                        let dram = dram.read().expect("dram lock poisoned");
-                        let prot = prot.read().expect("protection lock poisoned");
-                        for i in 0..step {
-                            let layer = (cursor + i) % num_layers;
-                            dram.read_layer_into(layer, &mut buf);
-                            flagged.merge(
-                                &prot.verify_layer_values_with_scratch(layer, &buf, &mut acc),
-                            );
-                        }
-                    }
+                    let flagged = {
+                        let dram = read_lock(dram);
+                        let prot = read_lock(prot);
+                        scrub_sweep(&dram, &prot, cursor, step, &mut buf, &mut acc)
+                    };
                     cursor = (cursor + step) % num_layers;
                     if flagged.attack_detected() {
                         telemetry.detection(batch, true, flagged.num_flagged());
-                        let mut dram = dram.write().expect("dram lock poisoned");
-                        let mut prot = prot.write().expect("protection lock poisoned");
+                        let mut dram = write_lock(dram);
+                        let mut prot = write_lock(prot);
                         telemetry.recovered(recover_in_dram(&mut prot, &mut dram, &flagged));
                     }
                     telemetry.add_scrub_time(started.elapsed());
@@ -245,29 +211,27 @@ pub fn serve(
                     .map(|layer| Vec::with_capacity(model.layer(layer).len()))
                     .collect();
                 loop {
-                    let received = batch_rx.lock().expect("batch queue lock poisoned").recv();
+                    let received = lock(batch_rx).recv();
                     let Ok(batch) = received else { break };
                     // Wait for this batch's fetch ticket.
-                    spin_wait(|| fetched.load(Ordering::Acquire) == batch.index);
+                    fetched.wait_for(batch.index);
                     let mut flagged = DetectionReport::default();
                     {
-                        let dram = dram.read().expect("dram lock poisoned");
+                        let dram = read_lock(dram);
                         match (config.inpath_verify, protection) {
                             (true, Some(prot)) => {
-                                let prot = prot.read().expect("protection lock poisoned");
-                                // Time only the signature checks: the per-layer weight
-                                // copy is paid by the unprotected baseline too, so
-                                // folding it in would overstate the verification cost.
+                                let prot = read_lock(prot);
                                 let mut checking = Duration::ZERO;
-                                for (layer, buf) in arena.iter_mut().enumerate() {
-                                    if native {
-                                        dram.read_layer_into(layer, buf);
-                                        let started = Instant::now();
-                                        flagged.merge(&prot.verify_layer_values_with_scratch(
-                                            layer, buf, &mut acc,
-                                        ));
-                                        checking += started.elapsed();
-                                    } else {
+                                if native {
+                                    flagged = fetch_arena_verified(
+                                        &dram,
+                                        Some(&prot),
+                                        &mut arena,
+                                        &mut acc,
+                                        &mut checking,
+                                    );
+                                } else {
+                                    for layer in 0..model.num_layers() {
                                         dram.fetch_layer_into(&mut model, layer);
                                         let started = Instant::now();
                                         flagged.merge(&prot.detect_layers_with_scratch(
@@ -281,36 +245,40 @@ pub fn serve(
                                 telemetry.add_verify_time(checking);
                             }
                             _ if native => {
-                                for (layer, buf) in arena.iter_mut().enumerate() {
-                                    dram.read_layer_into(layer, buf);
-                                }
+                                let mut unused = Duration::ZERO;
+                                fetch_arena_verified(
+                                    &dram,
+                                    None,
+                                    &mut arena,
+                                    &mut acc,
+                                    &mut unused,
+                                );
                             }
                             _ => dram.fetch_into(&mut model),
                         }
                     }
                     if flagged.attack_detected() {
                         telemetry.detection(batch.index, false, flagged.num_flagged());
-                        let mut dram = dram.write().expect("dram lock poisoned");
-                        let mut prot = protection
-                            .expect("in-path flags imply protection")
-                            .write()
-                            .expect("protection lock poisoned");
-                        telemetry.recovered(recover_in_dram(&mut prot, &mut dram, &flagged));
-                        // Refresh the recovered layers in this worker's arena (or
-                        // replica) so inference consumes the zeroed (not corrupted)
-                        // weights.
-                        let mut layers: Vec<usize> =
-                            flagged.flagged.iter().map(|f| f.layer).collect();
-                        layers.dedup();
-                        for layer in layers {
-                            if native {
-                                dram.read_layer_into(layer, &mut arena[layer]);
-                            } else {
-                                dram.fetch_layer_into(&mut model, layer);
+                        // In-path flags imply a protection was configured; the `if
+                        // let` (rather than an `expect`) keeps the worker loop free
+                        // of panicking accessors, per the `no-unwrap-worker` lint.
+                        if let Some(prot) = protection {
+                            let mut dram = write_lock(dram);
+                            let mut prot = write_lock(prot);
+                            telemetry.recovered(recover_in_dram(&mut prot, &mut dram, &flagged));
+                            // Refresh the recovered layers in this worker's arena (or
+                            // replica) so inference consumes the zeroed (not
+                            // corrupted) weights.
+                            for layer in flagged_layers(&flagged) {
+                                if native {
+                                    dram.read_layer_into(layer, &mut arena[layer]);
+                                } else {
+                                    dram.fetch_layer_into(&mut model, layer);
+                                }
                             }
                         }
                     }
-                    fetched.store(batch.index + 1, Ordering::Release);
+                    fetched.publish(batch.index + 1);
 
                     let sample_ids: Vec<usize> = batch.requests.iter().map(|r| r.sample).collect();
                     let subset = eval.subset(&sample_ids);
@@ -364,14 +332,14 @@ pub fn serve(
             // Scripted strikes due before this batch is dispatched.
             while next_event.peek().is_some_and(|&&offset| offset <= batches) {
                 next_event.next();
-                fetch_barrier(&fetched, batches);
+                fetched.wait_at_least(batches);
                 if adv_tx.send(batches).is_ok() {
                     let _ = adv_ack_rx.recv();
                 }
             }
             // Scrub cadence: one sweep step between batches, every `scrub_every`.
             if scrub_enabled && batches > 0 && batches % config.scrub_every == 0 {
-                fetch_barrier(&fetched, batches);
+                fetched.wait_at_least(batches);
                 if scrub_tx.send(batches).is_ok() {
                     let _ = scrub_ack_rx.recv();
                 }

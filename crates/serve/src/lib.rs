@@ -39,20 +39,20 @@
 //! weights, when detection fired, the accuracy windows — replays deterministically
 //! for a fixed seed; only the measured wall-clock telemetry varies.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod config;
 mod engine;
 mod histogram;
 mod recovery;
+pub mod schedule;
+mod steps;
+mod sync;
 mod telemetry;
 mod traffic;
 
 pub use config::{ExecPath, ServeConfig};
 pub use engine::{replicas, serve};
 pub use histogram::LatencyHistogram;
-pub use recovery::recover_in_dram;
+pub use recovery::{recover_in_dram, recover_in_dram_traced};
 pub use telemetry::{
     AccuracyWindow, AttackStrike, AttackSummary, DetectionEvent, RequestRecord, ServeOutcome,
     Telemetry, TimeToDetect,

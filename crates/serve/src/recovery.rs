@@ -21,6 +21,22 @@ pub fn recover_in_dram(
     dram: &mut WeightDram,
     report: &DetectionReport,
 ) -> RecoveryReport {
+    recover_in_dram_traced(radar, dram, report, |_, _| {})
+}
+
+/// [`recover_in_dram`] with an observer: `on_zeroed(layer, group)` is invoked exactly
+/// once per group the re-check confirmed and zeroed, after the recovery completes.
+///
+/// The deterministic schedule model-checker uses this to account zeroed groups across
+/// every enumerated interleaving — proving each corrupted group is recovered (and
+/// counted) exactly once no matter which racing detector gets there first — while the
+/// engine's own calls go through the no-op observer of [`recover_in_dram`].
+pub fn recover_in_dram_traced(
+    radar: &mut RadarProtection,
+    dram: &mut WeightDram,
+    report: &DetectionReport,
+    mut on_zeroed: impl FnMut(usize, usize),
+) -> RecoveryReport {
     if !report.attack_detected() {
         return RecoveryReport::default();
     }
@@ -35,11 +51,17 @@ pub fn recover_in_dram(
         dram.read_layer_into(layer, &mut buf);
         confirmed.merge(&radar.verify_layer_values_with_scratch(layer, &buf, &mut acc));
     }
-    radar.recover_in(&confirmed, |layer, members| {
+    let recovery = radar.recover_in(&confirmed, |layer, members| {
         for &member in members {
             dram.write(dram.offset_of(layer, member as usize), 0);
         }
-    })
+    });
+    // `confirmed` is merged (sorted, deduplicated), so this reports each zeroed
+    // group exactly once.
+    for flagged in &confirmed.flagged {
+        on_zeroed(flagged.layer, flagged.group);
+    }
+    recovery
 }
 
 #[cfg(test)]

@@ -1,0 +1,150 @@
+//! The protocol steps of the serving engine, as plain functions over the shared
+//! state they touch.
+//!
+//! These are the atomic units of the serve/detect concurrency core: a worker's
+//! verified arena fetch, the scrubber's incremental sweep, and the walk over a
+//! detection report's flagged layers. The OS-scheduled engine ([`crate::engine`])
+//! calls them under its `RwLock` guards; the deterministic schedule model-checker
+//! ([`crate::schedule`]) calls the *same* functions in exhaustively enumerated
+//! orders — so what the checker proves is a property of the code the engine runs,
+//! not of a parallel re-implementation.
+//!
+//! Every function here is allocation-free after its caller's scratch buffers warm up
+//! (the `hot-path-alloc` rule in `crates/analyze/lints.toml` enforces this at the
+//! token level).
+
+use std::time::{Duration, Instant};
+
+use radar_core::{DetectionReport, RadarProtection};
+use radar_memsim::WeightDram;
+
+/// One worker's per-batch weight fetch: reads every layer's bytes from `dram` into
+/// the per-worker `arena`, verifying each layer's raw slice in the fetch path when
+/// `prot` is provided. Returns the merged detection report (empty when `prot` is
+/// `None`).
+///
+/// `checking` accumulates the time spent in signature checks only — the per-layer
+/// weight copy is paid by the unprotected baseline too, so folding it in would
+/// overstate the verification cost.
+pub(crate) fn fetch_arena_verified(
+    dram: &WeightDram,
+    prot: Option<&RadarProtection>,
+    arena: &mut [Vec<i8>],
+    acc: &mut Vec<i32>,
+    checking: &mut Duration,
+) -> DetectionReport {
+    let mut flagged = DetectionReport::default();
+    for (layer, buf) in arena.iter_mut().enumerate() {
+        dram.read_layer_into(layer, buf);
+        if let Some(prot) = prot {
+            let started = Instant::now();
+            flagged.merge(&prot.verify_layer_values_with_scratch(layer, buf, acc));
+            *checking += started.elapsed();
+        }
+    }
+    flagged
+}
+
+/// One scrubber sweep step: verifies `step` layers of the DRAM image starting at
+/// `cursor` (wrapping), straight from the stored bytes — no model replica involved.
+/// Returns the merged detection report for the swept slice.
+pub(crate) fn scrub_sweep(
+    dram: &WeightDram,
+    prot: &RadarProtection,
+    cursor: usize,
+    step: usize,
+    buf: &mut Vec<i8>,
+    acc: &mut Vec<i32>,
+) -> DetectionReport {
+    let num_layers = dram.num_layers();
+    let mut flagged = DetectionReport::default();
+    for i in 0..step {
+        let layer = (cursor + i) % num_layers;
+        dram.read_layer_into(layer, buf);
+        flagged.merge(&prot.verify_layer_values_with_scratch(layer, buf, acc));
+    }
+    flagged
+}
+
+/// The distinct layers named by `report`, in ascending order, without allocating.
+/// (A [`DetectionReport`]'s flagged list is kept sorted by `(layer, group)` and
+/// deduplicated, so adjacent-duplicate suppression is exact.)
+///
+/// Workers walk this after an in-path recovery to refresh exactly the recovered
+/// layers in their arena (or replica), so inference consumes the zeroed — not
+/// corrupted — weights.
+pub(crate) fn flagged_layers(report: &DetectionReport) -> impl Iterator<Item = usize> + '_ {
+    let mut last = None;
+    report.flagged.iter().filter_map(move |f| {
+        if last == Some(f.layer) {
+            None
+        } else {
+            last = Some(f.layer);
+            Some(f.layer)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radar_core::{FlaggedGroup, RadarConfig};
+    use radar_memsim::DramGeometry;
+    use radar_nn::{resnet20, ResNetConfig};
+    use radar_quant::{QuantizedModel, MSB};
+
+    fn setup() -> (RadarProtection, WeightDram) {
+        let model = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(4))));
+        let radar = RadarProtection::new(&model, RadarConfig::paper_default(16));
+        let dram = WeightDram::load(&model, DramGeometry::default());
+        (radar, dram)
+    }
+
+    #[test]
+    fn fetch_arena_verified_flags_corruption_and_fills_the_arena() {
+        let (radar, mut dram) = setup();
+        dram.flip_bit(dram.offset_of(2, 5), MSB);
+        let mut arena: Vec<Vec<i8>> = (0..dram.num_layers()).map(|_| Vec::new()).collect();
+        let mut acc = Vec::new();
+        let mut checking = Duration::ZERO;
+        let report = fetch_arena_verified(&dram, Some(&radar), &mut arena, &mut acc, &mut checking);
+        assert!(report.attack_detected());
+        assert!(report.contains(2, radar.group_of(2, 5)));
+        assert!(checking > Duration::ZERO);
+        for (layer, buf) in arena.iter().enumerate() {
+            assert_eq!(buf.len(), dram.layer_len(layer));
+        }
+        // Without a protection the same fetch fills the arena but flags nothing.
+        let clean = fetch_arena_verified(&dram, None, &mut arena, &mut acc, &mut checking);
+        assert!(!clean.attack_detected());
+    }
+
+    #[test]
+    fn scrub_sweep_wraps_the_cursor_and_catches_the_victim_layer() {
+        let (radar, mut dram) = setup();
+        let victim = 1usize;
+        dram.flip_bit(dram.offset_of(victim, 0), MSB);
+        let (mut buf, mut acc) = (Vec::new(), Vec::new());
+        let num_layers = dram.num_layers();
+        // A sweep starting past the victim wraps around and still covers it.
+        let report = scrub_sweep(&dram, &radar, victim + 1, num_layers, &mut buf, &mut acc);
+        assert!(report.attack_detected());
+        assert!(report.contains(victim, radar.group_of(victim, 0)));
+        // A sweep step that misses the victim layer stays clean.
+        let miss = scrub_sweep(&dram, &radar, victim + 1, 1, &mut buf, &mut acc);
+        assert!(!miss.attack_detected());
+    }
+
+    #[test]
+    fn flagged_layers_deduplicates_in_order() {
+        let report = DetectionReport {
+            flagged: vec![
+                FlaggedGroup { layer: 1, group: 0 },
+                FlaggedGroup { layer: 1, group: 3 },
+                FlaggedGroup { layer: 4, group: 2 },
+            ],
+        };
+        assert_eq!(flagged_layers(&report).collect::<Vec<_>>(), vec![1, 4]);
+        assert_eq!(flagged_layers(&DetectionReport::default()).count(), 0);
+    }
+}

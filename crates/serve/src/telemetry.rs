@@ -128,18 +128,21 @@ impl Telemetry {
 
     /// Adds in-path verification time (fetch-path signature checks).
     pub fn add_verify_time(&self, elapsed: Duration) {
+        // relaxed: independent duty-cycle counter; nothing orders against it.
         self.verify_ns
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Adds background-scrub time.
     pub fn add_scrub_time(&self, elapsed: Duration) {
+        // relaxed: independent duty-cycle counter; nothing orders against it.
         self.scrub_ns
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Adds pure inference (forward-pass) time.
     pub fn add_infer_time(&self, elapsed: Duration) {
+        // relaxed: independent duty-cycle counter; nothing orders against it.
         self.infer_ns
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
     }
@@ -223,6 +226,8 @@ impl Telemetry {
             })
         });
 
+        // relaxed: workers have joined before `finish` runs — the scope join is the
+        // synchronization point; these loads see every prior fetch_add.
         let verify_seconds = self.verify_ns.load(Ordering::Relaxed) as f64 / 1e9;
         let scrub_seconds = self.scrub_ns.load(Ordering::Relaxed) as f64 / 1e9;
         let infer_seconds = self.infer_ns.load(Ordering::Relaxed) as f64 / 1e9;

@@ -94,6 +94,7 @@ static GEMM_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// radar_tensor::set_gemm_threads(0); // back to the environment / default
 /// ```
 pub fn set_gemm_threads(threads: usize) {
+    // relaxed: standalone config cell; readers need the value, not an ordering.
     GEMM_THREADS_OVERRIDE.store(threads, Ordering::Relaxed);
 }
 
@@ -114,6 +115,7 @@ pub fn set_gemm_threads(threads: usize) {
 /// }
 /// ```
 pub fn gemm_threads() -> usize {
+    // relaxed: standalone config cell; readers need the value, not an ordering.
     let over = GEMM_THREADS_OVERRIDE.load(Ordering::Relaxed);
     if over > 0 {
         return over;
@@ -128,8 +130,7 @@ pub fn gemm_threads() -> usize {
                 .filter_map(|t| t.trim().parse::<usize>().ok())
                 .max()
         })
-        .map(|t| t.max(1))
-        .unwrap_or(1)
+        .map_or(1, |t| t.max(1))
 }
 
 /// Quantizes a float activation slice to `i8` with a **power-of-two** per-tensor

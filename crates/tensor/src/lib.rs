@@ -30,9 +30,6 @@
 //!
 //! [`radar-nn`]: https://example.com/radar-repro
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod conv;
 mod error;
 mod gemm;

@@ -21,9 +21,6 @@
 //! assert!(!radar.verify_layer(&model, 0).attack_detected());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub use radar_archsim as archsim;
 pub use radar_attack as attack;
 pub use radar_core as core;

@@ -1,0 +1,6 @@
+// Seeded violation: serving telemetry logging raw key bits — key material leaving
+// radar-core, exactly what the secret-hygiene rule exists to catch.
+
+pub fn record_epoch_roll(key: &radar_core::SecretKey) -> String {
+    format!("rolled to key {:04x}", key.expose_bits())
+}

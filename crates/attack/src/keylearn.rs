@@ -1,0 +1,279 @@
+use radar_core::{group_signature, SecretKey, SignatureBits, KEY_BITS};
+
+/// One observation available to the key-learning adversary: a group's member values
+/// in slot order (read straight from the DRAM-resident weights) together with the
+/// golden signature the defense computed for that group.
+///
+/// The threat model behind this pair: weights live in off-chip DRAM the attacker can
+/// read, and the 2-bit signatures — while *stored* on-chip — are assumed leaked
+/// through a side channel. The only remaining secret is the per-layer key, and this
+/// module shows that a **static** key does not survive that situation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyObservation {
+    /// Group member values in slot order (as the checksum consumes them).
+    pub values: Vec<i8>,
+    /// The golden signature the defense stores for this group.
+    pub signature: u8,
+}
+
+/// Result of a brute-force key search over the observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyRecovery {
+    /// Observations consumed before the search stopped (it stops early once a
+    /// single candidate survives).
+    pub groups_observed: usize,
+    /// Every 16-bit key still consistent with all consumed observations.
+    pub candidates: Vec<u16>,
+}
+
+impl KeyRecovery {
+    /// The recovered key, when the observations narrowed the keyspace to one.
+    pub fn unique(&self) -> Option<SecretKey> {
+        match self.candidates[..] {
+            [bits] => Some(SecretKey::new(bits)),
+            _ => None,
+        }
+    }
+
+    /// Bits of key entropy remaining after the search (16 for a fresh keyspace,
+    /// 0 once a single candidate survives).
+    pub fn residual_entropy_bits(&self) -> f64 {
+        (self.candidates.len().max(1) as f64).log2()
+    }
+}
+
+/// Brute-force key learner: the paper's secrecy assumption, made executable.
+///
+/// The masked checksum's key is only `N_k = 16` bits, so an attacker who can pair
+/// group values with golden signatures simply enumerates all 65 536 keys and keeps
+/// the ones that reproduce every observed signature. Each 2-bit observation removes
+/// ~2 bits of key entropy, so roughly a dozen groups pin the key down exactly — a
+/// **static** key is learnable in one sitting. Epoch rotation ([`radar_core::KeySchedule`])
+/// is the countermeasure this adversary motivates: by the time the key is learned
+/// and an evasion mounted, the deployment has re-keyed and the learned key is stale.
+///
+/// # Example
+///
+/// ```
+/// use radar_attack::{KeyLearner, KeyObservation};
+/// use radar_core::{group_signature, SecretKey, SignatureBits};
+///
+/// let key = SecretKey::new(0xACE1);
+/// // Unstructured group values (a tiny LCG): structured/periodic weights can leave a
+/// // whole equivalence class of keys indistinguishable, exactly like real weights don't.
+/// let mut state = 0xDEAD_BEEF_u32;
+/// let mut next = move || {
+///     state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+///     (state >> 24) as u8 as i8
+/// };
+/// let groups: Vec<Vec<i8>> = (0..24)
+///     .map(|_| (0..32).map(|_| next()).collect())
+///     .collect();
+/// let observations: Vec<KeyObservation> = groups
+///     .iter()
+///     .map(|values| KeyObservation {
+///         values: values.clone(),
+///         signature: group_signature(values, &key, SignatureBits::Two),
+///     })
+///     .collect();
+/// let recovery = KeyLearner::new(SignatureBits::Two).learn(&observations);
+/// assert_eq!(recovery.unique(), Some(key));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyLearner {
+    bits: SignatureBits,
+}
+
+impl KeyLearner {
+    /// Creates a learner against the given signature width.
+    pub fn new(bits: SignatureBits) -> Self {
+        KeyLearner { bits }
+    }
+
+    /// Filters the full 16-bit keyspace down to the candidates consistent with
+    /// every observation, stopping early once a single key survives.
+    ///
+    /// Groups shorter than [`KEY_BITS`] slots exercise only a prefix of the key,
+    /// so observations of such groups can at best narrow the key to an
+    /// equivalence class; with ≥16-slot groups (the paper's defaults) the search
+    /// typically converges to the exact key.
+    pub fn learn(&self, observations: &[KeyObservation]) -> KeyRecovery {
+        let mut candidates: Vec<u16> = (0..=u16::MAX).collect();
+        let mut consumed = 0usize;
+        for obs in observations {
+            if candidates.len() <= 1 {
+                break;
+            }
+            candidates.retain(|&bits| {
+                group_signature(&obs.values, &SecretKey::new(bits), self.bits) == obs.signature
+            });
+            consumed += 1;
+        }
+        KeyRecovery {
+            groups_observed: consumed,
+            candidates,
+        }
+    }
+}
+
+/// The masked-sum delta an MSB flip on `value` causes *before* masking: flipping the
+/// sign bit of an `i8` subtracts 128 from a non-negative value and adds 128 to a
+/// negative one.
+fn msb_delta(value: i8) -> i32 {
+    if value >= 0 {
+        -128
+    } else {
+        128
+    }
+}
+
+/// Applies an MSB flip to one slot of a group, returning the flipped value.
+pub fn apply_msb_flip(values: &mut [i8], slot: usize) -> i8 {
+    values[slot] = (values[slot] as u8 ^ 0x80) as i8;
+    values[slot]
+}
+
+/// Constructs a two-flip evasion against a **known** key: a pair of slots whose
+/// masked MSB-flip deltas cancel (`mask(a)·Δ_a + mask(b)·Δ_b = 0`), leaving the
+/// masked sum — and therefore the signature — bit-identical.
+///
+/// This is the payoff of key learning: with the key in hand the Section VIII
+/// pairing attack no longer has to *guess* the grouping or the masks; the evasion
+/// is certain. Under a **rotated** key the same pair cancels only if the fresh
+/// masks happen to agree on the pair — a coin flip per pair, which is exactly what
+/// rotation buys (see `radar-bench`'s `run_rotation`).
+///
+/// Returns `None` when no cancelling pair exists (e.g. a group whose values all
+/// share one sign under a key that masks them identically).
+pub fn evasion_pair(key: &SecretKey, values: &[i8]) -> Option<(usize, usize)> {
+    let len = values.len().min(KEY_BITS as usize * 4);
+    for a in 0..len {
+        for b in (a + 1)..len {
+            if key.mask(a) * msb_delta(values[a]) + key.mask(b) * msb_delta(values[b]) == 0 {
+                return Some((a, b));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radar_core::KeyEpoch;
+    use radar_core::KeySchedule;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_group(rng: &mut StdRng, len: usize) -> Vec<i8> {
+        (0..len).map(|_| rng.gen::<i8>()).collect()
+    }
+
+    fn observe(groups: &[Vec<i8>], key: &SecretKey, bits: SignatureBits) -> Vec<KeyObservation> {
+        groups
+            .iter()
+            .map(|values| KeyObservation {
+                values: values.clone(),
+                signature: group_signature(values, key, bits),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learner_recovers_a_static_key_from_a_few_dozen_groups() {
+        let mut rng = StdRng::seed_from_u64(0x5EC2);
+        let key = SecretKey::random(&mut rng);
+        let groups: Vec<Vec<i8>> = (0..48).map(|_| random_group(&mut rng, 32)).collect();
+        let recovery =
+            KeyLearner::new(SignatureBits::Two).learn(&observe(&groups, &key, SignatureBits::Two));
+        assert_eq!(
+            recovery.unique(),
+            Some(key),
+            "16-bit keyspace falls to brute force"
+        );
+        // Each 2-bit signature removes ~2 bits of entropy; convergence is fast.
+        assert!(recovery.groups_observed <= 32);
+        assert_eq!(recovery.residual_entropy_bits(), 0.0);
+    }
+
+    #[test]
+    fn too_few_observations_leave_residual_candidates() {
+        let mut rng = StdRng::seed_from_u64(0x5EC3);
+        let key = SecretKey::random(&mut rng);
+        let groups: Vec<Vec<i8>> = (0..2).map(|_| random_group(&mut rng, 32)).collect();
+        let recovery =
+            KeyLearner::new(SignatureBits::Two).learn(&observe(&groups, &key, SignatureBits::Two));
+        // Two 2-bit observations cannot pin down 16 bits of key.
+        assert!(recovery.candidates.len() > 1);
+        // The true key always survives its own observations.
+        assert!(recovery
+            .candidates
+            .iter()
+            .any(|&bits| SecretKey::new(bits) == key));
+        assert!(recovery.residual_entropy_bits() > 0.0);
+    }
+
+    #[test]
+    fn evasion_pair_is_invisible_under_the_learned_key() {
+        let mut rng = StdRng::seed_from_u64(0x5EC4);
+        for _ in 0..64 {
+            let key = SecretKey::random(&mut rng);
+            let mut values = random_group(&mut rng, 32);
+            let Some((a, b)) = evasion_pair(&key, &values) else {
+                continue;
+            };
+            let before = group_signature(&values, &key, SignatureBits::Two);
+            apply_msb_flip(&mut values, a);
+            apply_msb_flip(&mut values, b);
+            let after = group_signature(&values, &key, SignatureBits::Two);
+            assert_eq!(before, after, "constructed pair must evade the known key");
+        }
+    }
+
+    #[test]
+    fn rotation_invalidates_the_learned_evasion() {
+        // Learn the epoch-0 key, construct a certain evasion against it, then roll
+        // the schedule: across a handful of groups the stale evasion is caught at
+        // least once under the fresh epoch-1 key (each pair survives a re-key only
+        // with probability ~1/2).
+        let schedule = KeySchedule::from_seed(0xAD42);
+        let mut rng = StdRng::seed_from_u64(0x5EC5);
+        let mut evaded_old = 0usize;
+        let mut caught_new = 0usize;
+        // One group per layer: rotation re-keys every layer independently, so each
+        // trial pits a learned epoch-0 key against an independent epoch-1 key.
+        for layer in 0..16 {
+            let old_key = schedule.layer_key(layer, KeyEpoch::ZERO);
+            let new_key = schedule.layer_key(layer, KeyEpoch::ZERO.next());
+            let mut values = random_group(&mut rng, 32);
+            let Some((a, b)) = evasion_pair(&old_key, &values) else {
+                continue;
+            };
+            let old_before = group_signature(&values, &old_key, SignatureBits::Two);
+            let new_before = group_signature(&values, &new_key, SignatureBits::Two);
+            apply_msb_flip(&mut values, a);
+            apply_msb_flip(&mut values, b);
+            if group_signature(&values, &old_key, SignatureBits::Two) == old_before {
+                evaded_old += 1;
+            }
+            if group_signature(&values, &new_key, SignatureBits::Two) != new_before {
+                caught_new += 1;
+            }
+        }
+        assert!(evaded_old >= 8, "the learned key is fully evadable");
+        assert!(caught_new >= 1, "the rotated key catches stale evasions");
+        assert!(
+            caught_new < evaded_old,
+            "rotation turns certainty into a per-pair coin flip, not a guarantee"
+        );
+    }
+
+    #[test]
+    fn msb_delta_matches_an_actual_flip() {
+        for value in [-128i8, -1, 0, 37, 127] {
+            let mut group = [value];
+            let flipped = apply_msb_flip(&mut group, 0);
+            assert_eq!(i32::from(flipped) - i32::from(value), msb_delta(value));
+        }
+    }
+}

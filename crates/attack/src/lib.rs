@@ -7,6 +7,10 @@
 //! * [`RandomBitFlip`] — the weak random-fault baseline.
 //! * [`KnowledgeableAttacker`] — the Section VIII attacker that pairs flips to evade an
 //!   un-interleaved addition checksum.
+//! * [`KeyLearner`] — the key-learning adversary: brute-forces the 16-bit masking key
+//!   from observed (group values, golden signature) pairs and constructs *certain*
+//!   evasion pairs ([`evasion_pair`]) against a static key — the threat-model gap that
+//!   motivates epoch rotation (`radar_core::KeySchedule`).
 //! * [`AttackProfile`] / [`BitFlip`] — the "vulnerable bit profile" mounted at run time.
 //! * [`stats`] — the Section III.C characterization (Table I, Table II, Fig. 2).
 //!
@@ -28,12 +32,14 @@
 //! assert_eq!(profile.len(), 10);
 //! ```
 
+mod keylearn;
 mod knowledgeable;
 mod pbfa;
 mod profile;
 mod random;
 pub mod stats;
 
+pub use keylearn::{apply_msb_flip, evasion_pair, KeyLearner, KeyObservation, KeyRecovery};
 pub use knowledgeable::KnowledgeableAttacker;
 pub use pbfa::{Pbfa, PbfaConfig};
 pub use profile::{AttackProfile, BitFlip, FlipDirection};
@@ -51,4 +57,7 @@ const _: () = {
     assert_send_sync::<PbfaConfig>();
     assert_send_sync::<KnowledgeableAttacker>();
     assert_send_sync::<RandomBitFlip>();
+    assert_send_sync::<KeyLearner>();
+    assert_send_sync::<KeyObservation>();
+    assert_send_sync::<KeyRecovery>();
 };

@@ -1,0 +1,37 @@
+//! Runs the key-rotation benchmark: the key-learning study (brute-forcing static
+//! per-layer keys from golden signatures, constructing stale evasions) plus the
+//! static-vs-rotating serving scenarios with a full epoch roll under live traffic.
+//! Writes the table to `artifacts/results/rotation.txt` and the machine-readable
+//! `artifacts/results/BENCH_rotation.json`.
+//!
+//! `--smoke` selects the CI-sized timeline (one rotation tick per batch, just enough
+//! traffic for a full roll). The usual [`Budget`](radar_bench::harness::Budget) and
+//! `RADAR_SERVE_*` environment knobs apply.
+
+use radar_bench::harness::{prepare, Budget, ModelKind};
+use radar_bench::rotation::{self, RotationBenchParams};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let budget = Budget::from_env();
+    let kind = match std::env::var("RADAR_SERVE_MODEL").as_deref() {
+        Ok("resnet18") => ModelKind::ResNet18Like,
+        _ => ModelKind::ResNet20Like,
+    };
+    let params = if smoke {
+        RotationBenchParams::smoke()
+    } else {
+        RotationBenchParams::default_run()
+    };
+    eprintln!(
+        "[run_rotation] rotate_every {} on {} ({})",
+        params.rotate_every,
+        kind.name(),
+        if smoke { "smoke" } else { "default" }
+    );
+
+    let mut prepared = prepare(kind, budget);
+    let outcome = rotation::run(&mut prepared, &params);
+    outcome.report().print_and_save("rotation");
+    outcome.write_json();
+}

@@ -14,7 +14,10 @@
 //! The run-time story — RADAR embedded in a live serving loop, attacked mid-service —
 //! runs through [`serving`] on the `radar-serve` engine (`run_serve` binary,
 //! `BENCH_serve.json` artifact): per-scenario latency percentiles, time-to-detect and
-//! served-accuracy windows.
+//! served-accuracy windows. The [`rotation`] benchmark (`run_rotation` binary,
+//! `BENCH_rotation.json`) adds the key-schedule story: a key-learning adversary
+//! brute-forces static layer keys off golden signatures, and a live epoch roll under
+//! traffic shows what rotation buys.
 //!
 //! Budgets (rounds, epochs, evaluation samples, worker threads) are controlled through
 //! environment variables documented on [`harness::Budget`].
@@ -24,4 +27,5 @@ pub mod experiments;
 pub mod harness;
 pub mod profile_cache;
 pub mod report;
+pub mod rotation;
 pub mod serving;

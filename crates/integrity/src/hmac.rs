@@ -1,0 +1,135 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198-1) over the in-repo [`Sha256`].
+//!
+//! This is the PRF behind `radar-core`'s key schedule: the master secret keys
+//! the MAC, and the `(layer, epoch)` coordinates form the message, following
+//! the `tofn` `rng_seed` derivation shape (HMAC over `(tag, id, nonce)` →
+//! `ChaCha20Rng`). Pinned by the RFC 4231 test vectors.
+
+use crate::sha256::Sha256;
+
+/// Incremental HMAC-SHA256 computation.
+///
+/// # Example
+///
+/// ```
+/// use radar_integrity::HmacSha256;
+///
+/// let mut mac = HmacSha256::new(b"key");
+/// mac.update(b"message");
+/// let tag = mac.finalize();
+/// assert_eq!(tag, HmacSha256::mac(b"key", b"message"));
+/// ```
+#[derive(Clone)]
+pub struct HmacSha256 {
+    /// Hash of `ipad-key || message...`, extended by `update`.
+    inner: Sha256,
+    /// The opad-masked key block, applied at `finalize`.
+    outer_key: [u8; 64],
+}
+
+impl HmacSha256 {
+    /// Starts a MAC computation under `key` (any length; longer than one
+    /// block is pre-hashed, per RFC 2104).
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; 64];
+        if key.len() > 64 {
+            key_block[..32].copy_from_slice(&Sha256::digest(key));
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut inner_key = [0u8; 64];
+        let mut outer_key = [0u8; 64];
+        for i in 0..64 {
+            inner_key[i] = key_block[i] ^ 0x36;
+            outer_key[i] = key_block[i] ^ 0x5C;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&inner_key);
+        HmacSha256 { inner, outer_key }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Completes the MAC and returns the 32-byte tag.
+    pub fn finalize(self) -> [u8; 32] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.outer_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot MAC of `message` under `key`.
+    pub fn mac(key: &[u8], message: &[u8]) -> [u8; 32] {
+        let mut hmac = HmacSha256::new(key);
+        hmac.update(message);
+        hmac.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(tag: &[u8]) -> String {
+        tag.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0B; 20];
+        assert_eq!(
+            hex(&HmacSha256::mac(&key, b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        assert_eq!(
+            hex(&HmacSha256::mac(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xAA; 20];
+        let message = [0xDD; 50];
+        assert_eq!(
+            hex(&HmacSha256::mac(&key, &message)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_key_longer_than_block() {
+        let key = [0xAA; 131];
+        assert_eq!(
+            hex(&HmacSha256::mac(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let mut mac = HmacSha256::new(b"secret");
+        mac.update(b"split ");
+        mac.update(b"message");
+        assert_eq!(mac.finalize(), HmacSha256::mac(b"secret", b"split message"));
+    }
+
+    #[test]
+    fn distinct_keys_give_distinct_tags() {
+        assert_ne!(
+            HmacSha256::mac(b"key-a", b"same message"),
+            HmacSha256::mac(b"key-b", b"same message")
+        );
+    }
+}

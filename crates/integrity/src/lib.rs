@@ -5,6 +5,11 @@
 //! This crate implements both behind a common [`GroupCode`] trait so the benchmark
 //! harness can sweep schemes uniformly and account for their storage and compute cost.
 //!
+//! It also hosts the workspace's cryptographic primitives — [`Sha256`] and
+//! [`HmacSha256`] — which back the per-layer/per-epoch key schedule in
+//! `radar-core` (the build is offline, so these are implemented in-repo and
+//! pinned by FIPS / RFC 4231 known-answer tests).
+//!
 //! # Example
 //!
 //! ```
@@ -20,7 +25,11 @@
 mod code;
 mod crc;
 mod hamming;
+mod hmac;
+mod sha256;
 
 pub use code::GroupCode;
 pub use crc::Crc;
 pub use hamming::HammingSecDed;
+pub use hmac::HmacSha256;
+pub use sha256::Sha256;

@@ -1,0 +1,285 @@
+//! A minimal, dependency-free SHA-256 (FIPS 180-4).
+//!
+//! The workspace is built offline, so the key-derivation PRF used by
+//! `radar-core`'s [`KeySchedule`](../../radar/src/key.rs) cannot pull in the
+//! `sha2` crate; this module implements the compression function directly,
+//! next to the other integrity codes. Correctness is pinned by known-answer
+//! tests against the FIPS example digests.
+
+/// Incremental SHA-256 hasher.
+///
+/// # Example
+///
+/// ```
+/// use radar_integrity::Sha256;
+///
+/// let mut hasher = Sha256::new();
+/// hasher.update(b"ab");
+/// hasher.update(b"c");
+/// assert_eq!(hasher.finalize(), Sha256::digest(b"abc"));
+/// ```
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Partial input block awaiting compression.
+    buffer: [u8; 64],
+    /// Bytes currently in `buffer` (always < 64 after `update`).
+    buffered: usize,
+    /// Total message length in bytes, for the trailing length field.
+    length: u64,
+}
+
+/// Initial hash values: the first 32 bits of the fractional parts of the
+/// square roots of the first 8 primes (FIPS 180-4 §5.3.3).
+const H0: [u32; 8] = [
+    0x6A09_E667,
+    0xBB67_AE85,
+    0x3C6E_F372,
+    0xA54F_F53A,
+    0x510E_527F,
+    0x9B05_688C,
+    0x1F83_D9AB,
+    0x5BE0_CD19,
+];
+
+/// Round constants: the first 32 bits of the fractional parts of the cube
+/// roots of the first 64 primes (FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428A_2F98,
+    0x7137_4491,
+    0xB5C0_FBCF,
+    0xE9B5_DBA5,
+    0x3956_C25B,
+    0x59F1_11F1,
+    0x923F_82A4,
+    0xAB1C_5ED5,
+    0xD807_AA98,
+    0x1283_5B01,
+    0x2431_85BE,
+    0x550C_7DC3,
+    0x72BE_5D74,
+    0x80DE_B1FE,
+    0x9BDC_06A7,
+    0xC19B_F174,
+    0xE49B_69C1,
+    0xEFBE_4786,
+    0x0FC1_9DC6,
+    0x240C_A1CC,
+    0x2DE9_2C6F,
+    0x4A74_84AA,
+    0x5CB0_A9DC,
+    0x76F9_88DA,
+    0x983E_5152,
+    0xA831_C66D,
+    0xB003_27C8,
+    0xBF59_7FC7,
+    0xC6E0_0BF3,
+    0xD5A7_9147,
+    0x06CA_6351,
+    0x1429_2967,
+    0x27B7_0A85,
+    0x2E1B_2138,
+    0x4D2C_6DFC,
+    0x5338_0D13,
+    0x650A_7354,
+    0x766A_0ABB,
+    0x81C2_C92E,
+    0x9272_2C85,
+    0xA2BF_E8A1,
+    0xA81A_664B,
+    0xC24B_8B70,
+    0xC76C_51A3,
+    0xD192_E819,
+    0xD699_0624,
+    0xF40E_3585,
+    0x106A_A070,
+    0x19A4_C116,
+    0x1E37_6C08,
+    0x2748_774C,
+    0x34B0_BCB5,
+    0x391C_0CB3,
+    0x4ED8_AA4A,
+    0x5B9C_CA4F,
+    0x682E_6FF3,
+    0x748F_82EE,
+    0x78A5_636F,
+    0x84C8_7814,
+    0x8CC7_0208,
+    0x90BE_FFFA,
+    0xA450_6CEB,
+    0xBEF9_A3F7,
+    0xC671_78F2,
+];
+
+impl Sha256 {
+    /// Starts a fresh hash computation.
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            buffer: [0; 64],
+            buffered: 0,
+            length: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.length = self.length.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buffered > 0 {
+            let take = rest.len().min(64 - self.buffered);
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&rest[..take]);
+            self.buffered += take;
+            rest = &rest[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        // Anything still left starts at a block boundary (the partial-buffer
+        // branch either consumed all of `data` or filled and flushed the
+        // buffer); only then may the buffer be overwritten with the new tail.
+        if !rest.is_empty() {
+            let mut chunks = rest.chunks_exact(64);
+            for block in &mut chunks {
+                let mut full = [0u8; 64];
+                full.copy_from_slice(block);
+                self.compress(&full);
+            }
+            let tail = chunks.remainder();
+            self.buffer[..tail.len()].copy_from_slice(tail);
+            self.buffered = tail.len();
+        }
+    }
+
+    /// Appends the padding and returns the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_length = self.length.wrapping_mul(8);
+        // 0x80 terminator, zero pad to 56 mod 64, then the 64-bit bit length.
+        self.update(&[0x80]);
+        while self.buffered != 56 {
+            self.update(&[0]);
+        }
+        // Bypass `update` for the length field so it is not itself counted.
+        self.buffer[56..].copy_from_slice(&bit_length.to_be_bytes());
+        let block = self.buffer;
+        self.compress(&block);
+        let mut digest = [0u8; 32];
+        for (chunk, word) in digest.chunks_exact_mut(4).zip(self.state.iter()) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        digest
+    }
+
+    /// One-shot digest of `data`.
+    pub fn digest(data: &[u8]) -> [u8; 32] {
+        let mut hasher = Sha256::new();
+        hasher.update(data);
+        hasher.finalize()
+    }
+
+    /// The FIPS 180-4 compression function over one 64-byte block.
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (word, chunk) in w[..16].iter_mut().zip(block.chunks_exact(4)) {
+            *word = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for t in 16..64 {
+            let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
+            let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
+            w[t] = w[t - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[t - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for t in 0..64 {
+            let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(big_s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[t])
+                .wrapping_add(w[t]);
+            let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = big_s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(digest: &[u8]) -> String {
+        digest.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn kat_empty_message() {
+        assert_eq!(
+            hex(&Sha256::digest(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn kat_abc() {
+        // FIPS 180-4 example B.1.
+        assert_eq!(
+            hex(&Sha256::digest(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn kat_two_block_message() {
+        // FIPS 180-4 example B.2 (56 bytes: padding spills into a second block).
+        assert_eq!(
+            hex(&Sha256::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn kat_million_a() {
+        // FIPS 180-4 example B.3.
+        let message = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&Sha256::digest(&message)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for split in [0, 1, 63, 64, 65, 500, 999, 1000] {
+            let mut hasher = Sha256::new();
+            hasher.update(&data[..split]);
+            hasher.update(&data[split..]);
+            assert_eq!(hasher.finalize(), Sha256::digest(&data), "split {split}");
+        }
+    }
+}

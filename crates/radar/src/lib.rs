@@ -6,7 +6,12 @@
 //! 1. **Grouping** each layer's weights into groups of `G`, optionally *interleaving*
 //!    them so group members are originally far apart ([`GroupLayout`], [`Grouping`]).
 //! 2. **Masking** each group with a per-layer 16-bit secret key that decides whether a
-//!    weight enters the checksum directly or negated ([`SecretKey`]).
+//!    weight enters the checksum directly or negated ([`SecretKey`]). Keys are not a
+//!    one-time draw: a [`KeySchedule`] derives an independent key per
+//!    `(layer, [`KeyEpoch`])` cell from a [`MasterSecret`] via HMAC-SHA256, and the
+//!    protection can roll to a fresh epoch under live traffic
+//!    ([`RadarProtection::begin_rotation`]) with a `{current, previous}` acceptance
+//!    window so in-flight verification is never stranded.
 //! 3. **Signing** each group with a 2-bit (or 3-bit) signature obtained by binarizing
 //!    the masked addition checksum ([`SignatureBits`], [`group_signature`]); the golden
 //!    signatures live in secure on-chip memory ([`SignatureStore`]).
@@ -58,7 +63,7 @@ mod store;
 
 pub use config::RadarConfig;
 pub use grouping::{GroupLayout, Grouping};
-pub use key::{SecretKey, KEY_BITS};
+pub use key::{KeyEpoch, KeySchedule, MasterSecret, SecretKey, KEY_BITS};
 pub use plan::{LayerPlan, VerifyPlan};
 pub use protected::{ProtectedModel, ProtectionStats};
 pub use protection::{

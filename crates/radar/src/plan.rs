@@ -1,5 +1,5 @@
 use crate::grouping::GroupLayout;
-use crate::key::SecretKey;
+use crate::key::{KeyEpoch, SecretKey};
 use crate::signature::{binarize, SignatureBits};
 
 /// Precomputed verification plan for one layer: everything the run-time check needs to
@@ -194,10 +194,15 @@ impl LayerPlan {
 /// the signature width, precomputed at signing time so every run-time detection pass is
 /// a sequential, allocation-free sweep in weight-fetch order.
 ///
+/// Like the golden [`SignatureStore`](crate::SignatureStore), a plan is versioned by
+/// the [`KeyEpoch`] its keys were derived for: verifying weights against a store from
+/// another epoch is a category error, and the protection layer keeps plan and store
+/// paired per epoch.
+///
 /// # Example
 ///
 /// ```
-/// use radar_core::{GroupLayout, Grouping, SecretKey, SignatureBits, VerifyPlan};
+/// use radar_core::{GroupLayout, Grouping, KeyEpoch, SecretKey, SignatureBits, VerifyPlan};
 ///
 /// let plan = VerifyPlan::new(
 ///     [(GroupLayout::new(64, 8, Grouping::interleaved()), SecretKey::new(1))],
@@ -205,18 +210,30 @@ impl LayerPlan {
 /// );
 /// assert_eq!(plan.num_layers(), 1);
 /// assert_eq!(plan.max_groups(), 8);
+/// assert_eq!(plan.epoch(), KeyEpoch::ZERO);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct VerifyPlan {
     layers: Vec<LayerPlan>,
     bits: SignatureBits,
+    epoch: KeyEpoch,
 }
 
 impl VerifyPlan {
-    /// Compiles a plan from per-layer `(layout, key)` pairs.
+    /// Compiles a plan from per-layer `(layout, key)` pairs, versioned as
+    /// [`KeyEpoch::ZERO`].
     pub fn new(
         layers: impl IntoIterator<Item = (GroupLayout, SecretKey)>,
         bits: SignatureBits,
+    ) -> Self {
+        Self::for_epoch(layers, bits, KeyEpoch::ZERO)
+    }
+
+    /// Compiles a plan whose keys belong to `epoch`.
+    pub fn for_epoch(
+        layers: impl IntoIterator<Item = (GroupLayout, SecretKey)>,
+        bits: SignatureBits,
+        epoch: KeyEpoch,
     ) -> Self {
         VerifyPlan {
             layers: layers
@@ -224,12 +241,18 @@ impl VerifyPlan {
                 .map(|(layout, key)| LayerPlan::new(layout, key))
                 .collect(),
             bits,
+            epoch,
         }
     }
 
     /// Signature width signatures are compared at.
     pub fn signature_bits(&self) -> SignatureBits {
         self.bits
+    }
+
+    /// The key epoch this plan's keys were derived for.
+    pub fn epoch(&self) -> KeyEpoch {
+        self.epoch
     }
 
     /// Number of planned layers.
@@ -301,7 +324,7 @@ mod tests {
     fn group_members_match_layout_members_in_slot_order() {
         for grouping in [Grouping::Contiguous, Grouping::interleaved()] {
             let layout = GroupLayout::new(150, 16, grouping);
-            let plan = LayerPlan::new(layout, SecretKey::identity());
+            let plan = LayerPlan::new(layout, SecretKey::insecure_unmasked());
             for g in 0..layout.num_groups() {
                 let expected: Vec<u32> = layout.members(g).iter().map(|&i| i as u32).collect();
                 assert_eq!(plan.group_members(g), expected.as_slice(), "group {g}");
@@ -348,7 +371,7 @@ mod tests {
     fn accumulate_rejects_mismatched_weight_count() {
         let plan = LayerPlan::new(
             GroupLayout::new(16, 4, Grouping::Contiguous),
-            SecretKey::identity(),
+            SecretKey::insecure_unmasked(),
         );
         let mut acc = vec![0i32; 4];
         plan.accumulate(&[0i8; 15], &mut acc);
@@ -359,7 +382,7 @@ mod tests {
     fn accumulate_rejects_short_scratch() {
         let plan = LayerPlan::new(
             GroupLayout::new(16, 4, Grouping::Contiguous),
-            SecretKey::identity(),
+            SecretKey::insecure_unmasked(),
         );
         let mut acc = vec![0i32; 3];
         plan.accumulate(&[0i8; 16], &mut acc);

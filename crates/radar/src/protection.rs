@@ -1,12 +1,10 @@
 use std::ops::Range;
 
 use radar_quant::QuantizedModel;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::config::RadarConfig;
 use crate::grouping::GroupLayout;
-use crate::key::SecretKey;
+use crate::key::{KeyEpoch, KeySchedule, SecretKey};
 use crate::plan::VerifyPlan;
 use crate::signature::binarize;
 use crate::store::SignatureStore;
@@ -89,12 +87,55 @@ pub struct RecoveryReport {
     pub weights_zeroed: usize,
 }
 
+/// One epoch's verification state: the per-layer keys, the compiled
+/// [`VerifyPlan`], and the golden [`SignatureStore`] — always paired, always
+/// from the same [`KeyEpoch`].
+#[derive(Debug, Clone, PartialEq)]
+struct EpochState {
+    epoch: KeyEpoch,
+    layers: Vec<LayerProtection>,
+    plan: VerifyPlan,
+    golden: SignatureStore,
+}
+
+/// The next epoch while it is being signed layer-by-layer, before publication.
+#[derive(Debug, Clone, PartialEq)]
+struct PendingEpoch {
+    state: EpochState,
+    /// Layers `0..resigned` hold valid signatures; the rest are placeholders.
+    resigned: usize,
+}
+
 /// The RADAR defense: golden signatures plus run-time detection and recovery.
 ///
 /// Construction corresponds to the offline signing step (Algorithm 1 on the clean
 /// model, with the golden signatures and per-layer keys stored "on chip");
 /// [`detect`](Self::detect) and [`recover`](Self::recover) are the run-time steps
 /// embedded in inference.
+///
+/// # Key epochs
+///
+/// Keys are not a static per-layer draw: a [`KeySchedule`] derives an independent
+/// key per `(layer, epoch)` cell from a master secret expanded from
+/// `config.key_seed`, and the protection can *roll* to the next epoch under live
+/// traffic:
+///
+/// 1. [`begin_rotation`](Self::begin_rotation) derives the next epoch's keys and
+///    allocates its (placeholder) signature store;
+/// 2. [`resign_layer`](Self::resign_layer) signs one layer at a time under the
+///    next epoch — the caller must verify-and-recover the layer under the current
+///    epoch *first*, or corruption would be blessed into the new golden store;
+/// 3. [`publish_epoch`](Self::publish_epoch) makes the pending epoch current and
+///    retains the old epoch as `previous`, so verification pinned to the old
+///    epoch ([`verify_layer_values_at_epoch`](Self::verify_layer_values_at_epoch))
+///    keeps working during the hand-over;
+/// 4. [`retire_previous`](Self::retire_previous) drops the old epoch once no
+///    in-flight work can still be pinned to it.
+///
+/// Recovery refreshes the zeroed groups' signatures in *every* retained epoch
+/// store (a zeroed group's masked sum is 0 under any key, so the refreshed
+/// signature is epoch-independent), which keeps racing detectors idempotent
+/// across an epoch boundary.
 ///
 /// # Example
 ///
@@ -116,41 +157,72 @@ pub struct RecoveryReport {
 #[derive(Debug, Clone, PartialEq)]
 pub struct RadarProtection {
     config: RadarConfig,
-    layers: Vec<LayerProtection>,
-    plan: VerifyPlan,
-    golden: SignatureStore,
+    schedule: KeySchedule,
+    current: EpochState,
+    previous: Option<EpochState>,
+    pending: Option<PendingEpoch>,
 }
 
 impl RadarProtection {
     /// Signs the (clean) `model` under `config`, producing the golden signature store
-    /// and compiling the [`VerifyPlan`] every run-time pass streams through.
+    /// and compiling the [`VerifyPlan`] every run-time pass streams through. The
+    /// initial epoch is [`KeyEpoch::ZERO`].
     pub fn new(model: &QuantizedModel, config: RadarConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(config.key_seed);
-        let mut layers = Vec::with_capacity(model.num_layers());
-        for layer in model.layers() {
-            let key = if config.masking {
-                SecretKey::random(&mut rng)
-            } else {
-                SecretKey::identity()
-            };
-            let layout = GroupLayout::new(layer.len(), config.group_size, config.grouping);
-            layers.push(LayerProtection { key, layout });
-        }
-        let plan = VerifyPlan::new(
+        let schedule = KeySchedule::from_seed(config.key_seed);
+        let layouts: Vec<GroupLayout> = model
+            .layers()
+            .iter()
+            .map(|layer| GroupLayout::new(layer.len(), config.group_size, config.grouping))
+            .collect();
+        let layers = Self::epoch_layers(&config, &schedule, &layouts, KeyEpoch::ZERO);
+        let plan = VerifyPlan::for_epoch(
             layers.iter().map(|l| (l.layout, l.key)),
             config.signature_bits,
+            KeyEpoch::ZERO,
         );
-        let mut golden = SignatureStore::new(config.signature_bits);
-        for (layer_plan, layer) in plan.layers().iter().zip(model.layers()) {
+        let mut golden = SignatureStore::for_epoch(config.signature_bits, KeyEpoch::ZERO);
+        for (layer_plan, layer) in plan.layers().iter().zip(model.layers().iter()) {
             golden
                 .push_layer(layer_plan.signatures(layer.weights().values(), config.signature_bits));
         }
         RadarProtection {
             config,
-            layers,
-            plan,
-            golden,
+            schedule,
+            current: EpochState {
+                epoch: KeyEpoch::ZERO,
+                layers,
+                plan,
+                golden,
+            },
+            previous: None,
+            pending: None,
         }
+    }
+
+    /// Derives the per-layer keys of `epoch` and pairs them with the layouts.
+    ///
+    /// With `config.masking` disabled every layer gets the explicit
+    /// [`SecretKey::insecure_unmasked`] ablation key — turning masking off in
+    /// the config is the deliberate opt-in; there is no default path that
+    /// lands on the unmasked key by accident.
+    fn epoch_layers(
+        config: &RadarConfig,
+        schedule: &KeySchedule,
+        layouts: &[GroupLayout],
+        epoch: KeyEpoch,
+    ) -> Vec<LayerProtection> {
+        layouts
+            .iter()
+            .enumerate()
+            .map(|(i, &layout)| {
+                let key = if config.masking {
+                    schedule.layer_key(i, epoch)
+                } else {
+                    SecretKey::insecure_unmasked()
+                };
+                LayerProtection { key, layout }
+            })
+            .collect()
     }
 
     /// The scheme configuration.
@@ -158,39 +230,185 @@ impl RadarProtection {
         &self.config
     }
 
-    /// Per-layer protection state.
+    /// Per-layer protection state of the current epoch.
     pub fn layers(&self) -> &[LayerProtection] {
-        &self.layers
+        &self.current.layers
     }
 
-    /// The precomputed streaming verification plan.
+    /// The precomputed streaming verification plan of the current epoch.
     pub fn plan(&self) -> &VerifyPlan {
-        &self.plan
+        &self.current.plan
     }
 
-    /// The golden signature store (what would be kept in secure on-chip memory).
+    /// The golden signature store of the current epoch (what would be kept in
+    /// secure on-chip memory).
     pub fn golden(&self) -> &SignatureStore {
-        &self.golden
+        &self.current.golden
     }
 
-    /// Signature storage overhead in bytes.
+    /// The currently published key epoch.
+    pub fn current_epoch(&self) -> KeyEpoch {
+        self.current.epoch
+    }
+
+    /// The retained previous epoch, if the last roll has not been retired yet.
+    pub fn previous_epoch(&self) -> Option<KeyEpoch> {
+        self.previous.as_ref().map(|s| s.epoch)
+    }
+
+    /// The epoch currently being signed, together with how many layers already
+    /// carry valid signatures under it.
+    pub fn pending_progress(&self) -> Option<(KeyEpoch, usize)> {
+        self.pending.as_ref().map(|p| (p.state.epoch, p.resigned))
+    }
+
+    /// Whether a key roll has begun and not yet been published.
+    pub fn rotation_in_progress(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Whether verification requests pinned to `epoch` are still served by a
+    /// retained epoch state (current or previous).
+    pub fn accepts_epoch(&self, epoch: KeyEpoch) -> bool {
+        epoch == self.current.epoch || self.previous_epoch() == Some(epoch)
+    }
+
+    /// Starts the next key roll: derives every layer's key for
+    /// `current_epoch().next()` and allocates its signature store with
+    /// placeholder signatures. Layers must then be re-signed in order via
+    /// [`resign_layer`](Self::resign_layer) before
+    /// [`publish_epoch`](Self::publish_epoch).
+    ///
+    /// Returns the new epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a roll is already in progress.
+    pub fn begin_rotation(&mut self) -> KeyEpoch {
+        assert!(
+            self.pending.is_none(),
+            "a key roll to {} is already in progress",
+            self.pending
+                .as_ref()
+                .map(|p| p.state.epoch)
+                .unwrap_or_default()
+        );
+        let epoch = self.current.epoch.next();
+        let layouts: Vec<GroupLayout> = self.current.layers.iter().map(|l| l.layout).collect();
+        let layers = Self::epoch_layers(&self.config, &self.schedule, &layouts, epoch);
+        let plan = VerifyPlan::for_epoch(
+            layers.iter().map(|l| (l.layout, l.key)),
+            self.config.signature_bits,
+            epoch,
+        );
+        let mut golden = SignatureStore::for_epoch(self.config.signature_bits, epoch);
+        for layer_plan in plan.layers() {
+            golden.push_layer(vec![0u8; layer_plan.num_groups()]);
+        }
+        self.pending = Some(PendingEpoch {
+            state: EpochState {
+                epoch,
+                layers,
+                plan,
+                golden,
+            },
+            resigned: 0,
+        });
+        epoch
+    }
+
+    /// The next layer awaiting a signature under the pending epoch, or `None`
+    /// when no roll is in progress or every layer is already re-signed.
+    pub fn next_unsigned_layer(&self) -> Option<usize> {
+        self.pending
+            .as_ref()
+            .filter(|p| p.resigned < p.state.layers.len())
+            .map(|p| p.resigned)
+    }
+
+    /// Whether every layer has been re-signed and the pending epoch is ready
+    /// for [`publish_epoch`](Self::publish_epoch).
+    pub fn rotation_complete(&self) -> bool {
+        self.pending
+            .as_ref()
+            .is_some_and(|p| p.resigned == p.state.layers.len())
+    }
+
+    /// Signs one layer's `values` under the pending epoch.
+    ///
+    /// The caller must have verified (and, if flagged, recovered) `values`
+    /// under the *current* epoch immediately before this call — re-signing is
+    /// trust transfer, and signing unverified bytes would bless whatever
+    /// corruption they carry into the next epoch's golden store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no roll is in progress, if `layer` is not the next layer in
+    /// order, or if `values` does not have the layer's signed size.
+    pub fn resign_layer(&mut self, layer: usize, values: &[i8]) {
+        let bits = self.config.signature_bits;
+        let pending = self.pending.as_mut().expect("no key roll in progress");
+        assert_eq!(
+            layer, pending.resigned,
+            "layers must be re-signed in order: expected layer {}, got {layer}",
+            pending.resigned
+        );
+        let sigs = pending.state.plan.layer(layer).signatures(values, bits);
+        for (group, &sig) in sigs.iter().enumerate() {
+            pending.state.golden.set_signature(layer, group, sig);
+        }
+        pending.resigned += 1;
+    }
+
+    /// Publishes the fully re-signed pending epoch: it becomes current, and
+    /// the old current epoch is retained as `previous` so verification pinned
+    /// to it keeps being answered until
+    /// [`retire_previous`](Self::retire_previous).
+    ///
+    /// Returns the newly current epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no roll is in progress or not every layer has been re-signed.
+    pub fn publish_epoch(&mut self) -> KeyEpoch {
+        assert!(
+            self.rotation_complete(),
+            "cannot publish {:?}: {:?} of {} layers re-signed",
+            self.pending.as_ref().map(|p| p.state.epoch),
+            self.pending.as_ref().map(|p| p.resigned),
+            self.current.layers.len()
+        );
+        let pending = self.pending.take().expect("no key roll in progress");
+        let old = std::mem::replace(&mut self.current, pending.state);
+        self.previous = Some(old);
+        self.current.epoch
+    }
+
+    /// Drops the retained previous epoch (if any), ending its acceptance
+    /// window. Returns the retired epoch.
+    pub fn retire_previous(&mut self) -> Option<KeyEpoch> {
+        self.previous.take().map(|s| s.epoch)
+    }
+
+    /// Signature storage overhead in bytes (current epoch).
     pub fn storage_bytes(&self) -> usize {
-        self.golden.storage_bytes()
+        self.current.golden.storage_bytes()
     }
 
-    /// Signature storage overhead in kilobytes.
+    /// Signature storage overhead in kilobytes (current epoch).
     pub fn storage_kb(&self) -> f64 {
-        self.golden.storage_kb()
+        self.current.golden.storage_kb()
     }
 
     /// The signatures of every group of `layer` from its current weights, via the
-    /// streaming plan.
+    /// streaming plan of the current epoch.
     ///
     /// # Panics
     ///
     /// Panics if `layer` is out of bounds or its size changed since signing.
     pub fn layer_signatures(&self, model: &QuantizedModel, layer: usize) -> Vec<u8> {
-        self.plan
+        self.current
+            .plan
             .layer(layer)
             .signatures(model.layer_values(layer), self.config.signature_bits)
     }
@@ -205,7 +423,7 @@ impl RadarProtection {
     /// Panics if `model` does not have the same layer sizes as the model used at
     /// construction time.
     pub fn detect(&self, model: &QuantizedModel) -> DetectionReport {
-        self.detect_layers(model, 0..self.layers.len())
+        self.detect_layers(model, 0..self.current.layers.len())
     }
 
     /// Verifies only the `layers` range — the incremental fetch-path check: callers
@@ -242,35 +460,47 @@ impl RadarProtection {
     ) -> DetectionReport {
         assert_eq!(
             model.num_layers(),
-            self.layers.len(),
+            self.current.layers.len(),
             "model layer count changed since signing"
         );
         assert!(
-            layers.end <= self.layers.len(),
+            layers.end <= self.current.layers.len(),
             "layer range {layers:?} out of bounds for {} layers",
-            self.layers.len()
+            self.current.layers.len()
         );
-        let max_groups = self.plan.layers().get(layers.clone()).map_or(0, |plans| {
-            plans
-                .iter()
-                .map(super::plan::LayerPlan::num_groups)
-                .max()
-                .unwrap_or(0)
-        });
+        let max_groups = self
+            .current
+            .plan
+            .layers()
+            .get(layers.clone())
+            .map_or(0, |plans| {
+                plans
+                    .iter()
+                    .map(super::plan::LayerPlan::num_groups)
+                    .max()
+                    .unwrap_or(0)
+            });
         if acc.len() < max_groups {
             acc.resize(max_groups, 0);
         }
         let mut report = DetectionReport::default();
         for layer_idx in layers {
-            self.check_layer(layer_idx, model.layer_values(layer_idx), acc, &mut report);
+            Self::check_layer(
+                &self.current,
+                layer_idx,
+                model.layer_values(layer_idx),
+                acc,
+                &mut report,
+            );
         }
         report
     }
 
-    /// Verifies one layer's signatures from its raw weight values, appending mismatches
-    /// to `report` — the shared core of the sequential and the sharded parallel detect.
+    /// Verifies one layer's signatures from its raw weight values against one epoch's
+    /// plan and store, appending mismatches to `report` — the shared core of the
+    /// sequential, sharded-parallel and epoch-pinned detects.
     fn check_layer(
-        &self,
+        state: &EpochState,
         layer_idx: usize,
         values: &[i8],
         acc: &mut [i32],
@@ -278,14 +508,14 @@ impl RadarProtection {
     ) {
         assert_eq!(
             values.len(),
-            self.layers[layer_idx].layout.len(),
+            state.layers[layer_idx].layout.len(),
             "layer {layer_idx} size changed since signing"
         );
-        let bits = self.config.signature_bits;
-        let layer_plan = self.plan.layer(layer_idx);
+        let bits = state.plan.signature_bits();
+        let layer_plan = state.plan.layer(layer_idx);
         layer_plan.accumulate(values, acc);
         for (group, &m) in acc[..layer_plan.num_groups()].iter().enumerate() {
-            if binarize(m, bits) != self.golden.signature(layer_idx, group) {
+            if binarize(m, bits) != state.golden.signature(layer_idx, group) {
                 report.flagged.push(FlaggedGroup {
                     layer: layer_idx,
                     group,
@@ -294,22 +524,37 @@ impl RadarProtection {
         }
     }
 
+    /// Resolves `epoch` to a retained epoch state. Unknown epochs (already
+    /// retired, or never published) fall back to the *current* state: at worst
+    /// that misflags a group signed under another key (a false positive that
+    /// recovery re-checks), never a silent skip.
+    fn epoch_state(&self, epoch: KeyEpoch) -> &EpochState {
+        if epoch == self.current.epoch {
+            &self.current
+        } else if let Some(prev) = self.previous.as_ref().filter(|p| p.epoch == epoch) {
+            prev
+        } else {
+            &self.current
+        }
+    }
+
     /// Splits the planned layers into at most `shards` contiguous ranges of roughly
     /// equal total weight count (the unit of detect work is one weight).
     fn shard_ranges(&self, shards: usize) -> Vec<Range<usize>> {
         let total: usize = self
+            .current
             .plan
             .layers()
             .iter()
             .map(super::plan::LayerPlan::len)
             .sum();
-        let num_layers = self.layers.len();
+        let num_layers = self.current.layers.len();
         let shards = shards.clamp(1, num_layers.max(1));
         let target = total.div_ceil(shards).max(1);
         let mut ranges = Vec::with_capacity(shards);
         let mut start = 0usize;
         let mut in_shard = 0usize;
-        for (idx, plan) in self.plan.layers().iter().enumerate() {
+        for (idx, plan) in self.current.plan.layers().iter().enumerate() {
             in_shard += plan.len();
             // Close the shard once it reached its weight target, keeping enough layers
             // for the remaining shards to be non-empty.
@@ -344,7 +589,7 @@ impl RadarProtection {
         assert!(threads > 0, "thread count must be non-zero");
         assert_eq!(
             model.num_layers(),
-            self.layers.len(),
+            self.current.layers.len(),
             "model layer count changed since signing"
         );
         let ranges = self.shard_ranges(threads);
@@ -354,7 +599,7 @@ impl RadarProtection {
         // Borrow every layer's raw values up front: plain `&[i8]` slices are freely
         // shared across the scoped workers without requiring anything of the model's
         // float-side internals.
-        let values: Vec<&[i8]> = (0..self.layers.len())
+        let values: Vec<&[i8]> = (0..self.current.layers.len())
             .map(|i| model.layer_values(i))
             .collect();
         let mut shard_reports: Vec<DetectionReport> = Vec::new();
@@ -367,11 +612,17 @@ impl RadarProtection {
                         let mut acc = Vec::new();
                         let mut report = DetectionReport::default();
                         for layer_idx in range {
-                            let layer_plan = self.plan.layer(layer_idx);
+                            let layer_plan = self.current.plan.layer(layer_idx);
                             if acc.len() < layer_plan.num_groups() {
                                 acc.resize(layer_plan.num_groups(), 0);
                             }
-                            self.check_layer(layer_idx, values[layer_idx], &mut acc, &mut report);
+                            Self::check_layer(
+                                &self.current,
+                                layer_idx,
+                                values[layer_idx],
+                                &mut acc,
+                                &mut report,
+                            );
                         }
                         report
                     })
@@ -427,17 +678,59 @@ impl RadarProtection {
         values: &[i8],
         acc: &mut Vec<i32>,
     ) -> DetectionReport {
+        self.verify_layer_values_at_epoch_with_scratch(self.current.epoch, layer, values, acc)
+    }
+
+    /// Verifies one layer's raw values under the keys and golden store of a *pinned*
+    /// epoch — the serving path's epoch-aware check: a worker pins the epoch it saw
+    /// when its fetch ticket came up, and a rotation publish landing between pin and
+    /// verify must not strand it (the pinned epoch is then `previous` and still
+    /// accepted).
+    ///
+    /// An `epoch` that is no longer retained falls back to the current state (see
+    /// [`accepts_epoch`](Self::accepts_epoch)) — fail-closed, never skip.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`verify_layer_values`](Self::verify_layer_values).
+    pub fn verify_layer_values_at_epoch(
+        &self,
+        epoch: KeyEpoch,
+        layer: usize,
+        values: &[i8],
+    ) -> DetectionReport {
+        let mut acc = Vec::new();
+        self.verify_layer_values_at_epoch_with_scratch(epoch, layer, values, &mut acc)
+    }
+
+    /// [`verify_layer_values_at_epoch`](Self::verify_layer_values_at_epoch) with a
+    /// caller-owned accumulator scratch — allocation-free after warm-up, like every
+    /// other fetch-path check.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`verify_layer_values`](Self::verify_layer_values).
+    pub fn verify_layer_values_at_epoch_with_scratch(
+        &self,
+        epoch: KeyEpoch,
+        layer: usize,
+        values: &[i8],
+        acc: &mut Vec<i32>,
+    ) -> DetectionReport {
+        let state = self.epoch_state(epoch);
         assert!(
-            layer < self.layers.len(),
+            layer < state.layers.len(),
             "layer {layer} out of bounds for {} layers",
-            self.layers.len()
+            state.layers.len()
         );
-        let groups = self.plan.layer(layer).num_groups();
+        let groups = state.plan.layer(layer).num_groups();
         if acc.len() < groups {
             acc.resize(groups, 0);
         }
         let mut report = DetectionReport::default();
-        self.check_layer(layer, values, acc, &mut report);
+        Self::check_layer(state, layer, values, acc, &mut report);
         report
     }
 
@@ -447,7 +740,7 @@ impl RadarProtection {
     ///
     /// Panics if the indices are out of bounds.
     pub fn group_of(&self, layer: usize, weight: usize) -> usize {
-        self.layers[layer].layout().group_of(weight)
+        self.current.layers[layer].layout().group_of(weight)
     }
 
     /// Counts how many of the given `(layer, weight)` locations fall inside flagged
@@ -491,6 +784,12 @@ impl RadarProtection {
     /// This is the seam the online serving path uses to recover the weight bytes *in
     /// main memory* (so later fetches are clean) while this protection handles the
     /// `(layer, group)` deduplication, golden-signature refresh and accounting.
+    ///
+    /// The signature refresh covers **every retained epoch** — current, previous, and
+    /// a mid-roll pending store alike. A zeroed group's masked sum is 0 under any key,
+    /// so `binarize(0, bits)` is the correct signature in each of them; skipping one
+    /// would make the same recovered group re-flag (or worse, a stale pending
+    /// signature would survive into publication).
     pub fn recover_in<F>(&mut self, report: &DetectionReport, mut zero_group: F) -> RecoveryReport
     where
         F: FnMut(usize, &[u32]),
@@ -501,14 +800,33 @@ impl RadarProtection {
             if !zeroed.insert(*flagged) {
                 continue;
             }
-            let members = self.plan.layer(flagged.layer).group_members(flagged.group);
+            let members = self
+                .current
+                .plan
+                .layer(flagged.layer)
+                .group_members(flagged.group);
             zero_group(flagged.layer, members);
             // Re-sign the zeroed group: its masked sum is 0 whatever the key, so the
-            // fresh signature is the binarization of zero at the configured width.
+            // fresh signature is the binarization of zero at the configured width —
+            // in every retained epoch store.
             let sig = binarize(0, self.config.signature_bits);
-            self.golden.set_signature(flagged.layer, flagged.group, sig);
+            let weights = members.len();
+            self.current
+                .golden
+                .set_signature(flagged.layer, flagged.group, sig);
+            if let Some(prev) = self.previous.as_mut() {
+                prev.golden.set_signature(flagged.layer, flagged.group, sig);
+            }
+            if let Some(pending) = self.pending.as_mut() {
+                // Layers not yet re-signed hold placeholders that the upcoming
+                // resign overwrites wholesale; updating them early is harmless.
+                pending
+                    .state
+                    .golden
+                    .set_signature(flagged.layer, flagged.group, sig);
+            }
             recovery.groups_zeroed += 1;
-            recovery.weights_zeroed += members.len();
+            recovery.weights_zeroed += weights;
         }
         recovery
     }
@@ -550,6 +868,16 @@ mod tests {
 
     fn model() -> QuantizedModel {
         QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(4))))
+    }
+
+    /// Drives a full key roll from the model's current weights — the offline
+    /// equivalent of what the serving engine's rotation task does online.
+    fn full_roll(radar: &mut RadarProtection, m: &QuantizedModel) -> KeyEpoch {
+        radar.begin_rotation();
+        while let Some(layer) = radar.next_unsigned_layer() {
+            radar.resign_layer(layer, m.layer_values(layer));
+        }
+        radar.publish_epoch()
     }
 
     #[test]
@@ -909,5 +1237,155 @@ mod tests {
         let radar = RadarProtection::new(&m, RadarConfig::paper_default(32));
         let other = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::new(4, 8, 3, 1))));
         radar.detect(&other);
+    }
+
+    // ---- key-epoch lifecycle -------------------------------------------------
+
+    #[test]
+    fn full_roll_stays_clean_and_advances_the_epoch() {
+        let m = model();
+        let mut radar = RadarProtection::new(&m, RadarConfig::paper_default(32));
+        assert_eq!(radar.current_epoch(), KeyEpoch::ZERO);
+        assert!(!radar.rotation_in_progress());
+
+        let published = full_roll(&mut radar, &m);
+        assert_eq!(published, KeyEpoch::new(1));
+        assert_eq!(radar.current_epoch(), KeyEpoch::new(1));
+        assert_eq!(radar.previous_epoch(), Some(KeyEpoch::ZERO));
+        assert_eq!(radar.golden().epoch(), KeyEpoch::new(1));
+        assert_eq!(radar.plan().epoch(), KeyEpoch::new(1));
+
+        // Clean under the new epoch, under the retained previous epoch, and
+        // after the previous epoch is retired.
+        assert!(!radar.detect(&m).attack_detected());
+        for layer in 0..m.num_layers() {
+            let pinned =
+                radar.verify_layer_values_at_epoch(KeyEpoch::ZERO, layer, m.layer_values(layer));
+            assert!(!pinned.attack_detected(), "layer {layer} under epoch 0");
+        }
+        assert_eq!(radar.retire_previous(), Some(KeyEpoch::ZERO));
+        assert_eq!(radar.previous_epoch(), None);
+        assert!(!radar.detect(&m).attack_detected());
+    }
+
+    #[test]
+    fn epochs_actually_rekey_the_layers() {
+        let m = model();
+        let mut radar = RadarProtection::new(&m, RadarConfig::paper_default(32));
+        let before: Vec<SecretKey> = radar.layers().iter().map(LayerProtection::key).collect();
+        full_roll(&mut radar, &m);
+        let after: Vec<SecretKey> = radar.layers().iter().map(LayerProtection::key).collect();
+        // 16-bit keys can collide per layer; across the whole stack the epochs
+        // must differ (collision probability ~ n/2^16).
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn msb_flip_is_detected_under_both_epochs_mid_roll() {
+        let mut m = model();
+        let mut radar = RadarProtection::new(&m, RadarConfig::paper_default(32));
+        full_roll(&mut radar, &m); // current = 1, previous = 0 retained
+
+        m.flip_bit(2, 5, MSB);
+        let group = radar.group_of(2, 5);
+        let current = radar.verify_layer_values_at_epoch(KeyEpoch::new(1), 2, m.layer_values(2));
+        let previous = radar.verify_layer_values_at_epoch(KeyEpoch::ZERO, 2, m.layer_values(2));
+        // An MSB flip moves the masked sum by ±128: S_B flips under *any* key,
+        // so both epochs' verifiers must catch it during the acceptance window.
+        assert!(current.contains(2, group), "missed under current epoch");
+        assert!(previous.contains(2, group), "missed under previous epoch");
+    }
+
+    #[test]
+    fn unknown_epoch_falls_back_to_current_state() {
+        let mut m = model();
+        let radar = RadarProtection::new(&m, RadarConfig::paper_default(32));
+        assert!(radar.accepts_epoch(KeyEpoch::ZERO));
+        assert!(!radar.accepts_epoch(KeyEpoch::new(7)));
+        m.flip_bit(2, 5, MSB);
+        // Pinning a never-published epoch must not skip verification.
+        let report = radar.verify_layer_values_at_epoch(KeyEpoch::new(7), 2, m.layer_values(2));
+        assert!(report.attack_detected());
+    }
+
+    #[test]
+    fn recovery_mid_roll_refreshes_every_retained_store() {
+        let mut m = model();
+        let mut radar = RadarProtection::new(&m, RadarConfig::paper_default(16));
+        radar.begin_rotation();
+        // Re-sign the first three layers, then corrupt one of them.
+        for layer in 0..3 {
+            radar.resign_layer(layer, m.layer_values(layer));
+        }
+        m.flip_bit(2, 5, MSB);
+        let report = radar.detect(&m);
+        assert!(report.attack_detected());
+        radar.recover(&mut m, &report);
+        // Finish the roll from the recovered image and publish.
+        while let Some(layer) = radar.next_unsigned_layer() {
+            radar.resign_layer(layer, m.layer_values(layer));
+        }
+        radar.publish_epoch();
+        // The pending store was refreshed during recovery, so the published
+        // epoch accepts the recovered image — and so does the previous one.
+        assert!(!radar.detect(&m).attack_detected());
+        let previous = radar.verify_layer_values_at_epoch(KeyEpoch::ZERO, 2, m.layer_values(2));
+        assert!(!previous.attack_detected());
+    }
+
+    #[test]
+    fn consecutive_rolls_retire_older_epochs() {
+        let m = model();
+        let mut radar = RadarProtection::new(&m, RadarConfig::paper_default(64));
+        for expected in 1..=3u32 {
+            radar.retire_previous();
+            let published = full_roll(&mut radar, &m);
+            assert_eq!(published, KeyEpoch::new(expected));
+            assert_eq!(radar.previous_epoch(), Some(KeyEpoch::new(expected - 1)));
+            assert!(!radar.detect(&m).attack_detected());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already in progress")]
+    fn beginning_a_second_roll_panics() {
+        let m = model();
+        let mut radar = RadarProtection::new(&m, RadarConfig::paper_default(64));
+        radar.begin_rotation();
+        radar.begin_rotation();
+    }
+
+    #[test]
+    #[should_panic(expected = "re-signed in order")]
+    fn resigning_out_of_order_panics() {
+        let m = model();
+        let mut radar = RadarProtection::new(&m, RadarConfig::paper_default(64));
+        radar.begin_rotation();
+        radar.resign_layer(1, m.layer_values(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot publish")]
+    fn publishing_before_every_layer_is_resigned_panics() {
+        let m = model();
+        let mut radar = RadarProtection::new(&m, RadarConfig::paper_default(64));
+        radar.begin_rotation();
+        radar.resign_layer(0, m.layer_values(0));
+        radar.publish_epoch();
+    }
+
+    #[test]
+    fn unmasked_ablation_is_epoch_invariant() {
+        // With masking disabled every epoch uses the explicit ablation key, so
+        // a roll is a key-wise no-op and stays clean.
+        let m = model();
+        let mut radar =
+            RadarProtection::new(&m, RadarConfig::paper_default(32).with_masking(false));
+        let before: Vec<SecretKey> = radar.layers().iter().map(LayerProtection::key).collect();
+        full_roll(&mut radar, &m);
+        let after: Vec<SecretKey> = radar.layers().iter().map(LayerProtection::key).collect();
+        assert_eq!(before, after);
+        assert!(after.iter().all(|k| *k == SecretKey::insecure_unmasked()));
+        assert!(!radar.detect(&m).attack_detected());
     }
 }

@@ -109,7 +109,7 @@ mod tests {
     #[test]
     fn masked_sum_with_identity_key_is_plain_sum() {
         let weights = [1i8, -2, 3, -4];
-        assert_eq!(masked_sum(&weights, &SecretKey::identity()), -2);
+        assert_eq!(masked_sum(&weights, &SecretKey::insecure_unmasked()), -2);
     }
 
     #[test]
@@ -128,14 +128,17 @@ mod tests {
         let len = 4096usize;
         let weights = vec![i8::MIN; len];
         assert_eq!(
-            masked_sum(&weights, &SecretKey::identity()),
+            masked_sum(&weights, &SecretKey::insecure_unmasked()),
             -128 * len as i32
         );
         // Key 0 negates every slot, producing the positive extreme +128 per weight.
         assert_eq!(masked_sum(&weights, &SecretKey::new(0)), 128 * len as i32);
         // And the mixed extreme with i8::MAX.
         let highs = vec![i8::MAX; len];
-        assert_eq!(masked_sum(&highs, &SecretKey::identity()), 127 * len as i32);
+        assert_eq!(
+            masked_sum(&highs, &SecretKey::insecure_unmasked()),
+            127 * len as i32
+        );
     }
 
     #[test]
@@ -143,7 +146,7 @@ mod tests {
     #[should_panic(expected = "may overflow")]
     fn masked_sum_rejects_groups_beyond_the_overflow_bound() {
         let weights = vec![0i8; MAX_GROUP_LEN + 1];
-        masked_sum(&weights, &SecretKey::identity());
+        masked_sum(&weights, &SecretKey::insecure_unmasked());
     }
 
     #[test]
@@ -182,7 +185,7 @@ mod tests {
     fn paired_opposite_flips_cancel_without_masking() {
         // The Section VIII evasion: (0→1, 1→0) MSB flips in one group leave the plain
         // sum unchanged, so the unmasked signature misses them.
-        let key = SecretKey::identity();
+        let key = SecretKey::insecure_unmasked();
         let mut weights = vec![5i8, -10, 7, -3];
         let before = group_signature(&weights, &key, SignatureBits::Two);
         weights[0] = (weights[0] as u8 ^ 0x80) as i8; // 0→1 (positive weight)
@@ -214,7 +217,7 @@ mod tests {
 
     #[test]
     fn three_bit_signature_detects_msb1_flip() {
-        let key = SecretKey::identity();
+        let key = SecretKey::insecure_unmasked();
         let mut weights = vec![1i8, 2, 3, 4];
         let before2 = group_signature(&weights, &key, SignatureBits::Two);
         let before3 = group_signature(&weights, &key, SignatureBits::Three);

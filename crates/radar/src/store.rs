@@ -1,24 +1,30 @@
+use crate::key::KeyEpoch;
 use crate::signature::SignatureBits;
 
 /// The golden signatures of every group of every protected layer, as they would be held
 /// in secure on-chip memory.
 ///
 /// Signatures are stored bit-packed so the reported storage overhead matches what the
-/// paper accounts for (2 or 3 bits per group).
+/// paper accounts for (2 or 3 bits per group). Every store is versioned by the
+/// [`KeyEpoch`] its signatures were computed under: during a key roll the protection
+/// holds one store per retained epoch, and verification must compare against the store
+/// whose epoch matches the keys it verified with.
 ///
 /// # Example
 ///
 /// ```
-/// use radar_core::{SignatureBits, SignatureStore};
+/// use radar_core::{KeyEpoch, SignatureBits, SignatureStore};
 ///
 /// let mut store = SignatureStore::new(SignatureBits::Two);
 /// store.push_layer(vec![0b01, 0b10, 0b11]);
 /// assert_eq!(store.signature(0, 2), 0b11);
 /// assert_eq!(store.total_groups(), 3);
+/// assert_eq!(store.epoch(), KeyEpoch::ZERO);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SignatureStore {
     bits: SignatureBits,
+    epoch: KeyEpoch,
     layers: Vec<PackedLayer>,
 }
 
@@ -29,10 +35,17 @@ struct PackedLayer {
 }
 
 impl SignatureStore {
-    /// Creates an empty store for signatures of the given width.
+    /// Creates an empty store for signatures of the given width, versioned as
+    /// [`KeyEpoch::ZERO`].
     pub fn new(bits: SignatureBits) -> Self {
+        Self::for_epoch(bits, KeyEpoch::ZERO)
+    }
+
+    /// Creates an empty store whose signatures belong to `epoch`.
+    pub fn for_epoch(bits: SignatureBits, epoch: KeyEpoch) -> Self {
         SignatureStore {
             bits,
+            epoch,
             layers: Vec::new(),
         }
     }
@@ -40,6 +53,11 @@ impl SignatureStore {
     /// Signature width.
     pub fn signature_bits(&self) -> SignatureBits {
         self.bits
+    }
+
+    /// The key epoch these signatures were computed under.
+    pub fn epoch(&self) -> KeyEpoch {
+        self.epoch
     }
 
     /// Appends one layer's group signatures (unpacked, one per group).
@@ -208,6 +226,16 @@ mod tests {
         let mut store = SignatureStore::new(SignatureBits::Two);
         store.push_layer(vec![0b01, 0b10]);
         store.set_signature(0, 1, 0b100);
+    }
+
+    #[test]
+    fn stores_are_versioned_by_epoch() {
+        let zero = SignatureStore::new(SignatureBits::Two);
+        let rolled = SignatureStore::for_epoch(SignatureBits::Two, KeyEpoch::new(3));
+        assert_eq!(zero.epoch(), KeyEpoch::ZERO);
+        assert_eq!(rolled.epoch(), KeyEpoch::new(3));
+        // Identical contents under different epochs are different stores.
+        assert_ne!(zero, rolled);
     }
 
     #[test]

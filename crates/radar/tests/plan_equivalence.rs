@@ -66,7 +66,7 @@ proptest! {
         prop_assume!(len % group_size != 0);
         for grouping in [Grouping::Contiguous, Grouping::Interleaved { offset }] {
             let layout = GroupLayout::new(len, group_size, grouping);
-            let plan = LayerPlan::new(layout, SecretKey::identity());
+            let plan = LayerPlan::new(layout, SecretKey::insecure_unmasked());
             let mut seen = vec![0usize; len];
             for g in 0..layout.num_groups() {
                 let members = layout.members(g);

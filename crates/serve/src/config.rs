@@ -50,6 +50,13 @@ pub struct ServeConfig {
     /// Layers verified per scrub step (clamped to the model's layer count; `0` means
     /// the whole model per step).
     pub scrub_layers: usize,
+    /// The background re-keying task performs one rotation action (begin a roll,
+    /// re-sign one layer, publish the next epoch, retire the previous one) every
+    /// `rotate_every` dispatched batches; `0` disables key rotation. A full roll
+    /// of an `L`-layer model therefore spans `L + 3` rotation ticks, during which
+    /// workers keep serving — verification pins the epoch it observed and the
+    /// protection accepts `{current, previous}` across the publish.
+    pub rotate_every: usize,
     /// Served-accuracy window size, in requests.
     pub window: usize,
     /// Which execution path workers run inference on (quantized-native by default).
@@ -67,6 +74,7 @@ impl Default for ServeConfig {
             inpath_verify: true,
             scrub_every: 4,
             scrub_layers: 4,
+            rotate_every: 0,
             window: 64,
             exec: ExecPath::QuantizedNative,
         }
@@ -97,6 +105,13 @@ impl ServeConfig {
     /// never in the fetch path.
     pub fn scrub_only(mut self) -> Self {
         self.inpath_verify = false;
+        self
+    }
+
+    /// Enables online key rotation at the given cadence (one rotation action every
+    /// `every` dispatched batches; see [`rotate_every`](Self::rotate_every)).
+    pub fn with_rotation(mut self, every: usize) -> Self {
+        self.rotate_every = every;
         self
     }
 

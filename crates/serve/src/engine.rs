@@ -2,7 +2,7 @@ use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError};
 use std::sync::{Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-use radar_core::{DetectionReport, RadarProtection};
+use radar_core::{DetectionReport, KeyEpoch, RadarProtection};
 use radar_data::Dataset;
 use radar_memsim::{AttackTimeline, WeightDram};
 use radar_nn::argmax_rows;
@@ -10,9 +10,11 @@ use radar_quant::QuantizedModel;
 
 use crate::config::{ExecPath, ServeConfig};
 use crate::recovery::recover_in_dram;
-use crate::steps::{fetch_arena_verified, flagged_layers, scrub_sweep};
+use crate::steps::{
+    fetch_arena_verified, flagged_layers, rotation_step, scrub_sweep, RotationAction,
+};
 use crate::sync::{lock, read_lock, write_lock, FetchTicket};
-use crate::telemetry::{RequestRecord, ServeOutcome, Telemetry};
+use crate::telemetry::{RequestRecord, RotationEvent, RotationEventKind, ServeOutcome, Telemetry};
 use crate::traffic::{Batch, Request, TrafficSchedule};
 
 /// Runs one complete serving session and returns its telemetry.
@@ -34,6 +36,12 @@ use crate::traffic::{Batch, Request, TrafficSchedule};
 /// * a background **scrubber** sweeping `scrub_layers` layers of the DRAM image every
 ///   `scrub_every` batches through [`RadarProtection::verify_layer_values`], merging
 ///   its findings into the shared recovery path;
+/// * a background **re-keying task** (when [`rotate_every`](ServeConfig::rotate_every)
+///   is set) performing one rotation action every `rotate_every` batches — begin a
+///   roll, re-sign one layer under the next [`KeyEpoch`], publish, retire the
+///   previous epoch — while workers keep serving; each worker pins the epoch it
+///   observed at its fetch ticket and the protection accepts `{current, previous}`,
+///   so a publish never strands an in-flight verification;
 /// * an **adversary** mounting `timeline`'s rowhammer strikes at their scripted batch
 ///   offsets.
 ///
@@ -84,7 +92,12 @@ pub fn serve(
         protection.is_some() || config.scrub_every == 0,
         "scrubbing requires a protection"
     );
+    assert!(
+        protection.is_some() || config.rotate_every == 0,
+        "key rotation requires a protection"
+    );
     let scrub_enabled = config.scrub_every > 0;
+    let rotation_enabled = config.rotate_every > 0;
 
     let samples = schedule.sample_indices(eval.len());
     let event_offsets = timeline.batch_offsets();
@@ -100,6 +113,8 @@ pub fn serve(
     let batch_rx = Mutex::new(batch_rx);
     let (scrub_tx, scrub_rx) = channel::<usize>();
     let (scrub_ack_tx, scrub_ack_rx) = channel::<()>();
+    let (rot_tx, rot_rx) = channel::<usize>();
+    let (rot_ack_tx, rot_ack_rx) = channel::<()>();
     let (adv_tx, adv_rx) = channel::<usize>();
     let (adv_ack_tx, adv_ack_rx) = channel::<()>();
 
@@ -187,6 +202,45 @@ pub fn serve(
             });
         }
 
+        // Background re-keying task: one rotation action per tick of its cadence,
+        // driving the protection's epoch state machine (begin → re-sign each layer →
+        // publish → retire) under the write locks while workers keep serving between
+        // ticks. Recovery work done by the pre-sign check folds into the run totals;
+        // the tick itself is reported as a logical rotation event.
+        if let (true, Some(prot)) = (rotation_enabled, protection.as_ref()) {
+            let dram = &dram;
+            let telemetry = &telemetry;
+            scope.spawn(move || {
+                let mut buf: Vec<i8> = Vec::new();
+                let mut acc: Vec<i32> = Vec::new();
+                for batch in rot_rx {
+                    let action = {
+                        let mut dram = write_lock(dram);
+                        let mut prot = write_lock(prot);
+                        rotation_step(&mut dram, &mut prot, &mut buf, &mut acc, |_, _| {})
+                    };
+                    let kind = match action {
+                        RotationAction::Began(epoch) => RotationEventKind::Began(epoch),
+                        RotationAction::Resigned { layer, recovered } => {
+                            if recovered.groups_zeroed > 0 {
+                                telemetry.recovered(recovered);
+                            }
+                            RotationEventKind::Resigned {
+                                layer,
+                                groups_recovered: recovered.groups_zeroed,
+                            }
+                        }
+                        RotationAction::Published(epoch) => RotationEventKind::Published(epoch),
+                        RotationAction::Retired(epoch) => RotationEventKind::Retired(epoch),
+                    };
+                    telemetry.rotation(RotationEvent { batch, kind });
+                    if rot_ack_tx.send(()).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+
         // Inference workers: one model replica each, verified fetch in batch order,
         // overlapped inference. On the quantized-native path the fetched bytes land
         // in a per-worker layer arena — verified as raw slices, executed through the
@@ -215,6 +269,15 @@ pub fn serve(
                     let Ok(batch) = received else { break };
                     // Wait for this batch's fetch ticket.
                     fetched.wait_for(batch.index);
+                    // Pin the epoch this batch verifies under, with its own short
+                    // read lock *before* the fetch takes the main locks. A rotation
+                    // publish landing in the pin→fetch window moves the pinned epoch
+                    // into the protection's `{current, previous}` acceptance window,
+                    // so the fetch below still verifies against a retained store.
+                    let mut pinned = KeyEpoch::ZERO;
+                    if let Some(prot) = protection {
+                        pinned = read_lock(prot).current_epoch();
+                    }
                     let mut flagged = DetectionReport::default();
                     {
                         let dram = read_lock(dram);
@@ -225,7 +288,7 @@ pub fn serve(
                                 if native {
                                     flagged = fetch_arena_verified(
                                         &dram,
-                                        Some(&prot),
+                                        Some((&prot, pinned)),
                                         &mut arena,
                                         &mut acc,
                                         &mut checking,
@@ -344,6 +407,15 @@ pub fn serve(
                     let _ = scrub_ack_rx.recv();
                 }
             }
+            // Rotation cadence: one re-keying action between batches, every
+            // `rotate_every` (after any scrub step, so a tick's pre-sign check sees
+            // the scrubber's recoveries, never the reverse).
+            if rotation_enabled && batches > 0 && batches % config.rotate_every == 0 {
+                fetched.wait_at_least(batches);
+                if rot_tx.send(batches).is_ok() {
+                    let _ = rot_ack_rx.recv();
+                }
+            }
             if batch_tx
                 .send(Batch {
                     index: batches,
@@ -357,6 +429,7 @@ pub fn serve(
         }
         drop(batch_tx);
         drop(scrub_tx);
+        drop(rot_tx);
         drop(adv_tx);
     });
 

@@ -31,7 +31,12 @@
 //! sweeps the DRAM image incrementally between batches; a scripted adversary mounts
 //! [`AttackTimeline`](radar_memsim::AttackTimeline) strikes mid-service. Recovery
 //! zeroes flagged groups directly in the DRAM image (and refreshes the golden
-//! signatures) without stopping service.
+//! signatures) without stopping service. When [`ServeConfig::rotate_every`] is set, a
+//! background re-keying task additionally rolls the protection to a fresh
+//! [`KeyEpoch`](radar_core::KeyEpoch) — one layer re-signed per tick, publish, retire
+//! — while workers keep serving: each worker pins the epoch it observed at its fetch
+//! ticket and verification accepts `{current, previous}` across the publish
+//! ([`RotationEvent`]s record the roll in telemetry).
 //!
 //! Weight fetches are ticketed in batch order, the adversary/scrubber only run at
 //! fetch barriers, and [`ServeConfig::strict_batching`] pins batch composition to the
@@ -54,8 +59,8 @@ pub use engine::{replicas, serve};
 pub use histogram::LatencyHistogram;
 pub use recovery::{recover_in_dram, recover_in_dram_traced};
 pub use telemetry::{
-    AccuracyWindow, AttackStrike, AttackSummary, DetectionEvent, RequestRecord, ServeOutcome,
-    Telemetry, TimeToDetect,
+    AccuracyWindow, AttackStrike, AttackSummary, DetectionEvent, RequestRecord, RotationEvent,
+    RotationEventKind, ServeOutcome, Telemetry, TimeToDetect,
 };
 pub use traffic::TrafficSchedule;
 

@@ -31,7 +31,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
 use std::time::Duration;
 
-use radar_core::{DetectionReport, RadarConfig, RadarProtection, RecoveryReport};
+use radar_core::{DetectionReport, KeyEpoch, RadarConfig, RadarProtection, RecoveryReport};
 use radar_memsim::{DramGeometry, WeightDram};
 use radar_nn::{Linear, Sequential};
 use radar_quant::{QuantizedModel, MSB};
@@ -39,7 +39,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::recovery::recover_in_dram_traced;
-use crate::steps::{fetch_arena_verified, flagged_layers, scrub_sweep};
+use crate::steps::{
+    fetch_arena_verified, flagged_layers, rotation_step, scrub_sweep, RotationAction,
+};
 
 /// Cap on recorded violations; exploration continues (for accurate state/schedule
 /// counts) but further violations are dropped once this many are recorded.
@@ -66,6 +68,12 @@ pub enum Mutation {
     /// completion, and barrier waits (`fetched >= offset`) can strand the adversary
     /// forever — a ticket/barrier deadlock the checker must find.
     NoTicket,
+    /// The `{current, previous}` acceptance window is dropped: an epoch publish
+    /// retires the previous epoch immediately, and a worker whose pinned epoch is no
+    /// longer accepted "assumes clean" instead of verifying. A publish landing in the
+    /// pin→fetch window then lets a struck batch serve corrupted bytes unverified —
+    /// a corrupt-served violation the checker must find.
+    NoPreviousEpoch,
 }
 
 /// A scripted strike: MSB flips applied to the DRAM image when the batcher's logical
@@ -98,6 +106,10 @@ pub struct Scenario {
     pub scrub_every: usize,
     /// Layers verified per sweep step (`0` means the whole image).
     pub scrub_layers: usize,
+    /// Key-rotation cadence in batches (`0` disables rotation). Each due tick
+    /// performs exactly one rotation action — begin, re-sign one layer, publish,
+    /// retire — mirroring the engine's re-keying task.
+    pub rotate_every: usize,
     /// The scripted strike, if any.
     pub strike: Option<StrikeSpec>,
     /// When set, the adversary and scrubber are *not* held at the fetch barrier:
@@ -150,6 +162,7 @@ impl Scenario {
             inpath_verify: true,
             scrub_every: 2,
             scrub_layers: 2,
+            rotate_every: 0,
             strike: None,
             relax_barrier: false,
             mutation: Mutation::None,
@@ -165,6 +178,16 @@ impl Scenario {
         }
         (1..self.batches)
             .filter(|b| b % self.scrub_every == 0)
+            .collect()
+    }
+
+    /// Batch offsets at which rotation ticks fire (same cadence shape as sweeps).
+    fn rotation_offsets(&self) -> Vec<usize> {
+        if self.rotate_every == 0 {
+            return Vec::new();
+        }
+        (1..self.batches)
+            .filter(|b| b % self.rotate_every == 0)
             .collect()
     }
 
@@ -184,7 +207,11 @@ pub enum Op {
     Dispatch,
     /// The adversary mounts the scripted strike.
     Strike,
-    /// Worker `w` fetches (and in-path verifies) its next batch's weights.
+    /// Worker `w` takes its fetch ticket and pins the epoch it will verify under —
+    /// the engine's short pre-fetch read lock on the protection.
+    WorkerPin(usize),
+    /// Worker `w` fetches (and in-path verifies, at its pinned epoch) its next
+    /// batch's weights.
     WorkerFetch(usize),
     /// Worker `w` recovers any flagged groups and publishes the fetch ticket.
     WorkerPublish(usize),
@@ -197,6 +224,9 @@ pub enum Op {
     ScrubVerify,
     /// The scrubber recovers what its sweep flagged and acknowledges the batcher.
     ScrubRecover,
+    /// The re-keying task performs its due rotation tick (one action of the epoch
+    /// state machine: begin / re-sign one layer / publish / retire).
+    Rotate,
 }
 
 /// An invariant violation found on some interleaving.
@@ -227,6 +257,13 @@ pub struct Outcome {
     pub corrupt_served: Vec<(usize, usize)>,
     /// Whether a full verification of the final DRAM image flags nothing.
     pub final_dram_clean: bool,
+    /// Index of the current [`KeyEpoch`] at the terminal state.
+    pub final_epoch: u32,
+    /// Epochs published by rotation ticks during the run.
+    pub epochs_published: usize,
+    /// Groups recovered by rotation ticks' pre-sign checks (detections the engine
+    /// reports as rotation events rather than detection events).
+    pub rotation_recovered_groups: usize,
 }
 
 /// What one exhaustive exploration found.
@@ -255,6 +292,12 @@ impl ExploreReport {
 #[derive(Debug, Clone, PartialEq)]
 enum Phase {
     Idle,
+    /// Ticket taken, verification epoch pinned, fetch not yet performed — the
+    /// engine's pin→fetch window a rotation publish may land in.
+    Pinned {
+        batch: usize,
+        epoch: KeyEpoch,
+    },
     Verified {
         batch: usize,
         report: DetectionReport,
@@ -296,6 +339,17 @@ struct State {
     detections: Vec<(bool, usize, usize)>,
     recovery: RecoveryReport,
     corrupt_served: Vec<(usize, usize)>,
+    rotations_done: usize,
+    epochs_published: usize,
+    /// Groups the rotation ticks' pre-sign checks recovered (a silent detector:
+    /// the engine reports these as rotation events, not detection events).
+    rotation_recovered_groups: usize,
+}
+
+/// The batch offsets at which the batcher releases each background task's ticks.
+struct Cadence {
+    sweeps: Vec<usize>,
+    rotations: Vec<usize>,
 }
 
 impl State {
@@ -320,6 +374,9 @@ impl State {
             detections: Vec::new(),
             recovery: RecoveryReport::default(),
             corrupt_served: Vec::new(),
+            rotations_done: 0,
+            epochs_published: 0,
+            rotation_recovered_groups: 0,
         }
     }
 
@@ -332,20 +389,29 @@ impl State {
     }
 
     /// The next scrub sweep is due at or before the current dispatch point.
-    fn sweep_due(&self, sc: &Scenario, offsets: &[usize]) -> bool {
-        let _ = sc;
-        self.sweeps_done < offsets.len() && offsets[self.sweeps_done] <= self.dispatched
+    fn sweep_due(&self, cadence: &Cadence) -> bool {
+        self.sweeps_done < cadence.sweeps.len()
+            && cadence.sweeps[self.sweeps_done] <= self.dispatched
     }
 
-    fn enabled(&self, sc: &Scenario, offsets: &[usize]) -> Vec<Op> {
+    /// The next rotation tick is due at or before the current dispatch point.
+    fn rotation_due(&self, cadence: &Cadence) -> bool {
+        self.rotations_done < cadence.rotations.len()
+            && cadence.rotations[self.rotations_done] <= self.dispatched
+    }
+
+    fn enabled(&self, sc: &Scenario, cadence: &Cadence) -> Vec<Op> {
         let mut ops = Vec::new();
         let strike_blocking = self.strike_blocking(sc);
-        let sweep_due = self.sweep_due(sc, offsets);
+        let sweep_due = self.sweep_due(cadence);
+        let rotation_due = self.rotation_due(cadence);
         // Batcher: dispatch the next batch once due events have fired, the due sweep
-        // has completed, and the (modeled) bounded batch channel has room.
+        // and rotation tick have completed, and the (modeled) bounded batch channel
+        // has room.
         if self.dispatched < sc.batches
             && !strike_blocking
             && !sweep_due
+            && !rotation_due
             && self.scrub_inflight.is_none()
             && self.dispatched < self.completed + sc.workers
         {
@@ -367,12 +433,23 @@ impl State {
         if sweep_due
             && self.scrub_inflight.is_none()
             && !strike_blocking
-            && (sc.relax_barrier || self.fetched >= offsets[self.sweeps_done])
+            && (sc.relax_barrier || self.fetched >= cadence.sweeps[self.sweeps_done])
         {
             ops.push(Op::ScrubVerify);
         }
         if self.scrub_inflight.is_some() {
             ops.push(Op::ScrubRecover);
+        }
+        // Re-keying task: one rotation tick at its cadence, after due strikes and
+        // the due sweep (the engine's batcher releases scrub before rotation at the
+        // same offset), held at the fetch barrier unless relaxed.
+        if rotation_due
+            && !strike_blocking
+            && !sweep_due
+            && self.scrub_inflight.is_none()
+            && (sc.relax_barrier || self.fetched >= cadence.rotations[self.rotations_done])
+        {
+            ops.push(Op::Rotate);
         }
         // Workers.
         for (w, worker) in self.workers.iter().enumerate() {
@@ -383,9 +460,10 @@ impl State {
                         && b < self.dispatched
                         && (sc.mutation == Mutation::NoTicket || self.fetched == b)
                     {
-                        ops.push(Op::WorkerFetch(w));
+                        ops.push(Op::WorkerPin(w));
                     }
                 }
+                Phase::Pinned { .. } => ops.push(Op::WorkerFetch(w)),
                 Phase::Verified { .. } => ops.push(Op::WorkerPublish(w)),
                 Phase::Recovering { .. } => ops.push(Op::WorkerRecover(w)),
                 Phase::Serving { .. } => ops.push(Op::WorkerServe(w)),
@@ -394,10 +472,11 @@ impl State {
         ops
     }
 
-    fn is_terminal(&self, sc: &Scenario, offsets: &[usize]) -> bool {
+    fn is_terminal(&self, sc: &Scenario, cadence: &Cadence) -> bool {
         self.dispatched == sc.batches
             && self.completed == sc.batches
-            && self.sweeps_done == offsets.len()
+            && self.sweeps_done == cadence.sweeps.len()
+            && self.rotations_done == cadence.rotations.len()
             && self.scrub_inflight.is_none()
             && self
                 .workers
@@ -475,7 +554,7 @@ impl State {
         self.workers[w].phase = Phase::Serving { batch, arena };
     }
 
-    fn apply(&mut self, sc: &Scenario, offsets: &[usize], op: Op) {
+    fn apply(&mut self, sc: &Scenario, cadence: &Cadence, op: Op) {
         match op {
             Op::Dispatch => self.dispatched += 1,
             Op::Strike => {
@@ -486,12 +565,26 @@ impl State {
                 }
                 self.strike_fired = true;
             }
-            Op::WorkerFetch(w) => {
+            Op::WorkerPin(w) => {
                 let batch = self.workers[w].next_batch;
+                let epoch = self.prot.current_epoch();
+                self.workers[w].phase = Phase::Pinned { batch, epoch };
+            }
+            Op::WorkerFetch(w) => {
+                let phase = std::mem::replace(&mut self.workers[w].phase, Phase::Idle);
+                let Phase::Pinned { batch, epoch } = phase else {
+                    unreachable!("fetch requires a pinned epoch");
+                };
                 let mut arena: Vec<Vec<i8>> = (0..sc.num_layers).map(|_| Vec::new()).collect();
                 let mut acc = Vec::new();
                 let mut unused = Duration::ZERO;
-                let prot = sc.inpath_verify.then_some(&self.prot);
+                // The seeded NoPreviousEpoch bug: a pin the (prematurely retired)
+                // protection no longer accepts is "assumed clean" instead of
+                // verified. The shipped protocol always verifies — an unknown epoch
+                // falls back to the current store, which fails closed.
+                let skip_verify =
+                    sc.mutation == Mutation::NoPreviousEpoch && !self.prot.accepts_epoch(epoch);
+                let prot = (sc.inpath_verify && !skip_verify).then_some((&self.prot, epoch));
                 let report =
                     fetch_arena_verified(&self.dram, prot, &mut arena, &mut acc, &mut unused);
                 self.workers[w].phase = Phase::Verified {
@@ -569,11 +662,36 @@ impl State {
                     .take()
                     .expect("scrub recover requires a verified sweep");
                 if report.attack_detected() {
-                    let at = offsets[self.sweeps_done];
+                    let at = cadence.sweeps[self.sweeps_done];
                     self.detections.push((true, at, report.num_flagged()));
                     self.recover(sc, &report);
                 }
                 self.sweeps_done += 1;
+            }
+            Op::Rotate => {
+                let (mut buf, mut acc) = (Vec::new(), Vec::new());
+                let State {
+                    dram, prot, zeroed, ..
+                } = self;
+                let action = rotation_step(dram, prot, &mut buf, &mut acc, |layer, group| {
+                    zeroed.insert((layer, group));
+                });
+                match action {
+                    RotationAction::Resigned { recovered, .. } => {
+                        self.recovery.groups_zeroed += recovered.groups_zeroed;
+                        self.recovery.weights_zeroed += recovered.weights_zeroed;
+                        self.rotation_recovered_groups += recovered.groups_zeroed;
+                    }
+                    RotationAction::Published(_) => {
+                        self.epochs_published += 1;
+                        if sc.mutation == Mutation::NoPreviousEpoch {
+                            // The seeded bug: close the acceptance window at once.
+                            self.prot.retire_previous();
+                        }
+                    }
+                    RotationAction::Began(_) | RotationAction::Retired(_) => {}
+                }
+                self.rotations_done += 1;
             }
         }
     }
@@ -591,6 +709,9 @@ impl State {
             zeroed: self.zeroed.iter().copied().collect(),
             corrupt_served: self.corrupt_served.clone(),
             final_dram_clean: !final_report.attack_detected(),
+            final_epoch: self.prot.current_epoch().index(),
+            epochs_published: self.epochs_published,
+            rotation_recovered_groups: self.rotation_recovered_groups,
         }
     }
 
@@ -607,10 +728,27 @@ impl State {
         self.strike_fired.hash(&mut h);
         self.sweeps_done.hash(&mut h);
         self.scrub_cursor.hash(&mut h);
+        // Epoch state: the stores themselves are a deterministic function of the
+        // (hashed) image, zeroed set and these indices, so hashing the indices and
+        // the re-sign progress is sound for memoization.
+        self.rotations_done.hash(&mut h);
+        self.epochs_published.hash(&mut h);
+        self.rotation_recovered_groups.hash(&mut h);
+        self.prot.current_epoch().index().hash(&mut h);
+        self.prot.previous_epoch().map(KeyEpoch::index).hash(&mut h);
+        self.prot
+            .pending_progress()
+            .map(|(epoch, resigned)| (epoch.index(), resigned))
+            .hash(&mut h);
         for worker in &self.workers {
             worker.next_batch.hash(&mut h);
             match &worker.phase {
                 Phase::Idle => 0u8.hash(&mut h),
+                Phase::Pinned { batch, epoch } => {
+                    4u8.hash(&mut h);
+                    batch.hash(&mut h);
+                    epoch.index().hash(&mut h);
+                }
                 Phase::Verified {
                     batch,
                     report,
@@ -656,7 +794,7 @@ impl State {
 
 struct Explorer<'a> {
     sc: &'a Scenario,
-    offsets: Vec<usize>,
+    cadence: Cadence,
     /// fingerprint → number of complete schedules reachable from that state.
     visited: HashMap<u64, u128>,
     terminals: HashMap<u64, Outcome>,
@@ -682,7 +820,7 @@ impl Explorer<'_> {
             .strike
             .as_ref()
             .is_some_and(|s| !s.flips.is_empty() && (sc.inpath_verify || sc.scrub_every > 0));
-        if struck && outcome.detections.is_empty() {
+        if struck && outcome.detections.is_empty() && outcome.rotation_recovered_groups == 0 {
             self.violate(
                 "lost-detection",
                 "a strike landed flips but no detector ever flagged them".to_string(),
@@ -725,7 +863,7 @@ impl Explorer<'_> {
             return count;
         }
         self.states += 1;
-        let count = if state.is_terminal(self.sc, &self.offsets) {
+        let count = if state.is_terminal(self.sc, &self.cadence) {
             let outcome = state.outcome(self.sc);
             self.check_terminal(&outcome, path);
             let mut hasher = std::collections::hash_map::DefaultHasher::new();
@@ -755,7 +893,7 @@ impl Explorer<'_> {
             });
             1
         } else {
-            let ops = state.enabled(self.sc, &self.offsets);
+            let ops = state.enabled(self.sc, &self.cadence);
             if ops.is_empty() {
                 self.violate(
                     "deadlock",
@@ -776,7 +914,7 @@ impl Explorer<'_> {
                 for op in ops {
                     path.push(op);
                     let mut next = state.clone();
-                    next.apply(self.sc, &self.offsets, op);
+                    next.apply(self.sc, &self.cadence, op);
                     total += self.dfs(&next, path);
                     path.pop();
                 }
@@ -810,7 +948,10 @@ pub fn explore(scenario: &Scenario) -> ExploreReport {
     }
     let mut explorer = Explorer {
         sc: scenario,
-        offsets: scenario.sweep_offsets(),
+        cadence: Cadence {
+            sweeps: scenario.sweep_offsets(),
+            rotations: scenario.rotation_offsets(),
+        },
         visited: HashMap::new(),
         terminals: HashMap::new(),
         violations: Vec::new(),

@@ -15,20 +15,25 @@
 
 use std::time::{Duration, Instant};
 
-use radar_core::{DetectionReport, RadarProtection};
+use radar_core::{DetectionReport, KeyEpoch, RadarProtection, RecoveryReport};
 use radar_memsim::WeightDram;
+
+use crate::recovery::recover_in_dram_traced;
 
 /// One worker's per-batch weight fetch: reads every layer's bytes from `dram` into
 /// the per-worker `arena`, verifying each layer's raw slice in the fetch path when
-/// `prot` is provided. Returns the merged detection report (empty when `prot` is
-/// `None`).
+/// `prot` is provided — under the [`KeyEpoch`] the worker *pinned* when its fetch
+/// ticket came up. A rotation publish landing between the pin and this call simply
+/// moves the pinned epoch into the protection's `{current, previous}` acceptance
+/// window; verification proceeds against the matching retained store either way.
+/// Returns the merged detection report (empty when `prot` is `None`).
 ///
 /// `checking` accumulates the time spent in signature checks only — the per-layer
 /// weight copy is paid by the unprotected baseline too, so folding it in would
 /// overstate the verification cost.
 pub(crate) fn fetch_arena_verified(
     dram: &WeightDram,
-    prot: Option<&RadarProtection>,
+    prot: Option<(&RadarProtection, KeyEpoch)>,
     arena: &mut [Vec<i8>],
     acc: &mut Vec<i32>,
     checking: &mut Duration,
@@ -36,13 +41,77 @@ pub(crate) fn fetch_arena_verified(
     let mut flagged = DetectionReport::default();
     for (layer, buf) in arena.iter_mut().enumerate() {
         dram.read_layer_into(layer, buf);
-        if let Some(prot) = prot {
+        if let Some((prot, epoch)) = prot {
             let started = Instant::now();
-            flagged.merge(&prot.verify_layer_values_with_scratch(layer, buf, acc));
+            flagged.merge(&prot.verify_layer_values_at_epoch_with_scratch(epoch, layer, buf, acc));
             *checking += started.elapsed();
         }
     }
     flagged
+}
+
+/// What one tick of the background re-keying task did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RotationAction {
+    /// A roll to the returned epoch began (keys derived, placeholder store allocated).
+    Began(KeyEpoch),
+    /// One layer was verified under the current epoch, recovered if flagged, and
+    /// signed into the pending epoch's store.
+    Resigned {
+        /// The re-signed layer.
+        layer: usize,
+        /// Recovery work the pre-sign check performed on that layer.
+        recovered: RecoveryReport,
+    },
+    /// The fully re-signed epoch was published; the old epoch is retained as
+    /// `previous` for pinned in-flight verification.
+    Published(KeyEpoch),
+    /// The previous epoch's acceptance window closed.
+    Retired(KeyEpoch),
+}
+
+/// One tick of the online re-keying task: exactly one rotation action, chosen from
+/// the protection's own epoch state so the engine thread and the schedule
+/// model-checker drive the identical state machine:
+///
+/// 1. while a roll is in progress, re-sign the next layer — verifying it under the
+///    *current* epoch first and recovering (in DRAM and in every retained signature
+///    store) anything flagged, so corruption is never blessed into the next epoch;
+/// 2. once every layer is signed, publish the pending epoch;
+/// 3. with no roll in progress but a previous epoch still retained, retire it;
+/// 4. otherwise begin the next roll.
+///
+/// A full roll of an `L`-layer model is therefore `L + 3` ticks: begin, `L`
+/// re-signs, publish, retire. `on_zeroed(layer, group)` observes every group the
+/// pre-sign recovery zeroed (the checker's accounting hook; the engine passes a
+/// no-op).
+///
+/// Callers must hold exclusive access to both `prot` and `dram`, like any recovery.
+pub(crate) fn rotation_step(
+    dram: &mut WeightDram,
+    prot: &mut RadarProtection,
+    buf: &mut Vec<i8>,
+    acc: &mut Vec<i32>,
+    on_zeroed: impl FnMut(usize, usize),
+) -> RotationAction {
+    if let Some(layer) = prot.next_unsigned_layer() {
+        dram.read_layer_into(layer, buf);
+        let report = prot.verify_layer_values_with_scratch(layer, buf, acc);
+        let mut recovered = RecoveryReport::default();
+        if report.attack_detected() {
+            recovered = recover_in_dram_traced(prot, dram, &report, on_zeroed);
+            dram.read_layer_into(layer, buf);
+        }
+        prot.resign_layer(layer, buf);
+        return RotationAction::Resigned { layer, recovered };
+    }
+    if prot.rotation_in_progress() {
+        return RotationAction::Published(prot.publish_epoch());
+    }
+    if let Some(retired) = prot.retire_previous() {
+        return RotationAction::Retired(retired);
+    }
+    RotationAction::Began(prot.begin_rotation())
 }
 
 /// One scrubber sweep step: verifies `step` layers of the DRAM image starting at
@@ -107,7 +176,13 @@ mod tests {
         let mut arena: Vec<Vec<i8>> = (0..dram.num_layers()).map(|_| Vec::new()).collect();
         let mut acc = Vec::new();
         let mut checking = Duration::ZERO;
-        let report = fetch_arena_verified(&dram, Some(&radar), &mut arena, &mut acc, &mut checking);
+        let report = fetch_arena_verified(
+            &dram,
+            Some((&radar, radar.current_epoch())),
+            &mut arena,
+            &mut acc,
+            &mut checking,
+        );
         assert!(report.attack_detected());
         assert!(report.contains(2, radar.group_of(2, 5)));
         assert!(checking > Duration::ZERO);
@@ -133,6 +208,83 @@ mod tests {
         // A sweep step that misses the victim layer stays clean.
         let miss = scrub_sweep(&dram, &radar, victim + 1, 1, &mut buf, &mut acc);
         assert!(!miss.attack_detected());
+    }
+
+    #[test]
+    fn rotation_ticks_complete_a_full_roll() {
+        let (mut radar, mut dram) = setup();
+        let num_layers = dram.num_layers();
+        let (mut buf, mut acc) = (Vec::new(), Vec::new());
+        let mut tick = || rotation_step(&mut dram, &mut radar, &mut buf, &mut acc, |_, _| {});
+
+        assert_eq!(tick(), RotationAction::Began(KeyEpoch::new(1)));
+        for layer in 0..num_layers {
+            assert_eq!(
+                tick(),
+                RotationAction::Resigned {
+                    layer,
+                    recovered: radar_core::RecoveryReport::default()
+                }
+            );
+        }
+        assert_eq!(tick(), RotationAction::Published(KeyEpoch::new(1)));
+        assert_eq!(tick(), RotationAction::Retired(KeyEpoch::ZERO));
+        // The cycle restarts.
+        assert_eq!(tick(), RotationAction::Began(KeyEpoch::new(2)));
+        assert_eq!(radar.current_epoch(), KeyEpoch::new(1));
+    }
+
+    #[test]
+    fn resign_tick_recovers_corruption_before_signing() {
+        let (mut radar, mut dram) = setup();
+        radar.begin_rotation();
+        // Corrupt layer 0 before its re-sign tick.
+        let offset = dram.offset_of(0, 3);
+        dram.flip_bit(offset, MSB);
+        let (mut buf, mut acc) = (Vec::new(), Vec::new());
+        let mut zeroed = Vec::new();
+        let action = rotation_step(&mut dram, &mut radar, &mut buf, &mut acc, |layer, group| {
+            zeroed.push((layer, group))
+        });
+        let RotationAction::Resigned { layer, recovered } = action else {
+            panic!("expected a resign tick, got {action:?}");
+        };
+        assert_eq!(layer, 0);
+        assert_eq!(recovered.groups_zeroed, 1);
+        assert_eq!(zeroed, vec![(0, radar.group_of(0, 3))]);
+        assert_eq!(dram.read(offset), 0, "corruption must be zeroed in DRAM");
+        // Finish the roll; the published epoch accepts the recovered image — the
+        // corruption was never blessed into the new golden store.
+        while !matches!(
+            rotation_step(&mut dram, &mut radar, &mut buf, &mut acc, |_, _| {}),
+            RotationAction::Published(_)
+        ) {}
+        dram.read_layer_into(0, &mut buf);
+        assert!(!radar.verify_layer_values(0, &buf).attack_detected());
+    }
+
+    #[test]
+    fn fetch_pinned_to_the_previous_epoch_still_detects() {
+        let (mut radar, mut dram) = setup();
+        let pinned = radar.current_epoch();
+        // A full roll publishes epoch 1 while our pin is still epoch 0.
+        let (mut buf, mut acc) = (Vec::new(), Vec::new());
+        while !matches!(
+            rotation_step(&mut dram, &mut radar, &mut buf, &mut acc, |_, _| {}),
+            RotationAction::Published(_)
+        ) {}
+        assert_eq!(radar.previous_epoch(), Some(pinned));
+        dram.flip_bit(dram.offset_of(1, 2), MSB);
+        let mut arena: Vec<Vec<i8>> = (0..dram.num_layers()).map(|_| Vec::new()).collect();
+        let mut checking = Duration::ZERO;
+        let report = fetch_arena_verified(
+            &dram,
+            Some((&radar, pinned)),
+            &mut arena,
+            &mut acc,
+            &mut checking,
+        );
+        assert!(report.contains(1, radar.group_of(1, 2)));
     }
 
     #[test]

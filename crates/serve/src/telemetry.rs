@@ -2,7 +2,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use radar_core::RecoveryReport;
+use radar_core::{KeyEpoch, RecoveryReport};
 use radar_memsim::MountReport;
 
 use crate::histogram::LatencyHistogram;
@@ -44,9 +44,41 @@ pub struct DetectionEvent {
     pub at_seconds: f64,
 }
 
-/// Thread-shared telemetry collector: workers, the scrubber and the adversary all
-/// write into it; [`finish`](Telemetry::finish) folds everything into a
-/// [`ServeOutcome`].
+/// One action of the background re-keying task, on the batcher's logical clock.
+///
+/// Deliberately wall-clock-free: rotation progress is part of a run's *logical*
+/// outcome, so the event stream of a seeded run must be identical across replays
+/// (and across the quantized-native / float-oracle execution paths).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RotationEvent {
+    /// Batch index (logical clock) the rotation tick fired at.
+    pub batch: usize,
+    /// What the tick did.
+    pub kind: RotationEventKind,
+}
+
+/// The four actions a rotation tick can take (see `steps::rotation_step`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RotationEventKind {
+    /// A roll to the given epoch began.
+    Began(KeyEpoch),
+    /// One layer was re-signed under the pending epoch (after recovering
+    /// `groups_recovered` corrupted groups found by the pre-sign check).
+    Resigned {
+        /// The re-signed layer.
+        layer: usize,
+        /// Groups the pre-sign check recovered in that layer.
+        groups_recovered: usize,
+    },
+    /// The fully re-signed epoch was published as current.
+    Published(KeyEpoch),
+    /// The previous epoch's acceptance window closed.
+    Retired(KeyEpoch),
+}
+
+/// Thread-shared telemetry collector: workers, the scrubber, the re-keying task and
+/// the adversary all write into it; [`finish`](Telemetry::finish) folds everything
+/// into a [`ServeOutcome`].
 #[derive(Debug)]
 pub struct Telemetry {
     start: Instant,
@@ -54,6 +86,7 @@ pub struct Telemetry {
     latency: Mutex<LatencyHistogram>,
     strikes: Mutex<Vec<AttackStrike>>,
     detections: Mutex<Vec<DetectionEvent>>,
+    rotations: Mutex<Vec<RotationEvent>>,
     recovery: Mutex<RecoveryReport>,
     verify_ns: AtomicU64,
     scrub_ns: AtomicU64,
@@ -69,6 +102,7 @@ impl Telemetry {
             latency: Mutex::new(LatencyHistogram::new()),
             strikes: Mutex::new(Vec::new()),
             detections: Mutex::new(Vec::new()),
+            rotations: Mutex::new(Vec::new()),
             recovery: Mutex::new(RecoveryReport::default()),
             verify_ns: AtomicU64::new(0),
             scrub_ns: AtomicU64::new(0),
@@ -117,6 +151,15 @@ impl Telemetry {
                 groups_flagged,
                 at_seconds: self.elapsed_seconds(),
             });
+    }
+
+    /// Records a rotation tick (only the re-keying task appends, so the vector is
+    /// already in logical-clock order).
+    pub fn rotation(&self, event: RotationEvent) {
+        self.rotations
+            .lock()
+            .expect("rotations lock poisoned")
+            .push(event);
     }
 
     /// Accumulates a recovery pass into the run totals.
@@ -170,6 +213,10 @@ impl Telemetry {
                 .partial_cmp(&(b.batch, b.at_seconds))
                 .expect("detection times are finite")
         });
+        let rotations = self
+            .rotations
+            .into_inner()
+            .expect("rotations lock poisoned");
         let recovery = self.recovery.into_inner().expect("recovery lock poisoned");
 
         let windows: Vec<AccuracyWindow> = completions
@@ -256,6 +303,7 @@ impl Telemetry {
             },
             attack,
             detections,
+            rotations,
             time_to_detect,
             recovery,
             windows,
@@ -340,6 +388,9 @@ pub struct ServeOutcome {
     pub attack: Option<AttackSummary>,
     /// Every detection event, in logical order.
     pub detections: Vec<DetectionEvent>,
+    /// Every rotation tick of the background re-keying task, in logical order
+    /// (empty when rotation is disabled).
+    pub rotations: Vec<RotationEvent>,
     /// Detection latency for the first strike (`None` when nothing was detected or
     /// nothing was attacked).
     pub time_to_detect: Option<TimeToDetect>,
@@ -362,6 +413,22 @@ impl ServeOutcome {
     /// Accuracy of the final window in percent (0 when no requests completed).
     pub fn final_window_percent(&self) -> f64 {
         self.windows.last().map_or(0.0, AccuracyWindow::percent)
+    }
+
+    /// Number of epochs the re-keying task published during the run.
+    pub fn epochs_published(&self) -> usize {
+        self.rotations
+            .iter()
+            .filter(|e| matches!(e.kind, RotationEventKind::Published(_)))
+            .count()
+    }
+
+    /// The last epoch published during the run (`None` when no roll completed).
+    pub fn last_published_epoch(&self) -> Option<KeyEpoch> {
+        self.rotations.iter().rev().find_map(|e| match e.kind {
+            RotationEventKind::Published(epoch) => Some(epoch),
+            _ => None,
+        })
     }
 
     /// Overall served accuracy in percent.

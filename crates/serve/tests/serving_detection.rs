@@ -156,6 +156,7 @@ fn engine_config() -> ServeConfig {
         inpath_verify: true,
         scrub_every: 3,
         scrub_layers: 5,
+        rotate_every: 0,
         window: 8,
         exec: ExecPath::QuantizedNative,
     }
@@ -324,6 +325,94 @@ fn quantized_native_switch_preserves_attack_inpath_telemetry_exactly() {
     assert_eq!(native.windows, oracle.windows, "served accuracy windows");
     assert_eq!(native.requests, oracle.requests);
     assert_eq!(native.batches, oracle.batches);
+}
+
+/// With online key rotation armed, the engine completes a full epoch roll under live
+/// seeded traffic — begin, every layer re-signed in order, publish, retire — while a
+/// mid-roll strike is still caught at its own batch (zero requests served on
+/// corrupted weights), and the whole rotation event stream replays deterministically.
+#[test]
+fn engine_completes_a_full_key_roll_under_live_traffic() {
+    use radar_core::KeyEpoch;
+    use radar_serve::RotationEventKind;
+
+    let num_layers = tiny_model().num_layers();
+    let run = || {
+        let signer = tiny_model();
+        let protection = RadarProtection::new(&signer, RadarConfig::paper_default(32));
+        let dram = WeightDram::load(&signer, DramGeometry::default());
+        let eval = eval_set(16);
+        // One rotation action per batch: a full roll needs `num_layers + 3` ticks,
+        // so size the traffic to cross the publish with slack on both sides.
+        let cfg = engine_config().with_rotation(1);
+        let requests = (num_layers + 8) * cfg.max_batch;
+        let timeline = AttackTimeline::new(vec![MountEvent {
+            at_batch: 4,
+            injector: RowhammerInjector::default(),
+            profile: profile(&[(2, 5), (7, 0)]),
+            seed: 1,
+        }]);
+        serve(
+            replicas(cfg.workers, tiny_model),
+            Some(protection),
+            dram,
+            &eval,
+            &TrafficSchedule::new(7, requests),
+            timeline,
+            &cfg,
+        )
+    };
+
+    let outcome = run();
+    assert_eq!(outcome.epochs_published(), 1, "exactly one roll completes");
+    assert_eq!(outcome.last_published_epoch(), Some(KeyEpoch::new(1)));
+
+    // The event stream is the epoch state machine, in order: begin, every layer
+    // re-signed 0..L, publish, retire — one event per batch starting at batch 1.
+    let kinds: Vec<_> = outcome.rotations.iter().map(|e| e.kind).collect();
+    assert!(kinds.len() >= num_layers + 3);
+    assert_eq!(kinds[0], RotationEventKind::Began(KeyEpoch::new(1)));
+    assert_eq!(outcome.rotations[0].batch, 1);
+    for (i, kind) in kinds.iter().skip(1).take(num_layers).enumerate() {
+        assert!(
+            matches!(kind, RotationEventKind::Resigned { layer, .. } if *layer == i),
+            "tick {} should re-sign layer {i}, got {kind:?}",
+            i + 1
+        );
+    }
+    assert_eq!(
+        kinds[1 + num_layers],
+        RotationEventKind::Published(KeyEpoch::new(1))
+    );
+    assert_eq!(
+        kinds[2 + num_layers],
+        RotationEventKind::Retired(KeyEpoch::ZERO)
+    );
+
+    // The mid-roll strike is still detected at its own batch: no request is ever
+    // served on corrupted weights, and recovery covers both flipped groups.
+    let ttd = outcome.time_to_detect.expect("strike detected mid-roll");
+    assert_eq!(ttd.batches, 0);
+    assert_eq!(ttd.requests, 0, "zero requests served on corrupted weights");
+    assert!(outcome.recovery.groups_zeroed >= 2);
+
+    // Per-seed determinism extends to the rotation stream and all logical telemetry.
+    let replay = run();
+    assert_eq!(outcome.rotations, replay.rotations);
+    assert_eq!(outcome.windows, replay.windows);
+    assert_eq!(outcome.recovery, replay.recovery);
+    assert_eq!(
+        outcome
+            .detections
+            .iter()
+            .map(|d| (d.batch, d.via_scrub, d.groups_flagged))
+            .collect::<Vec<_>>(),
+        replay
+            .detections
+            .iter()
+            .map(|d| (d.batch, d.via_scrub, d.groups_flagged))
+            .collect::<Vec<_>>()
+    );
 }
 
 /// The unprotected baseline never detects or recovers: the corruption persists in the

@@ -1,9 +1,12 @@
 //! A dependency-free vendored subset of the `rand_chacha` crate.
 //!
-//! Provides [`ChaCha8Rng`]: a genuine ChaCha block function with 8 double
-//! rounds (matching the upstream stream layout closely enough for this
-//! workspace's purposes — every consumer seeds explicitly and only relies on
-//! determinism, not on bit-compatibility with upstream).
+//! Provides [`ChaCha8Rng`] and [`ChaCha20Rng`]: genuine ChaCha block functions
+//! with 8 and 20 rounds respectively (matching the upstream stream layout
+//! closely enough for this workspace's purposes — every consumer seeds
+//! explicitly and only relies on determinism, not on bit-compatibility with
+//! upstream). `ChaCha20Rng` is the variant used for key derivation: its seed
+//! is an HMAC-SHA256 output, and the extra rounds are the standard margin for
+//! secret-keyed use.
 
 #![forbid(unsafe_code)]
 
@@ -12,17 +15,6 @@ pub use rand::{RngCore, SeedableRng};
 pub mod rand_core {
     //! Re-export of the core RNG traits, mirroring `rand_chacha::rand_core`.
     pub use rand::{RngCore, SeedableRng};
-}
-
-/// The ChaCha stream cipher with 8 double rounds, used as a deterministic RNG.
-#[derive(Clone, Debug)]
-pub struct ChaCha8Rng {
-    /// Cipher input block: constants, key, counter, nonce.
-    state: [u32; 16],
-    /// Current keystream block.
-    block: [u32; 16],
-    /// Next unread word in `block`; 16 means "exhausted".
-    index: usize,
 }
 
 const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
@@ -39,71 +31,104 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
     state[b] = (state[b] ^ state[c]).rotate_left(7);
 }
 
-impl ChaCha8Rng {
-    fn refill(&mut self) {
-        let mut working = self.state;
-        for _ in 0..4 {
-            // 8 total double rounds = 4 iterations of (column round, diagonal round) x2.
-            quarter_round(&mut working, 0, 4, 8, 12);
-            quarter_round(&mut working, 1, 5, 9, 13);
-            quarter_round(&mut working, 2, 6, 10, 14);
-            quarter_round(&mut working, 3, 7, 11, 15);
-            quarter_round(&mut working, 0, 5, 10, 15);
-            quarter_round(&mut working, 1, 6, 11, 12);
-            quarter_round(&mut working, 2, 7, 8, 13);
-            quarter_round(&mut working, 3, 4, 9, 14);
-        }
-        for (out, (&w, &s)) in self
-            .block
-            .iter_mut()
-            .zip(working.iter().zip(self.state.iter()))
-        {
-            *out = w.wrapping_add(s);
-        }
-        // 64-bit block counter in words 12..14.
-        let (lo, carry) = self.state[12].overflowing_add(1);
-        self.state[12] = lo;
-        if carry {
-            self.state[13] = self.state[13].wrapping_add(1);
-        }
-        self.index = 0;
+/// One keystream block: `double_rounds` iterations of (column round, diagonal
+/// round) over a working copy of `state`, then the feed-forward add.
+#[inline]
+fn chacha_block(state: &[u32; 16], block: &mut [u32; 16], double_rounds: usize) {
+    let mut working = *state;
+    for _ in 0..double_rounds {
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    for (out, (&w, &s)) in block.iter_mut().zip(working.iter().zip(state.iter())) {
+        *out = w.wrapping_add(s);
     }
 }
 
-impl RngCore for ChaCha8Rng {
-    fn next_u32(&mut self) -> u32 {
-        if self.index >= 16 {
-            self.refill();
+macro_rules! chacha_rng {
+    ($(#[$doc:meta])* $name:ident, $double_rounds:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            /// Cipher input block: constants, key, counter, nonce.
+            state: [u32; 16],
+            /// Current keystream block.
+            block: [u32; 16],
+            /// Next unread word in `block`; 16 means "exhausted".
+            index: usize,
         }
-        let word = self.block[self.index];
-        self.index += 1;
-        word
-    }
 
-    fn next_u64(&mut self) -> u64 {
-        let lo = self.next_u32() as u64;
-        let hi = self.next_u32() as u64;
-        (hi << 32) | lo
-    }
+        impl $name {
+            fn refill(&mut self) {
+                chacha_block(&self.state, &mut self.block, $double_rounds);
+                // 64-bit block counter in words 12..14.
+                let (lo, carry) = self.state[12].overflowing_add(1);
+                self.state[12] = lo;
+                if carry {
+                    self.state[13] = self.state[13].wrapping_add(1);
+                }
+                self.index = 0;
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.refill();
+                }
+                let word = self.block[self.index];
+                self.index += 1;
+                word
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                (hi << 32) | lo
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut state = [0u32; 16];
+                state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+                for (word, chunk) in state[4..12].iter_mut().zip(seed.chunks_exact(4)) {
+                    *word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                }
+                // Counter and nonce start at zero.
+                $name {
+                    state,
+                    block: [0; 16],
+                    index: 16,
+                }
+            }
+        }
+    };
 }
 
-impl SeedableRng for ChaCha8Rng {
-    type Seed = [u8; 32];
-
-    fn from_seed(seed: Self::Seed) -> Self {
-        let mut state = [0u32; 16];
-        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
-        for (word, chunk) in state[4..12].iter_mut().zip(seed.chunks_exact(4)) {
-            *word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-        }
-        // Counter and nonce start at zero.
-        ChaCha8Rng {
-            state,
-            block: [0; 16],
-            index: 16,
-        }
-    }
-}
+chacha_rng!(
+    /// The ChaCha stream cipher with 8 rounds (4 double rounds), used as a
+    /// fast deterministic RNG.
+    ChaCha8Rng,
+    4
+);
+chacha_rng!(
+    /// The ChaCha stream cipher with the full 20 rounds (10 double rounds).
+    ///
+    /// Used where the seed is secret key material (the HMAC-derived per-layer
+    /// key schedule in `radar-core`); prefer [`ChaCha8Rng`] for plain
+    /// simulation randomness.
+    ChaCha20Rng,
+    10
+);
 
 #[cfg(test)]
 mod tests {
@@ -132,5 +157,29 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let v: f32 = rng.gen_range(0.0..1.0);
         assert!((0.0..1.0).contains(&v));
+    }
+
+    #[test]
+    fn chacha20_is_deterministic_and_differs_from_chacha8() {
+        let seed = [7u8; 32];
+        let mut a = ChaCha20Rng::from_seed(seed);
+        let mut b = ChaCha20Rng::from_seed(seed);
+        let mut c = ChaCha8Rng::from_seed(seed);
+        let words_a: Vec<u32> = (0..64).map(|_| a.next_u32()).collect();
+        let words_b: Vec<u32> = (0..64).map(|_| b.next_u32()).collect();
+        let words_c: Vec<u32> = (0..64).map(|_| c.next_u32()).collect();
+        assert_eq!(words_a, words_b);
+        // The extra 12 rounds must actually run: same seed, different stream.
+        assert_ne!(words_a, words_c);
+    }
+
+    #[test]
+    fn chacha20_seeds_differ() {
+        let mut a = ChaCha20Rng::from_seed([0u8; 32]);
+        let mut b = ChaCha20Rng::from_seed([1u8; 32]);
+        assert_ne!(
+            (0..16).map(|_| a.next_u32()).collect::<Vec<_>>(),
+            (0..16).map(|_| b.next_u32()).collect::<Vec<_>>()
+        );
     }
 }

@@ -48,8 +48,36 @@ fn every_rule_catches_its_seeded_fixture_violation() {
         "unsafe-forbid",
         "no-unwrap-worker",
         "secret-hygiene",
+        "obs-off-purity",
     ] {
         assert_fires(rule_id);
+    }
+}
+
+#[test]
+fn determinism_rule_confines_the_wall_clock_to_the_obs_crate() {
+    // The allowlist names `crates/obs/src/` and nothing else: the only sanctioned
+    // `Instant::now` / `.elapsed(` hits in the real workspace must come from the
+    // observability crate's clock module.
+    let root = manifest_dir()
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let report = analyze_with_config_file(&root, &lints_toml()).expect("workspace analyzes");
+    let determinism = report.rule("determinism").expect("rule exists");
+    assert!(determinism.violations.is_empty());
+    assert!(
+        !determinism.allowed.is_empty(),
+        "the obs clock should exercise the allowlist"
+    );
+    for hit in &determinism.allowed {
+        assert!(
+            hit.file.contains("crates/obs/src/"),
+            "wall-clock read outside crates/obs: {}:{}",
+            hit.file,
+            hit.line
+        );
     }
 }
 

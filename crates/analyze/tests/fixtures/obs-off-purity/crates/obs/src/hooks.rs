@@ -1,0 +1,11 @@
+// Fixture: allocation in the gated instrumentation facade.
+// Seeded violation for the `obs-off-purity` rule: the hook layer must reduce to
+// one branch when the level gates it off, so allocation constructors are banned
+// here even when they sit behind the branch.
+pub fn span_labels(n: usize) -> Vec<String> {
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        labels.push(format!("span-{i}"));
+    }
+    labels
+}

@@ -4,8 +4,12 @@
 //! to `artifacts/results/serve.txt` and the machine-readable
 //! `artifacts/results/BENCH_serve.json`.
 //!
-//! `--smoke` selects the CI-sized timeline (96 requests, window 16). Environment knobs
-//! on top of the usual [`Budget`](radar_bench::harness::Budget) variables:
+//! `--smoke` selects the CI-sized timeline (96 requests, window 16). `--trace`
+//! additionally replays one fully-instrumented scenario (strike + rotation armed,
+//! `ObsLevel::Full`) and writes the validated Chrome `trace_event` export to
+//! `artifacts/results/TRACE_serve.json` (loadable at <https://ui.perfetto.dev>).
+//! Environment knobs on top of the usual
+//! [`Budget`](radar_bench::harness::Budget) variables:
 //!
 //! | Variable | Meaning | Default |
 //! |---|---|---|
@@ -18,6 +22,7 @@ use radar_bench::serving::{self, ServeBenchParams};
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let trace = std::env::args().any(|a| a == "--trace");
     let budget = Budget::from_env();
     let kind = match std::env::var("RADAR_SERVE_MODEL").as_deref() {
         Ok("resnet18") => ModelKind::ResNet18Like,
@@ -39,4 +44,7 @@ fn main() {
     let outcome = serving::run(&mut prepared, &params);
     outcome.report().print_and_save("serve");
     outcome.write_json();
+    if trace {
+        serving::trace(&mut prepared, &params);
+    }
 }

@@ -16,7 +16,6 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 use radar_attack::{
     AttackProfile, BitFlip, KnowledgeableAttacker, Pbfa, PbfaConfig, RandomBitFlip,
@@ -24,6 +23,7 @@ use radar_attack::{
 use radar_core::{Grouping, RadarConfig, RadarProtection};
 use radar_data::Dataset;
 use radar_memsim::{DramGeometry, RowhammerInjector, WeightDram};
+use radar_obs::{Labels, MetricsRegistry, Stopwatch};
 use radar_quant::{QuantizedModel, WeightSnapshot};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -253,6 +253,10 @@ pub struct CampaignOutcome {
     pub total_seconds: f64,
     /// Per-cell results in grid (attack-major) order.
     pub cells: Vec<CellResult>,
+    /// The merged [`MetricsRegistry`] of every campaign worker, rendered as
+    /// deterministic text lines (per-cell wall-time histograms keyed by the
+    /// attack's scenario label, round counters, the campaign total).
+    pub metrics: Vec<String>,
 }
 
 impl CampaignOutcome {
@@ -312,6 +316,12 @@ impl CampaignOutcome {
             ]);
         }
         report.line(format!("total wall clock: {:.2}s", self.total_seconds));
+        if !self.metrics.is_empty() {
+            report.line("registry:");
+            for line in &self.metrics {
+                report.line(format!("  {line}"));
+            }
+        }
         report
     }
 
@@ -498,7 +508,9 @@ fn apply_truncated(
 }
 
 /// Executes one cell on a worker-owned model: restore clean → sign → mount attack →
-/// detect → recover → measure, averaged over the grid's rounds.
+/// detect → recover → measure, averaged over the grid's rounds. Cell wall time and
+/// round counts also land in the worker's private `registry` (merged — order
+/// independently — into the campaign-wide one after the worker drains).
 fn run_cell(
     cell: &Cell,
     grid: &ScenarioGrid,
@@ -506,8 +518,9 @@ fn run_cell(
     snapshot: &WeightSnapshot,
     shared: &HashMap<ProfileKey, Vec<AttackProfile>>,
     eval: Option<&Dataset>,
+    registry: &mut MetricsRegistry,
 ) -> CellResult {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let rounds = grid.rounds.max(1);
     let mut flips = 0usize;
     let mut detected = 0usize;
@@ -588,6 +601,10 @@ fn run_cell(
     }
     qm.restore(snapshot);
 
+    let cell_labels = Labels::none().scenario(cell.attack.label());
+    registry.record_ns("campaign.cell_ns", cell_labels.clone(), start.elapsed_ns());
+    registry.add_counter("campaign.rounds", cell_labels, rounds as u64);
+
     let r = rounds as f64;
     CellResult {
         attack: cell.attack.label(),
@@ -609,7 +626,7 @@ fn run_cell(
         avg_weights_zeroed: weights_zeroed as f64 / r,
         accuracy_attacked: eval.map(|_| acc_attacked / r),
         accuracy_recovered: eval.map(|_| acc_recovered / r),
-        wall_seconds: start.elapsed().as_secs_f64(),
+        wall_seconds: start.elapsed_secs(),
     }
 }
 
@@ -622,7 +639,7 @@ fn run_cell(
 /// cursor. Results are deterministic for a given grid and budget regardless of the
 /// worker count.
 pub fn run(prepared: &mut Prepared, grid: &ScenarioGrid) -> CampaignOutcome {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let shared = precompute_profiles(prepared, grid);
     let cells = grid.cells();
     let threads = prepared.budget.threads.clamp(1, cells.len().max(1));
@@ -634,12 +651,17 @@ pub fn run(prepared: &mut Prepared, grid: &ScenarioGrid) -> CampaignOutcome {
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<CellResult>>> =
         (0..cells.len()).map(|_| Mutex::new(None)).collect();
+    let metrics = Mutex::new(MetricsRegistry::new());
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
                 // Every worker owns a model replica rebuilt from the shared
-                // checkpoint, so cells never contend on weight state.
+                // checkpoint, so cells never contend on weight state; likewise it
+                // owns a private registry shard, folded into the campaign-wide
+                // one only once it drains (merging is associative, so the merged
+                // registry is independent of worker scheduling).
                 let mut qm = fresh_model(kind, budget);
+                let mut registry = MetricsRegistry::new();
                 loop {
                     // relaxed: work-stealing index only claims a slot; the per-slot
                     // mutex orders the result write.
@@ -647,10 +669,21 @@ pub fn run(prepared: &mut Prepared, grid: &ScenarioGrid) -> CampaignOutcome {
                     if i >= cells.len() {
                         break;
                     }
-                    let result =
-                        run_cell(&cells[i], grid, &mut qm, &snapshot, &shared, eval.as_ref());
+                    let result = run_cell(
+                        &cells[i],
+                        grid,
+                        &mut qm,
+                        &snapshot,
+                        &shared,
+                        eval.as_ref(),
+                        &mut registry,
+                    );
                     *slots[i].lock().expect("cell slot lock poisoned") = Some(result);
                 }
+                metrics
+                    .lock()
+                    .expect("campaign registry lock poisoned")
+                    .merge(&registry);
             });
         }
     });
@@ -663,6 +696,11 @@ pub fn run(prepared: &mut Prepared, grid: &ScenarioGrid) -> CampaignOutcome {
                 .expect("every cell was executed")
         })
         .collect();
+    let mut registry = metrics
+        .into_inner()
+        .expect("campaign registry lock poisoned");
+    registry.add_counter("campaign.cells", Labels::none(), cells_out.len() as u64);
+    registry.record_ns("campaign.total_ns", Labels::none(), start.elapsed_ns());
     CampaignOutcome {
         model: prepared.kind.id().to_owned(),
         clean_accuracy: f64::from(prepared.clean_accuracy),
@@ -673,8 +711,9 @@ pub fn run(prepared: &mut Prepared, grid: &ScenarioGrid) -> CampaignOutcome {
         } else {
             0
         },
-        total_seconds: start.elapsed().as_secs_f64(),
+        total_seconds: start.elapsed_secs(),
         cells: cells_out,
+        metrics: registry.render_lines(),
     }
 }
 
@@ -782,6 +821,7 @@ mod tests {
                 accuracy_recovered: None,
                 wall_seconds: 0.1,
             }],
+            metrics: Vec::new(),
         };
         let spec = AttackSpec::Pbfa { n_bits: 10 };
         assert!(outcome.find(&spec, 16, true).is_some());

@@ -19,13 +19,13 @@
 //! the integer kernels.
 
 use std::path::PathBuf;
-use std::time::Instant;
 
 use radar_memsim::{DramGeometry, WeightDram};
 use radar_nn::{resnet20, ResNetConfig};
+use radar_obs::{set_global_level, ObsLevel, Stopwatch};
 use radar_quant::QuantizedModel;
 use radar_serve::ServeConfig;
-use radar_tensor::{set_gemm_threads, Tensor};
+use radar_tensor::{set_gemm_threads, Tensor, GEMM_CALLS, GEMM_PANELS};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -98,6 +98,12 @@ pub struct InferPoint {
     /// Native-path measurements, one per swept GEMM worker count (ascending,
     /// starting at 1).
     pub native: Vec<NativePoint>,
+    /// Integer-GEMM kernel invocations per native fetch+forward pass
+    /// ([`GEMM_CALLS`], counted once — the count is shape-determined, not
+    /// thread-count-determined).
+    pub gemm_calls: u64,
+    /// Integer-GEMM (N, K) panels per native fetch+forward pass ([`GEMM_PANELS`]).
+    pub gemm_panels: u64,
 }
 
 impl InferPoint {
@@ -149,9 +155,9 @@ fn median_seconds(iters: usize, mut f: impl FnMut()) -> f64 {
     f();
     let mut times: Vec<f64> = (0..iters.max(1))
         .map(|_| {
-            let start = Instant::now();
+            let start = Stopwatch::start();
             f();
-            start.elapsed().as_secs_f64()
+            start.elapsed_secs()
         })
         .collect();
     times.sort_by(f64::total_cmp);
@@ -161,6 +167,10 @@ fn median_seconds(iters: usize, mut f: impl FnMut()) -> f64 {
 /// Runs the benchmark on the paper-width ResNet-20 (no training needed — latency
 /// does not depend on the weight values).
 pub fn bench_infer(params: &InferBenchParams) -> InferBenchOutcome {
+    // Arm the kernel-side global counters so per-pass GEMM call/panel counts can
+    // be attributed to each measured shape (the binary is single-session, so the
+    // process-wide gate is unambiguous here).
+    set_global_level(ObsLevel::Counters);
     let mut model = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::resnet20_paper(10))));
     let dram = WeightDram::load(&model, DramGeometry::default());
     let total_weights = model.total_weights();
@@ -191,6 +201,18 @@ pub fn bench_infer(params: &InferBenchParams) -> InferBenchOutcome {
         // Quantized-native: fetch into the arena, run the integer GEMM off it —
         // once per GEMM worker count on the sweep axis.
         let mut arena: Vec<Vec<i8>> = (0..model.num_layers()).map(|_| Vec::new()).collect();
+
+        // One counted (untimed) pass attributes the kernel-side global counters
+        // to this shape: GEMM invocations and (N, K) panels per fetch+forward.
+        GEMM_CALLS.reset();
+        GEMM_PANELS.reset();
+        for (layer, buf) in arena.iter_mut().enumerate() {
+            dram.read_layer_into(layer, buf);
+        }
+        std::hint::black_box(model.forward_with_values(&arena, &x));
+        let gemm_calls = GEMM_CALLS.reset();
+        let gemm_panels = GEMM_PANELS.reset();
+
         let mut native = Vec::new();
         for &t in &threads {
             set_gemm_threads(t);
@@ -212,6 +234,8 @@ pub fn bench_infer(params: &InferBenchParams) -> InferBenchOutcome {
             batch,
             float_seconds,
             native,
+            gemm_calls,
+            gemm_panels,
         });
     }
 
@@ -263,6 +287,12 @@ impl InferBenchOutcome {
         }
         report.line("per pass: full weight fetch from the DRAM image + forward");
         report.line("float baseline is single-threaded; native sweeps RADAR_GEMM_THREADS");
+        for p in &self.points {
+            report.line(format!(
+                "{}: {} integer-GEMM calls, {} (N,K) panels per native pass",
+                p.name, p.gemm_calls, p.gemm_panels
+            ));
+        }
         report
     }
 
@@ -291,11 +321,14 @@ impl InferBenchOutcome {
                 format!(
                     concat!(
                         "    {{\"name\": \"{}\", \"batch\": {}, ",
-                        "\"float_seconds\": {:.9}, \"native\": [\n{}\n    ]}}"
+                        "\"float_seconds\": {:.9}, \"gemm_calls\": {}, ",
+                        "\"gemm_panels\": {}, \"native\": [\n{}\n    ]}}"
                     ),
                     p.name,
                     p.batch,
                     p.float_seconds,
+                    p.gemm_calls,
+                    p.gemm_panels,
                     native.join(",\n")
                 )
             })
@@ -352,6 +385,8 @@ mod tests {
                     seconds: 0.05,
                 },
             ],
+            gemm_calls: 22,
+            gemm_panels: 100,
         }
     }
 

@@ -11,10 +11,11 @@
 //! smaller machine is interpretable) so CI can archive the throughput trajectory
 //! across commits.
 
-use std::time::Instant;
-
-use radar_core::{gather_signatures, DetectionReport, FlaggedGroup, RadarConfig, RadarProtection};
+use radar_core::{
+    gather_signatures, DetectionReport, FlaggedGroup, RadarConfig, RadarProtection, VERIFY_SWEEPS,
+};
 use radar_nn::{resnet18, ResNetConfig};
+use radar_obs::{set_global_level, ObsLevel, Stopwatch};
 use radar_quant::QuantizedModel;
 
 use crate::harness::{artifacts_dir, Budget};
@@ -52,9 +53,9 @@ fn legacy_detect(radar: &RadarProtection, model: &QuantizedModel) -> DetectionRe
 fn median_seconds(iters: usize, mut f: impl FnMut()) -> f64 {
     let mut times: Vec<f64> = (0..iters.max(1))
         .map(|_| {
-            let start = Instant::now();
+            let start = Stopwatch::start();
             f();
-            start.elapsed().as_secs_f64()
+            start.elapsed_secs()
         })
         .collect();
     times.sort_by(f64::total_cmp);
@@ -68,6 +69,9 @@ struct Measurement {
     plan_seconds: f64,
     /// `(threads, seconds)` per measured parallel thread count.
     parallel_seconds: Vec<(usize, f64)>,
+    /// [`VERIFY_SWEEPS`] per sequential detect pass (one per layer — pinned by
+    /// the counter so a plan-bypassing regression shows up in the artifact).
+    plan_sweeps: u64,
 }
 
 impl Measurement {
@@ -92,6 +96,9 @@ impl Measurement {
 /// sharded parallel path to amortize its per-pass thread spawns; weights are
 /// untrained because detect throughput is independent of weight values.
 pub fn bench_verify(budget: &Budget) -> Report {
+    // Arm the kernel-side global counters so sweep counts can be attributed per
+    // detect pass (single-session binary; the process-wide gate is unambiguous).
+    set_global_level(ObsLevel::Counters);
     let model = QuantizedModel::new(Box::new(resnet18(&ResNetConfig::new(20, 32, 3, 18))));
     let total_weights = model.total_weights();
     let iters = budget.verify_iters;
@@ -138,11 +145,18 @@ pub fn bench_verify(budget: &Budget) -> Report {
                 (t, s)
             })
             .collect();
+
+        // One counted (untimed) pass attributes the sweep counter to this point.
+        VERIFY_SWEEPS.reset();
+        std::hint::black_box(radar.detect(&model));
+        let plan_sweeps = VERIFY_SWEEPS.reset();
+
         let m = Measurement {
             group_size: g,
             legacy_seconds,
             plan_seconds,
             parallel_seconds,
+            plan_sweeps,
         };
         let par_ms = |t: usize| {
             m.parallel_seconds
@@ -167,6 +181,12 @@ pub fn bench_verify(budget: &Budget) -> Report {
         measurements.push(m);
     }
 
+    if let Some(m) = measurements.first() {
+        report.line(format!(
+            "streaming plan: {} layer sweeps per detect pass (VERIFY_SWEEPS)",
+            m.plan_sweeps
+        ));
+    }
     write_json(total_weights, iters, hardware_threads, &measurements);
     report
 }
@@ -195,12 +215,14 @@ fn write_json(
             format!(
                 concat!(
                     "    {{\"group_size\": {}, \"legacy_seconds\": {:.9}, ",
-                    "\"plan_seconds\": {:.9}, \"speedup\": {:.3}, \"parallel\": [{}]}}"
+                    "\"plan_seconds\": {:.9}, \"speedup\": {:.3}, ",
+                    "\"plan_sweeps_per_pass\": {}, \"parallel\": [{}]}}"
                 ),
                 m.group_size,
                 m.legacy_seconds,
                 m.plan_seconds,
                 m.speedup(),
+                m.plan_sweeps,
                 parallel.join(", ")
             )
         })

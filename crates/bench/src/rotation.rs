@@ -23,6 +23,7 @@ use std::path::PathBuf;
 use radar_attack::{apply_msb_flip, evasion_pair, AttackProfile, KeyLearner, KeyObservation};
 use radar_core::{group_signature, KeyEpoch, KeySchedule, RadarConfig, RadarProtection, KEY_BITS};
 use radar_memsim::{AttackTimeline, DramGeometry, MountEvent, RowhammerInjector, WeightDram};
+use radar_obs::{Labels, MetricsRegistry, Stopwatch};
 use radar_serve::{serve, ServeConfig, ServeOutcome, TrafficSchedule};
 
 use crate::harness::{artifacts_dir, fresh_model, pbfa_profiles, Prepared};
@@ -127,6 +128,9 @@ pub struct RotationBenchOutcome {
     /// Whether the rotating scenario's full logical telemetry (rotation events,
     /// accuracy windows, detections) replayed identically.
     pub deterministic_replay: bool,
+    /// Per-phase wall-time metrics (key learning, each serving scenario, the
+    /// replay), rendered from the benchmark's [`MetricsRegistry`].
+    pub metrics: Vec<String>,
 }
 
 /// Brute-forces `layers` layer keys off a live protection and re-scores one stale
@@ -219,8 +223,20 @@ pub fn run(prepared: &mut Prepared, params: &RotationBenchParams) -> RotationBen
         params.learn_layers.min(num_layers),
         KEY_BITS
     );
+    let mut registry = MetricsRegistry::new();
+    let phase = Stopwatch::start();
     let reference = RadarProtection::new(&signer, radar_config);
     let learning = learn_layers(&signer, &reference, params.learn_layers);
+    registry.record_ns(
+        "rotation.phase_ns",
+        Labels::none().scenario("key_learning"),
+        phase.elapsed_ns(),
+    );
+    registry.add_counter(
+        "rotation.keys_recovered",
+        Labels::none(),
+        learning.iter().filter(|l| l.recovered).count() as u64,
+    );
 
     let config = ServeConfig {
         strict_batching: true,
@@ -272,7 +288,18 @@ pub fn run(prepared: &mut Prepared, params: &RotationBenchParams) -> RotationBen
         eprintln!(
             "[rotation] scenario {name}: {requests} requests, strike at batch {attack_at_batch}, rotate_every {rotate_every}"
         );
+        let phase = Stopwatch::start();
         let outcome = run_scenario(rotate_every);
+        registry.record_ns(
+            "rotation.phase_ns",
+            Labels::none().scenario(name),
+            phase.elapsed_ns(),
+        );
+        registry.add_counter(
+            "rotation.epochs_published",
+            Labels::none().scenario(name),
+            outcome.epochs_published() as u64,
+        );
         scenarios.push(RotationScenario {
             name,
             rotate_every,
@@ -283,7 +310,13 @@ pub fn run(prepared: &mut Prepared, params: &RotationBenchParams) -> RotationBen
     }
 
     eprintln!("[rotation] replaying the rotating scenario to check determinism");
+    let phase = Stopwatch::start();
     let replay = run_scenario(params.rotate_every);
+    registry.record_ns(
+        "rotation.phase_ns",
+        Labels::none().scenario("replay"),
+        phase.elapsed_ns(),
+    );
     let rotating = &scenarios[1].outcome;
     let logical = |o: &ServeOutcome| {
         (
@@ -307,6 +340,7 @@ pub fn run(prepared: &mut Prepared, params: &RotationBenchParams) -> RotationBen
         attack_at_batch,
         scenarios,
         deterministic_replay,
+        metrics: registry.render_lines(),
     }
 }
 
@@ -360,6 +394,12 @@ impl RotationBenchOutcome {
             "rotating replay deterministic: {}",
             self.deterministic_replay
         ));
+        if !self.metrics.is_empty() {
+            report.line("registry:");
+            for line in &self.metrics {
+                report.line(format!("  {line}"));
+            }
+        }
         report
     }
 

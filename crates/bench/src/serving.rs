@@ -20,6 +20,7 @@ use std::path::PathBuf;
 use radar_attack::AttackProfile;
 use radar_core::{RadarConfig, RadarProtection};
 use radar_memsim::{AttackTimeline, DramGeometry, MountEvent, RowhammerInjector, WeightDram};
+use radar_obs::{chrome_trace, validate_chrome_trace, ObsLevel};
 use radar_serve::{serve, AttackSummary, ServeConfig, ServeOutcome, TimeToDetect, TrafficSchedule};
 
 use crate::harness::{artifacts_dir, fresh_model, pbfa_profiles, Prepared};
@@ -199,6 +200,94 @@ pub fn run(prepared: &mut Prepared, params: &ServeBenchParams) -> ServeBenchOutc
         attack_at_batch,
         scenarios,
     }
+}
+
+/// Runs one fully-traced serving scenario — the PBFA strike mounted mid-service
+/// with the rotation task armed and [`ObsLevel::Full`] spans on — and writes the
+/// Chrome `trace_event` export to `artifacts/results/TRACE_serve.json`.
+///
+/// The emitted trace is validated before this returns: it must parse, and it must
+/// carry at least one span per inference worker plus the scrubber and rotation
+/// rows. A trace that fails validation is a bug, so this panics (CI runs it via
+/// `run_serve --trace` and the panic fails the job).
+pub fn trace(prepared: &mut Prepared, params: &ServeBenchParams) -> PathBuf {
+    let kind = prepared.kind;
+    let budget = prepared.budget;
+    let group_size = kind.table3_groups()[kind.table3_groups().len() / 2];
+
+    let signer = fresh_model(kind, budget);
+    let num_layers = signer.num_layers();
+    let mut cfg = ServeConfig {
+        strict_batching: true,
+        window: params.window,
+        scrub_layers: num_layers.div_ceil(5),
+        ..ServeConfig::default()
+    }
+    .from_env()
+    .with_obs(ObsLevel::Full);
+    // Arm the re-keying task so the trace shows the rotation track alongside the
+    // worker, scrubber and adversary rows.
+    cfg.rotate_every = 2;
+
+    let total_batches = params.requests.div_ceil(cfg.max_batch);
+    let attack_at_batch = (total_batches / 3).clamp(
+        usize::from(total_batches > 1),
+        total_batches.saturating_sub(1),
+    );
+    let profile = attack_profile(prepared, budget.n_bits);
+    let schedule = TrafficSchedule::new(params.traffic_seed, params.requests);
+    let eval = prepared.eval_set();
+
+    let models = radar_serve::replicas(cfg.workers, || fresh_model(kind, budget));
+    let protection = RadarProtection::new(&signer, RadarConfig::paper_default(group_size));
+    let dram = WeightDram::load(&signer, DramGeometry::default());
+    let timeline = AttackTimeline::new(vec![MountEvent {
+        at_batch: attack_at_batch,
+        injector: RowhammerInjector::default(),
+        profile,
+        seed: 0xA77A_C000 + attack_at_batch as u64,
+    }]);
+    eprintln!(
+        "[serve] traced scenario: {} requests, {} workers, strike at batch {attack_at_batch}, rotate_every {}",
+        params.requests, cfg.workers, cfg.rotate_every
+    );
+    let outcome = serve(
+        models,
+        Some(protection),
+        dram,
+        &eval,
+        &schedule,
+        timeline,
+        &cfg,
+    );
+
+    let trace = chrome_trace(&outcome.obs, "radar-serve traced");
+    let summary = validate_chrome_trace(&trace).expect("own trace export must validate");
+    for w in 0..cfg.workers {
+        let row = format!("worker-{w}");
+        assert!(
+            summary.spans_on(&row) >= 1,
+            "trace is missing spans on {row} ({} spans total)",
+            summary.total_spans
+        );
+    }
+    for row in ["scrubber", "rotation"] {
+        assert!(
+            summary.spans_on(row) >= 1,
+            "trace is missing spans on the {row} row ({} spans total)",
+            summary.total_spans
+        );
+    }
+
+    let path = artifacts_dir().join("results").join("TRACE_serve.json");
+    std::fs::write(&path, trace).expect("artifact results directory is writable");
+    eprintln!(
+        "[serve] wrote {} ({} spans, {} instants)",
+        path.display(),
+        summary.total_spans,
+        summary.total_instants
+    );
+    path
 }
 
 impl ServeBenchOutcome {

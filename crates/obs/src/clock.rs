@@ -1,0 +1,68 @@
+//! The workspace's only wall-clock read.
+//!
+//! Every other crate measures time through [`Stopwatch`]; the `determinism` rule in
+//! `crates/analyze/lints.toml` forbids `Instant::now` and `.elapsed(` everywhere
+//! outside `crates/obs/src/`, so the places that can observe the wall clock are
+//! enumerable by grepping one directory. Wall-clock readings are *annotations*:
+//! nothing logical (journal ordering, detection attribution, replay comparisons)
+//! may depend on them.
+
+use std::time::{Duration, Instant};
+
+/// A started wall-clock timer. `Copy`, so per-thread observability shards and
+/// request records can carry one without lifetime plumbing.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch at the current instant.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since the stopwatch started (saturating at `u64::MAX`,
+    /// i.e. after ~584 years).
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        let nanos = self.start.elapsed().as_nanos();
+        u64::try_from(nanos).unwrap_or(u64::MAX)
+    }
+
+    /// Seconds elapsed since the stopwatch started.
+    #[must_use]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Elapsed time as a [`Duration`].
+    #[must_use]
+    pub fn elapsed_duration(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
+        assert!(sw.elapsed_secs() >= 0.0);
+        assert!(sw.elapsed_duration() >= Duration::ZERO);
+    }
+}

@@ -1,0 +1,307 @@
+//! A minimal JSON value parser — just enough to validate the Chrome trace files
+//! this crate emits (the workspace is offline; no serde).
+//!
+//! Supports the full JSON grammar (objects, arrays, strings with escapes, numbers,
+//! booleans, null) with no extensions; errors carry a byte offset.
+
+/// A parsed JSON value. Object members keep source order (duplicate keys are kept
+/// as-is; lookups return the first).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, as `f64`.
+    Number(f64),
+    /// A string (escapes decoded).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses a complete JSON document (rejects trailing garbage).
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// The member `key` of an object (`None` for other shapes or missing keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array (`None` for other shapes).
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string payload (`None` for other shapes).
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload (`None` for other shapes).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == byte {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", char::from(byte), *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    let Some(&next) = bytes.get(*pos) else {
+        return Err(format!("unexpected end of input at byte {}", *pos));
+    };
+    match next {
+        b'{' => parse_object(bytes, pos),
+        b'[' => parse_array(bytes, pos),
+        b'"' => Ok(JsonValue::String(parse_string(bytes, pos)?)),
+        b't' => parse_keyword(bytes, pos, "true", JsonValue::Bool(true)),
+        b'f' => parse_keyword(bytes, pos, "false", JsonValue::Bool(false)),
+        b'n' => parse_keyword(bytes, pos, "null", JsonValue::Null),
+        b'-' | b'0'..=b'9' => parse_number(bytes, pos),
+        other => Err(format!(
+            "unexpected byte '{}' at {}",
+            char::from(other),
+            *pos
+        )),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("expected '{word}' at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| format!("non-utf8 number at byte {start}"))?;
+    text.parse::<f64>()
+        .map(JsonValue::Number)
+        .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        let Some(&byte) = bytes.get(*pos) else {
+            return Err(format!("unterminated string at byte {}", *pos));
+        };
+        *pos += 1;
+        match byte {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&escape) = bytes.get(*pos) else {
+                    return Err(format!("dangling escape at byte {}", *pos));
+                };
+                *pos += 1;
+                match escape {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000C}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("truncated \\u escape at byte {}", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("invalid \\u escape at byte {}", *pos))?;
+                        *pos += 4;
+                        // Surrogate pairs are not emitted by our exporters; map
+                        // lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    other => {
+                        return Err(format!(
+                            "invalid escape '\\{}' at byte {}",
+                            char::from(other),
+                            *pos
+                        ))
+                    }
+                }
+            }
+            _ => {
+                // Collect the raw UTF-8 run up to the next quote or backslash.
+                let run_start = *pos - 1;
+                while *pos < bytes.len() && bytes[*pos] != b'"' && bytes[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                let run = std::str::from_utf8(&bytes[run_start..*pos])
+                    .map_err(|_| format!("non-utf8 string at byte {run_start}"))?;
+                out.push_str(run);
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = r#"{"a":[1,2.5,-3e2],"b":{"c":"x\ny","d":true,"e":null}, "f" : "A" }"#;
+        let value = JsonValue::parse(doc).expect("valid json");
+        assert_eq!(value.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            value.get("a").unwrap().as_array().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
+        assert_eq!(
+            value.get("b").unwrap().get("c").unwrap().as_str(),
+            Some("x\ny")
+        );
+        assert_eq!(
+            value.get("b").unwrap().get("d"),
+            Some(&JsonValue::Bool(true))
+        );
+        assert_eq!(value.get("b").unwrap().get("e"), Some(&JsonValue::Null));
+        assert_eq!(value.get("f").unwrap().as_str(), Some("A"));
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let value = JsonValue::parse("\"\\u0041\\u00e9\"").expect("valid json");
+        assert_eq!(value.as_str(), Some("Aé"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            r#"{"a" 1}"#,
+            "tru",
+            r#"{"a":1} extra"#,
+            r#""unterminated"#,
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_containers_parse() {
+        assert_eq!(
+            JsonValue::parse("[]").unwrap(),
+            JsonValue::Array(Vec::new())
+        );
+        assert_eq!(
+            JsonValue::parse("{}").unwrap(),
+            JsonValue::Object(Vec::new())
+        );
+    }
+}

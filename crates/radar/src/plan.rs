@@ -2,6 +2,13 @@ use crate::grouping::GroupLayout;
 use crate::key::{KeyEpoch, SecretKey};
 use crate::signature::{binarize, SignatureBits};
 
+/// Number of masked-accumulation sweeps ([`LayerPlan::accumulate`]) the verification
+/// plans have executed — one per layer per signature computation or check, across
+/// signing, in-path verification, scrubbing and rotation re-signing. Gated by the
+/// process-global observability level ([`radar_obs::set_global_level`]); at `Off`
+/// each sweep pays one relaxed load and a branch.
+pub static VERIFY_SWEEPS: radar_obs::GlobalCounter = radar_obs::GlobalCounter::new();
+
 /// Precomputed verification plan for one layer: everything the run-time check needs to
 /// turn signature computation into a single sequential sweep over the layer's weights.
 ///
@@ -150,6 +157,7 @@ impl LayerPlan {
             "accumulator holds {} entries, need {num_groups}",
             acc.len()
         );
+        VERIFY_SWEEPS.add(1);
         let acc = &mut acc[..num_groups];
         acc.fill(0);
         for ((&w, &m), &g) in weights.iter().zip(&self.mask).zip(&self.group_index) {

@@ -1,5 +1,7 @@
 use std::time::Duration;
 
+use radar_obs::{ObsConfig, ObsLevel};
+
 /// Which execution path workers run inference on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecPath {
@@ -61,6 +63,11 @@ pub struct ServeConfig {
     pub window: usize,
     /// Which execution path workers run inference on (quantized-native by default).
     pub exec: ExecPath,
+    /// Observability configuration: recording level (`Off | Counters | Full`) and
+    /// journal capacity. The journal and the `BENCH_serve.json`-contract metrics
+    /// record at every level; `Full` additionally records profiling spans for the
+    /// Chrome trace exporter.
+    pub obs: ObsConfig,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +84,7 @@ impl Default for ServeConfig {
             rotate_every: 0,
             window: 64,
             exec: ExecPath::QuantizedNative,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -115,6 +123,12 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the observability recording level (see [`ObsConfig`]).
+    pub fn with_obs(mut self, level: ObsLevel) -> Self {
+        self.obs = ObsConfig { level, ..self.obs };
+        self
+    }
+
     /// The float-oracle variant: workers run the pre-quantized-native pipeline
     /// (fetch → model write-back → dequantize-everything → float forward). Used by
     /// the equivalence tests and the `bench_infer` baseline.
@@ -143,6 +157,8 @@ mod tests {
         cfg.validate();
         assert!(cfg.inpath_verify);
         assert!(cfg.scrub_every > 0);
+        assert_eq!(cfg.obs.level, ObsLevel::Counters);
+        assert_eq!(cfg.with_obs(ObsLevel::Full).obs.level, ObsLevel::Full);
     }
 
     #[test]

@@ -1,11 +1,12 @@
 use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError};
 use std::sync::{Mutex, RwLock};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use radar_core::{DetectionReport, KeyEpoch, RadarProtection};
 use radar_data::Dataset;
 use radar_memsim::{AttackTimeline, WeightDram};
 use radar_nn::argmax_rows;
+use radar_obs::{set_global_level, EventKind, Labels, Stopwatch, Tid, Track};
 use radar_quant::QuantizedModel;
 
 use crate::config::{ExecPath, ServeConfig};
@@ -14,7 +15,9 @@ use crate::steps::{
     fetch_arena_verified, flagged_layers, rotation_step, scrub_sweep, RotationAction,
 };
 use crate::sync::{lock, read_lock, write_lock, FetchTicket};
-use crate::telemetry::{RequestRecord, RotationEvent, RotationEventKind, ServeOutcome, Telemetry};
+use crate::telemetry::{
+    metric, RequestRecord, RotationEvent, RotationEventKind, ServeOutcome, Telemetry,
+};
 use crate::traffic::{Batch, Request, TrafficSchedule};
 
 /// Runs one complete serving session and returns its telemetry.
@@ -60,8 +63,23 @@ use crate::traffic::{Batch, Request, TrafficSchedule};
 /// [`crate::sync`] turns any ticket/barrier stall into a loud panic with the stuck
 /// ticket state instead of a hung job.
 ///
+/// # Observability
+///
+/// Every thread records through its own [`radar_obs::ObsShard`], flushed at the
+/// barrier points that already order the run (workers once per batch after the
+/// ticket publish, the background tasks once per tick). Journal events for each
+/// `(batch, track)` key are emitted by exactly one thread — the ticket-holding
+/// worker for the fetch track, the single scrubber / rotation / adversary thread
+/// for theirs — which is what makes the journal's canonical order (a stable sort
+/// by `(batch, track)`) independent of flush interleaving. At
+/// [`radar_obs::ObsLevel::Full`] the hot sections additionally record spans
+/// (ticket wait, verified fetch, inference, scrub sweeps, rotation ticks, strike
+/// mounts) for the Chrome trace exporter.
+///
 /// Strikes scripted at batch offsets the run never reaches do not fire; the adversary
-/// logs a warning for each one left over when service ends.
+/// journals a `strike_never_fired` event (and bumps the
+/// [`metric::STRIKES_NEVER_FIRED`] counter) for whatever is left over when service
+/// ends.
 ///
 /// # Panics
 ///
@@ -99,11 +117,15 @@ pub fn serve(
     let scrub_enabled = config.scrub_every > 0;
     let rotation_enabled = config.rotate_every > 0;
 
+    // Arm the process-global gate so `GlobalCounter` kernels instrumented deeper in
+    // the stack (gemm panels, verify sweeps) follow this run's level.
+    set_global_level(config.obs.level);
+
     let samples = schedule.sample_indices(eval.len());
     let event_offsets = timeline.batch_offsets();
     let dram = RwLock::new(dram);
     let protection = protection.map(RwLock::new);
-    let telemetry = Telemetry::new(Instant::now());
+    let telemetry = Telemetry::with_config(config.obs);
     // Batches whose weight fetch (and any in-path recovery) has completed; doubles as
     // the fetch ticket: the worker holding batch `fetched` is the one allowed to fetch.
     let fetched = FetchTicket::new();
@@ -127,7 +149,7 @@ pub fn serve(
                 let request = Request {
                     id,
                     sample,
-                    submitted: Instant::now(),
+                    submitted: Stopwatch::start(),
                 };
                 if req_tx.send(request).is_err() {
                     break;
@@ -142,12 +164,17 @@ pub fn serve(
             let telemetry = &telemetry;
             let mut timeline = timeline;
             scope.spawn(move || {
+                let mut shard = telemetry.shard(Tid::Adversary);
+                let mut last_batch = 0usize;
                 for batch in adv_rx {
+                    last_batch = batch;
                     while let Some(event) = timeline.pop_due(batch) {
+                        let timer = shard.span_start();
                         let mount = {
                             let mut dram = write_lock(dram);
                             event.mount(&mut dram)
                         };
+                        shard.span_end(timer, "strike_mount", batch as u64);
                         telemetry.strike(batch, mount);
                     }
                     if adv_ack_tx.send(()).is_err() {
@@ -155,12 +182,12 @@ pub fn serve(
                     }
                 }
                 if timeline.remaining() > 0 {
-                    eprintln!(
-                        "[serve] warning: {} scripted strike(s) never fired — the run \
-                         ended before their batch offsets",
-                        timeline.remaining()
-                    );
+                    // Scripted strikes whose batch offsets the run never reached: a
+                    // structured journal event + counter, so harnesses can assert on
+                    // it instead of scraping stderr.
+                    telemetry.strike_never_fired(last_batch, timeline.remaining());
                 }
+                telemetry.flush(&mut shard);
             });
         }
 
@@ -171,6 +198,7 @@ pub fn serve(
             let telemetry = &telemetry;
             let scrub_layers = config.scrub_layers;
             scope.spawn(move || {
+                let mut shard = telemetry.shard(Tid::Scrubber);
                 let num_layers = read_lock(dram).num_layers();
                 let step = if scrub_layers == 0 {
                     num_layers
@@ -181,24 +209,32 @@ pub fn serve(
                 let mut buf: Vec<i8> = Vec::new();
                 let mut acc: Vec<i32> = Vec::new();
                 for batch in scrub_rx {
-                    let started = Instant::now();
+                    let started = Stopwatch::start();
+                    let timer = shard.span_start();
                     let flagged = {
                         let dram = read_lock(dram);
                         let prot = read_lock(prot);
                         scrub_sweep(&dram, &prot, cursor, step, &mut buf, &mut acc)
                     };
+                    shard.span_end(timer, "scrub_sweep", batch as u64);
                     cursor = (cursor + step) % num_layers;
                     if flagged.attack_detected() {
                         telemetry.detection(batch, true, flagged.num_flagged());
                         let mut dram = write_lock(dram);
                         let mut prot = write_lock(prot);
-                        telemetry.recovered(recover_in_dram(&mut prot, &mut dram, &flagged));
+                        telemetry.recovered(
+                            batch,
+                            Track::Scrub,
+                            recover_in_dram(&mut prot, &mut dram, &flagged),
+                        );
                     }
-                    telemetry.add_scrub_time(started.elapsed());
+                    shard.force_add(metric::SCRUB_NS, Labels::none(), started.elapsed_ns());
+                    telemetry.flush(&mut shard);
                     if scrub_ack_tx.send(()).is_err() {
                         break;
                     }
                 }
+                telemetry.flush(&mut shard);
             });
         }
 
@@ -211,19 +247,22 @@ pub fn serve(
             let dram = &dram;
             let telemetry = &telemetry;
             scope.spawn(move || {
+                let mut shard = telemetry.shard(Tid::Rotation);
                 let mut buf: Vec<i8> = Vec::new();
                 let mut acc: Vec<i32> = Vec::new();
                 for batch in rot_rx {
+                    let timer = shard.span_start();
                     let action = {
                         let mut dram = write_lock(dram);
                         let mut prot = write_lock(prot);
                         rotation_step(&mut dram, &mut prot, &mut buf, &mut acc, |_, _| {})
                     };
+                    shard.span_end(timer, "rotation_tick", batch as u64);
                     let kind = match action {
                         RotationAction::Began(epoch) => RotationEventKind::Began(epoch),
                         RotationAction::Resigned { layer, recovered } => {
                             if recovered.groups_zeroed > 0 {
-                                telemetry.recovered(recovered);
+                                telemetry.recovered(batch, Track::Rotate, recovered);
                             }
                             RotationEventKind::Resigned {
                                 layer,
@@ -234,10 +273,12 @@ pub fn serve(
                         RotationAction::Retired(epoch) => RotationEventKind::Retired(epoch),
                     };
                     telemetry.rotation(RotationEvent { batch, kind });
+                    telemetry.flush(&mut shard);
                     if rot_ack_tx.send(()).is_err() {
                         break;
                     }
                 }
+                telemetry.flush(&mut shard);
             });
         }
 
@@ -250,13 +291,15 @@ pub fn serve(
         // structure, scales and float-only layers; its stored weights are never
         // written. The float-oracle path is the old fetch → write-back →
         // dequantize-everything → float-forward pipeline.
-        for mut model in models {
+        for (w, mut model) in models.into_iter().enumerate() {
             let dram = &dram;
             let protection = protection.as_ref();
             let telemetry = &telemetry;
             let fetched = &fetched;
             let batch_rx = &batch_rx;
             scope.spawn(move || {
+                let mut shard = telemetry.shard(Tid::Worker(w as u16));
+                let worker_labels = Labels::none().worker(w as u32);
                 let mut acc: Vec<i32> = Vec::new();
                 let native = config.exec == ExecPath::QuantizedNative;
                 // Per-worker layer arena: one reusable buffer per layer holding the
@@ -267,8 +310,11 @@ pub fn serve(
                 loop {
                     let received = lock(batch_rx).recv();
                     let Ok(batch) = received else { break };
+                    let index = batch.index as u64;
                     // Wait for this batch's fetch ticket.
+                    let timer = shard.span_start();
                     fetched.wait_for(batch.index);
+                    shard.span_end(timer, "ticket_wait", index);
                     // Pin the epoch this batch verifies under, with its own short
                     // read lock *before* the fetch takes the main locks. A rotation
                     // publish landing in the pin→fetch window moves the pinned epoch
@@ -279,6 +325,8 @@ pub fn serve(
                         pinned = read_lock(prot).current_epoch();
                     }
                     let mut flagged = DetectionReport::default();
+                    let mut verified = false;
+                    let timer = shard.span_start();
                     {
                         let dram = read_lock(dram);
                         match (config.inpath_verify, protection) {
@@ -296,16 +344,21 @@ pub fn serve(
                                 } else {
                                     for layer in 0..model.num_layers() {
                                         dram.fetch_layer_into(&mut model, layer);
-                                        let started = Instant::now();
+                                        let started = Stopwatch::start();
                                         flagged.merge(&prot.detect_layers_with_scratch(
                                             &model,
                                             layer..layer + 1,
                                             &mut acc,
                                         ));
-                                        checking += started.elapsed();
+                                        checking += started.elapsed_duration();
                                     }
                                 }
-                                telemetry.add_verify_time(checking);
+                                verified = true;
+                                shard.force_add(
+                                    metric::VERIFY_NS,
+                                    worker_labels.clone(),
+                                    checking.as_nanos() as u64,
+                                );
                             }
                             _ if native => {
                                 let mut unused = Duration::ZERO;
@@ -320,15 +373,53 @@ pub fn serve(
                             _ => dram.fetch_into(&mut model),
                         }
                     }
+                    shard.span_end(timer, "fetch_verify", index);
+                    // The fetch track's journal events: emitted only by the
+                    // ticket-holding worker (exactly one per batch), so the track's
+                    // canonical order is flush-independent. Logical fields only —
+                    // the epoch pin and flag counts are identical across
+                    // `ExecPath`s by the equivalence contract.
+                    shard.event(
+                        index,
+                        Track::Fetch,
+                        EventKind::Fetch {
+                            epoch: pinned.index(),
+                        },
+                    );
+                    if verified {
+                        shard.event(
+                            index,
+                            Track::Fetch,
+                            EventKind::Verify {
+                                groups_flagged: flagged.num_flagged() as u64,
+                            },
+                        );
+                    }
                     if flagged.attack_detected() {
-                        telemetry.detection(batch.index, false, flagged.num_flagged());
+                        shard.force_add(metric::DETECTIONS, Labels::none(), 1);
+                        shard.event(
+                            index,
+                            Track::Fetch,
+                            EventKind::Detect {
+                                via_scrub: false,
+                                groups_flagged: flagged.num_flagged() as u64,
+                            },
+                        );
                         // In-path flags imply a protection was configured; the `if
                         // let` (rather than an `expect`) keeps the worker loop free
                         // of panicking accessors, per the `no-unwrap-worker` lint.
                         if let Some(prot) = protection {
                             let mut dram = write_lock(dram);
                             let mut prot = write_lock(prot);
-                            telemetry.recovered(recover_in_dram(&mut prot, &mut dram, &flagged));
+                            let recovery = recover_in_dram(&mut prot, &mut dram, &flagged);
+                            shard.event(
+                                index,
+                                Track::Fetch,
+                                EventKind::Recover {
+                                    groups_zeroed: recovery.groups_zeroed as u64,
+                                    weights_zeroed: recovery.weights_zeroed as u64,
+                                },
+                            );
                             // Refresh the recovered layers in this worker's arena (or
                             // replica) so inference consumes the zeroed (not
                             // corrupted) weights.
@@ -345,13 +436,19 @@ pub fn serve(
 
                     let sample_ids: Vec<usize> = batch.requests.iter().map(|r| r.sample).collect();
                     let subset = eval.subset(&sample_ids);
-                    let started = Instant::now();
+                    let started = Stopwatch::start();
+                    let timer = shard.span_start();
                     let logits = if native {
                         model.forward_with_values(&arena, subset.images())
                     } else {
                         model.forward_float(subset.images())
                     };
-                    telemetry.add_infer_time(started.elapsed());
+                    shard.span_end(timer, "infer", index);
+                    shard.force_add(
+                        metric::INFER_NS,
+                        worker_labels.clone(),
+                        started.elapsed_ns(),
+                    );
                     let predictions = argmax_rows(&logits);
                     for (request, (prediction, &label)) in batch
                         .requests
@@ -362,10 +459,14 @@ pub fn serve(
                             id: request.id,
                             batch: batch.index,
                             correct: *prediction == label,
-                            latency_ns: request.submitted.elapsed().as_nanos() as u64,
+                            latency_ns: request.submitted.elapsed_ns(),
                         });
                     }
+                    // One flush per batch, at the barrier cadence the engine already
+                    // has — never per sample.
+                    telemetry.flush(&mut shard);
                 }
+                telemetry.flush(&mut shard);
             });
         }
 
@@ -373,7 +474,7 @@ pub fn serve(
         let mut next_event = event_offsets.iter().peekable();
         while let Ok(first) = req_rx.recv() {
             let mut requests = vec![first];
-            let deadline = Instant::now() + config.max_wait;
+            let waited = Stopwatch::start();
             while requests.len() < config.max_batch {
                 if config.strict_batching {
                     // Deterministic-replay mode: only the end of the request stream
@@ -383,7 +484,7 @@ pub fn serve(
                         Err(_) => break,
                     }
                 } else {
-                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    let remaining = config.max_wait.saturating_sub(waited.elapsed_duration());
                     match req_rx.recv_timeout(remaining) {
                         Ok(request) => requests.push(request),
                         Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {

@@ -46,7 +46,6 @@
 
 mod config;
 mod engine;
-mod histogram;
 mod recovery;
 pub mod schedule;
 mod steps;
@@ -56,11 +55,14 @@ mod traffic;
 
 pub use config::{ExecPath, ServeConfig};
 pub use engine::{replicas, serve};
-pub use histogram::LatencyHistogram;
+// The latency histogram was promoted into `radar-obs`; re-exported so existing
+// `radar_serve::LatencyHistogram` consumers keep compiling. The observability
+// config types travel with `ServeConfig::obs`.
+pub use radar_obs::{LatencyHistogram, ObsConfig, ObsLevel, ObsReport};
 pub use recovery::{recover_in_dram, recover_in_dram_traced};
 pub use telemetry::{
-    AccuracyWindow, AttackStrike, AttackSummary, DetectionEvent, RequestRecord, RotationEvent,
-    RotationEventKind, ServeOutcome, Telemetry, TimeToDetect,
+    metric, AccuracyWindow, AttackStrike, AttackSummary, DetectionEvent, RequestRecord,
+    RotationEvent, RotationEventKind, ServeOutcome, Telemetry, TimeToDetect,
 };
 pub use traffic::TrafficSchedule;
 

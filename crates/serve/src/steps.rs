@@ -13,10 +13,11 @@
 //! (the `hot-path-alloc` rule in `crates/analyze/lints.toml` enforces this at the
 //! token level).
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use radar_core::{DetectionReport, KeyEpoch, RadarProtection, RecoveryReport};
 use radar_memsim::WeightDram;
+use radar_obs::Stopwatch;
 
 use crate::recovery::recover_in_dram_traced;
 
@@ -42,9 +43,9 @@ pub(crate) fn fetch_arena_verified(
     for (layer, buf) in arena.iter_mut().enumerate() {
         dram.read_layer_into(layer, buf);
         if let Some((prot, epoch)) = prot {
-            let started = Instant::now();
+            let started = Stopwatch::start();
             flagged.merge(&prot.verify_layer_values_at_epoch_with_scratch(epoch, layer, buf, acc));
-            *checking += started.elapsed();
+            *checking += started.elapsed_duration();
         }
     }
     flagged

@@ -14,7 +14,9 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use radar_obs::Stopwatch;
 
 /// Busy-wait iterations spent on [`std::hint::spin_loop`] before each wait falls
 /// back to yielding the time slice. Ticket waits are usually satisfied within a few
@@ -31,7 +33,7 @@ const SPIN_LIMIT: u32 = 64;
 const WATCHDOG: Duration = Duration::from_secs(30);
 
 /// How many yield iterations pass between watchdog clock checks, so the common
-/// (instantly-satisfied) wait never pays for `Instant::now`.
+/// (instantly-satisfied) wait never pays for a clock read.
 const WATCHDOG_CHECK_EVERY: u64 = 1 << 10;
 
 /// Spins on `ready` with bounded busy-waiting — `SPIN_LIMIT` pause-hinted spins, then
@@ -44,7 +46,7 @@ pub(crate) fn spin_wait_watchdog(
 ) {
     let mut spins = 0u32;
     let mut yields = 0u64;
-    let mut started: Option<Instant> = None;
+    let mut started: Option<Stopwatch> = None;
     while !ready() {
         if spins < SPIN_LIMIT {
             std::hint::spin_loop();
@@ -54,8 +56,8 @@ pub(crate) fn spin_wait_watchdog(
         std::thread::yield_now();
         yields += 1;
         if yields % WATCHDOG_CHECK_EVERY == 0 {
-            let start = *started.get_or_insert_with(Instant::now);
-            if start.elapsed() >= deadline {
+            let start = *started.get_or_insert_with(Stopwatch::start);
+            if start.elapsed_duration() >= deadline {
                 panic!(
                     "[serve] watchdog: wait unsatisfied after {deadline:?} — {}",
                     diag()

@@ -1,11 +1,43 @@
-use std::sync::atomic::{AtomicU64, Ordering};
+//! The serving engine's telemetry, as a **view over the `radar-obs` registry and
+//! journal**.
+//!
+//! [`Telemetry`] no longer owns bespoke vectors-of-everything: threads record
+//! through per-thread [`ObsShard`]s (or the shared convenience methods below,
+//! which journal through one internal shard), and [`finish`](Telemetry::finish)
+//! derives the [`ServeOutcome`] — detections, strikes, rotations, recovery
+//! totals, duty cycles, the latency histogram — from the merged
+//! [`ObsReport`]. The outcome's shape (and with it the `BENCH_serve.json`
+//! schema) is unchanged from the pre-obs implementation; the raw report rides
+//! along in [`ServeOutcome::obs`] for exporters and replay tests.
+
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use radar_core::{KeyEpoch, RecoveryReport};
 use radar_memsim::MountReport;
+use radar_obs::{
+    EventKind, Labels, LatencyHistogram, ObsConfig, ObsCore, ObsReport, ObsShard, RotationKind,
+    Tid, Track,
+};
 
-use crate::histogram::LatencyHistogram;
+/// Registry metric names the serve engine records under (always-on telemetry
+/// class; the `BENCH_serve.json` fields derive from these).
+pub mod metric {
+    /// Per-request end-to-end latency histogram (labelled per worker).
+    pub const LATENCY_NS: &str = "serve.latency_ns";
+    /// Nanoseconds spent in fetch-path signature verification.
+    pub const VERIFY_NS: &str = "serve.verify_ns";
+    /// Nanoseconds the scrubber spent sweeping.
+    pub const SCRUB_NS: &str = "serve.scrub_ns";
+    /// Nanoseconds workers spent in the forward pass.
+    pub const INFER_NS: &str = "serve.infer_ns";
+    /// Adversary strikes mounted.
+    pub const STRIKES: &str = "serve.strikes";
+    /// Scripted strikes whose batch offsets the run never reached.
+    pub const STRIKES_NEVER_FIRED: &str = "serve.strikes_never_fired";
+    /// Verification passes that flagged at least one group.
+    pub const DETECTIONS: &str = "serve.detections";
+}
 
 /// Outcome of one completed request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,118 +108,222 @@ pub enum RotationEventKind {
     Retired(KeyEpoch),
 }
 
+impl RotationEventKind {
+    /// The journal representation of this rotation action.
+    fn to_journal(self) -> RotationKind {
+        match self {
+            RotationEventKind::Began(epoch) => RotationKind::Began {
+                epoch: epoch.index(),
+            },
+            RotationEventKind::Resigned {
+                layer,
+                groups_recovered,
+            } => RotationKind::Resigned {
+                layer: layer as u64,
+                groups_recovered: groups_recovered as u64,
+            },
+            RotationEventKind::Published(epoch) => RotationKind::Published {
+                epoch: epoch.index(),
+            },
+            RotationEventKind::Retired(epoch) => RotationKind::Retired {
+                epoch: epoch.index(),
+            },
+        }
+    }
+
+    /// Reconstructs the serve-side kind from its journal representation.
+    fn from_journal(kind: RotationKind) -> Self {
+        match kind {
+            RotationKind::Began { epoch } => RotationEventKind::Began(KeyEpoch::new(epoch)),
+            RotationKind::Resigned {
+                layer,
+                groups_recovered,
+            } => RotationEventKind::Resigned {
+                layer: layer as usize,
+                groups_recovered: groups_recovered as usize,
+            },
+            RotationKind::Published { epoch } => RotationEventKind::Published(KeyEpoch::new(epoch)),
+            RotationKind::Retired { epoch } => RotationEventKind::Retired(KeyEpoch::new(epoch)),
+        }
+    }
+}
+
 /// Thread-shared telemetry collector: workers, the scrubber, the re-keying task and
-/// the adversary all write into it; [`finish`](Telemetry::finish) folds everything
-/// into a [`ServeOutcome`].
+/// the adversary all record into it — either through their own [`ObsShard`] (hot
+/// paths) or through the shared convenience methods below (rare events) — and
+/// [`finish`](Telemetry::finish) folds everything into a [`ServeOutcome`].
 #[derive(Debug)]
 pub struct Telemetry {
-    start: Instant,
+    core: ObsCore,
+    /// Backs the `&self` convenience methods; flushed into the core at `finish`.
+    shared: Mutex<ObsShard>,
     completions: Mutex<Vec<RequestRecord>>,
-    latency: Mutex<LatencyHistogram>,
-    strikes: Mutex<Vec<AttackStrike>>,
-    detections: Mutex<Vec<DetectionEvent>>,
-    rotations: Mutex<Vec<RotationEvent>>,
-    recovery: Mutex<RecoveryReport>,
-    verify_ns: AtomicU64,
-    scrub_ns: AtomicU64,
-    infer_ns: AtomicU64,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Telemetry {
-    /// Creates a collector; `start` anchors every wall-clock offset.
-    pub fn new(start: Instant) -> Self {
+    /// Creates a collector with the default observability config; the session
+    /// clock starts now.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_config(ObsConfig::default())
+    }
+
+    /// Creates a collector recording at the given observability config.
+    #[must_use]
+    pub fn with_config(config: ObsConfig) -> Self {
+        let core = ObsCore::new(config);
+        let shared = Mutex::new(core.shard(Tid::Batcher));
         Telemetry {
-            start,
+            core,
+            shared,
             completions: Mutex::new(Vec::new()),
-            latency: Mutex::new(LatencyHistogram::new()),
-            strikes: Mutex::new(Vec::new()),
-            detections: Mutex::new(Vec::new()),
-            rotations: Mutex::new(Vec::new()),
-            recovery: Mutex::new(RecoveryReport::default()),
-            verify_ns: AtomicU64::new(0),
-            scrub_ns: AtomicU64::new(0),
-            infer_ns: AtomicU64::new(0),
         }
     }
 
     /// Seconds elapsed since serving started.
+    #[must_use]
     pub fn elapsed_seconds(&self) -> f64 {
-        self.start.elapsed().as_secs_f64()
+        self.core.elapsed_seconds()
+    }
+
+    /// Creates a per-thread shard bound to this telemetry's session (level and
+    /// clock anchor shared). Flush it back with [`flush`](Self::flush).
+    #[must_use]
+    pub fn shard(&self, tid: Tid) -> ObsShard {
+        self.core.shard(tid)
+    }
+
+    /// Folds a per-thread shard into the session (call at barrier points).
+    pub fn flush(&self, shard: &mut ObsShard) {
+        self.core.flush(shard);
+    }
+
+    fn with_shared(&self, record: impl FnOnce(&mut ObsShard)) {
+        let mut shared = self
+            .shared
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        record(&mut shared);
     }
 
     /// Records a completed request (also feeds the latency histogram).
     pub fn complete(&self, record: RequestRecord) {
-        self.latency
-            .lock()
-            .expect("latency lock poisoned")
-            .record(record.latency_ns);
+        self.with_shared(|shard| {
+            shard.force_record_ns(metric::LATENCY_NS, Labels::none(), record.latency_ns);
+        });
         self.completions
             .lock()
-            .expect("completions lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(record);
     }
 
     /// Records an adversary strike.
     pub fn strike(&self, batch: usize, mount: MountReport) {
-        let at_seconds = self.elapsed_seconds();
-        self.strikes
-            .lock()
-            .expect("strikes lock poisoned")
-            .push(AttackStrike {
-                batch,
-                mount,
-                at_seconds,
-            });
+        self.with_shared(|shard| {
+            shard.force_add(metric::STRIKES, Labels::none(), 1);
+            shard.event(
+                batch as u64,
+                Track::Strike,
+                EventKind::Strike {
+                    flips_landed: mount.flips_landed as u64,
+                    flips_missed: mount.flips_missed as u64,
+                    rows_hammered: mount.rows_hammered as u64,
+                },
+            );
+        });
+    }
+
+    /// Records that `remaining` scripted strikes never fired because the run ended
+    /// before their batch offsets (`batch` is the adversary's last observed batch).
+    pub fn strike_never_fired(&self, batch: usize, remaining: usize) {
+        self.with_shared(|shard| {
+            shard.force_add(
+                metric::STRIKES_NEVER_FIRED,
+                Labels::none(),
+                remaining as u64,
+            );
+            shard.event(
+                batch as u64,
+                Track::Strike,
+                EventKind::StrikeNeverFired {
+                    remaining: remaining as u64,
+                },
+            );
+        });
     }
 
     /// Records a detection event.
     pub fn detection(&self, batch: usize, via_scrub: bool, groups_flagged: usize) {
-        self.detections
-            .lock()
-            .expect("detections lock poisoned")
-            .push(DetectionEvent {
-                batch,
-                via_scrub,
-                groups_flagged,
-                at_seconds: self.elapsed_seconds(),
-            });
+        let track = if via_scrub {
+            Track::Scrub
+        } else {
+            Track::Fetch
+        };
+        self.with_shared(|shard| {
+            shard.force_add(metric::DETECTIONS, Labels::none(), 1);
+            shard.event(
+                batch as u64,
+                track,
+                EventKind::Detect {
+                    via_scrub,
+                    groups_flagged: groups_flagged as u64,
+                },
+            );
+        });
     }
 
-    /// Records a rotation tick (only the re-keying task appends, so the vector is
-    /// already in logical-clock order).
+    /// Records a rotation tick (only the re-keying task appends, so the journal's
+    /// rotate track is already in logical-clock order).
     pub fn rotation(&self, event: RotationEvent) {
-        self.rotations
-            .lock()
-            .expect("rotations lock poisoned")
-            .push(event);
+        self.with_shared(|shard| {
+            shard.event(
+                event.batch as u64,
+                Track::Rotate,
+                EventKind::Rotation(event.kind.to_journal()),
+            );
+        });
     }
 
-    /// Accumulates a recovery pass into the run totals.
-    pub fn recovered(&self, recovery: RecoveryReport) {
-        let mut total = self.recovery.lock().expect("recovery lock poisoned");
-        total.groups_zeroed += recovery.groups_zeroed;
-        total.weights_zeroed += recovery.weights_zeroed;
+    /// Records a recovery pass on the given logical track (fetch for in-path,
+    /// scrub for the background sweep, rotate for pre-sign recoveries).
+    pub fn recovered(&self, batch: usize, track: Track, recovery: RecoveryReport) {
+        self.with_shared(|shard| {
+            shard.event(
+                batch as u64,
+                track,
+                EventKind::Recover {
+                    groups_zeroed: recovery.groups_zeroed as u64,
+                    weights_zeroed: recovery.weights_zeroed as u64,
+                },
+            );
+        });
     }
 
     /// Adds in-path verification time (fetch-path signature checks).
     pub fn add_verify_time(&self, elapsed: Duration) {
-        // relaxed: independent duty-cycle counter; nothing orders against it.
-        self.verify_ns
-            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.with_shared(|shard| {
+            shard.force_add(metric::VERIFY_NS, Labels::none(), elapsed.as_nanos() as u64);
+        });
     }
 
     /// Adds background-scrub time.
     pub fn add_scrub_time(&self, elapsed: Duration) {
-        // relaxed: independent duty-cycle counter; nothing orders against it.
-        self.scrub_ns
-            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.with_shared(|shard| {
+            shard.force_add(metric::SCRUB_NS, Labels::none(), elapsed.as_nanos() as u64);
+        });
     }
 
     /// Adds pure inference (forward-pass) time.
     pub fn add_infer_time(&self, elapsed: Duration) {
-        // relaxed: independent duty-cycle counter; nothing orders against it.
-        self.infer_ns
-            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.with_shared(|shard| {
+            shard.force_add(metric::INFER_NS, Labels::none(), elapsed.as_nanos() as u64);
+        });
     }
 
     /// Folds everything collected into a [`ServeOutcome`].
@@ -195,29 +331,67 @@ impl Telemetry {
     /// `batches` is the number of dispatched batches, `workers` the worker count (for
     /// the verify duty-cycle normalization) and `window` the served-accuracy window
     /// size in requests.
+    #[must_use]
     pub fn finish(self, batches: usize, workers: usize, window: usize) -> ServeOutcome {
-        let wall_seconds = self.start.elapsed().as_secs_f64();
-        let mut completions = self
-            .completions
+        let Telemetry {
+            core,
+            shared,
+            completions,
+        } = self;
+        let mut shared = shared
             .into_inner()
-            .expect("completions lock poisoned");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        core.flush(&mut shared);
+        let obs = core.finish();
+
+        let mut completions = completions
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         completions.sort_unstable_by_key(|r| r.id);
-        let latency = self.latency.into_inner().expect("latency lock poisoned");
-        let strikes = self.strikes.into_inner().expect("strikes lock poisoned");
-        let mut detections = self
-            .detections
-            .into_inner()
-            .expect("detections lock poisoned");
-        detections.sort_by(|a, b| {
-            (a.batch, a.at_seconds)
-                .partial_cmp(&(b.batch, b.at_seconds))
-                .expect("detection times are finite")
-        });
-        let rotations = self
-            .rotations
-            .into_inner()
-            .expect("rotations lock poisoned");
-        let recovery = self.recovery.into_inner().expect("recovery lock poisoned");
+
+        // The journal is canonically ordered; project the view structs out of it.
+        let mut strikes: Vec<AttackStrike> = Vec::new();
+        let mut detections: Vec<DetectionEvent> = Vec::new();
+        let mut rotations: Vec<RotationEvent> = Vec::new();
+        let mut recovery = RecoveryReport::default();
+        for event in obs.journal.events() {
+            match event.kind {
+                EventKind::Strike {
+                    flips_landed,
+                    flips_missed,
+                    rows_hammered,
+                } => strikes.push(AttackStrike {
+                    batch: event.batch as usize,
+                    mount: MountReport {
+                        flips_landed: flips_landed as usize,
+                        flips_missed: flips_missed as usize,
+                        rows_hammered: rows_hammered as usize,
+                    },
+                    at_seconds: event.at_seconds,
+                }),
+                EventKind::Detect {
+                    via_scrub,
+                    groups_flagged,
+                } => detections.push(DetectionEvent {
+                    batch: event.batch as usize,
+                    via_scrub,
+                    groups_flagged: groups_flagged as usize,
+                    at_seconds: event.at_seconds,
+                }),
+                EventKind::Rotation(kind) => rotations.push(RotationEvent {
+                    batch: event.batch as usize,
+                    kind: RotationEventKind::from_journal(kind),
+                }),
+                EventKind::Recover {
+                    groups_zeroed,
+                    weights_zeroed,
+                } => {
+                    recovery.groups_zeroed += groups_zeroed as usize;
+                    recovery.weights_zeroed += weights_zeroed as usize;
+                }
+                _ => {}
+            }
+        }
 
         let windows: Vec<AccuracyWindow> = completions
             .chunks(window.max(1))
@@ -273,11 +447,11 @@ impl Telemetry {
             })
         });
 
-        // relaxed: workers have joined before `finish` runs — the scope join is the
-        // synchronization point; these loads see every prior fetch_add.
-        let verify_seconds = self.verify_ns.load(Ordering::Relaxed) as f64 / 1e9;
-        let scrub_seconds = self.scrub_ns.load(Ordering::Relaxed) as f64 / 1e9;
-        let infer_seconds = self.infer_ns.load(Ordering::Relaxed) as f64 / 1e9;
+        let wall_seconds = obs.wall_seconds;
+        let latency = obs.registry.histogram_merged(metric::LATENCY_NS);
+        let verify_seconds = obs.registry.counter_sum(metric::VERIFY_NS) as f64 / 1e9;
+        let scrub_seconds = obs.registry.counter_sum(metric::SCRUB_NS) as f64 / 1e9;
+        let infer_seconds = obs.registry.counter_sum(metric::INFER_NS) as f64 / 1e9;
         ServeOutcome {
             requests: completions.len(),
             batches,
@@ -307,6 +481,7 @@ impl Telemetry {
             time_to_detect,
             recovery,
             windows,
+            obs,
         }
     }
 }
@@ -352,6 +527,7 @@ pub struct AccuracyWindow {
 
 impl AccuracyWindow {
     /// Window accuracy in percent.
+    #[must_use]
     pub fn percent(&self) -> f64 {
         if self.total == 0 {
             0.0
@@ -398,10 +574,17 @@ pub struct ServeOutcome {
     pub recovery: RecoveryReport,
     /// Served accuracy per window of request ids.
     pub windows: Vec<AccuracyWindow>,
+    /// The raw observability report the view above was derived from: the merged
+    /// metrics registry, the deterministic event journal (replay tests compare
+    /// [`logical_jsonl`](radar_obs::EventJournal::logical_jsonl) across runs), and
+    /// — at [`ObsLevel::Full`](radar_obs::ObsLevel::Full) — the spans the Chrome
+    /// trace exporter consumes.
+    pub obs: ObsReport,
 }
 
 impl ServeOutcome {
     /// Lowest window accuracy in percent (0 when no requests completed).
+    #[must_use]
     pub fn min_window_percent(&self) -> f64 {
         self.windows
             .iter()
@@ -411,11 +594,13 @@ impl ServeOutcome {
     }
 
     /// Accuracy of the final window in percent (0 when no requests completed).
+    #[must_use]
     pub fn final_window_percent(&self) -> f64 {
         self.windows.last().map_or(0.0, AccuracyWindow::percent)
     }
 
     /// Number of epochs the re-keying task published during the run.
+    #[must_use]
     pub fn epochs_published(&self) -> usize {
         self.rotations
             .iter()
@@ -424,6 +609,7 @@ impl ServeOutcome {
     }
 
     /// The last epoch published during the run (`None` when no roll completed).
+    #[must_use]
     pub fn last_published_epoch(&self) -> Option<KeyEpoch> {
         self.rotations.iter().rev().find_map(|e| match e.kind {
             RotationEventKind::Published(epoch) => Some(epoch),
@@ -432,6 +618,7 @@ impl ServeOutcome {
     }
 
     /// Overall served accuracy in percent.
+    #[must_use]
     pub fn overall_percent(&self) -> f64 {
         let (correct, total) = self
             .windows
@@ -460,7 +647,7 @@ mod tests {
 
     #[test]
     fn windows_chunk_by_request_id_in_order() {
-        let telemetry = Telemetry::new(Instant::now());
+        let telemetry = Telemetry::new();
         // Complete out of order; windows must still chunk by id.
         for id in [3usize, 0, 2, 1, 4] {
             telemetry.complete(record(id, id / 2, id != 2));
@@ -473,11 +660,12 @@ mod tests {
         assert_eq!(outcome.windows[1].correct, 1); // id 2 was wrong
         assert_eq!(outcome.windows[2].total, 1);
         assert!((outcome.overall_percent() - 80.0).abs() < 1e-9);
+        assert_eq!(outcome.latency.count(), 5);
     }
 
     #[test]
     fn time_to_detect_counts_requests_between_strike_and_detection() {
-        let telemetry = Telemetry::new(Instant::now());
+        let telemetry = Telemetry::new();
         for id in 0..12 {
             telemetry.complete(record(id, id / 2, true)); // batches 0..6, 2 requests each
         }
@@ -503,7 +691,7 @@ mod tests {
 
     #[test]
     fn detection_before_strike_batch_is_ignored_for_ttd() {
-        let telemetry = Telemetry::new(Instant::now());
+        let telemetry = Telemetry::new();
         telemetry.strike(
             4,
             MountReport {
@@ -519,7 +707,7 @@ mod tests {
 
     #[test]
     fn strike_that_landed_nothing_yields_no_ttd() {
-        let telemetry = Telemetry::new(Instant::now());
+        let telemetry = Telemetry::new();
         telemetry.strike(
             2,
             MountReport {
@@ -536,7 +724,7 @@ mod tests {
 
     #[test]
     fn multiple_strikes_merge_mount_reports() {
-        let telemetry = Telemetry::new(Instant::now());
+        let telemetry = Telemetry::new();
         for batch in [2usize, 6] {
             telemetry.strike(
                 batch,
@@ -553,5 +741,55 @@ mod tests {
         assert_eq!(attack.first_batch, 2);
         assert_eq!(attack.mount.flips_landed, 4);
         assert_eq!(attack.mount.flips_attempted(), 6);
+    }
+
+    #[test]
+    fn the_view_is_a_projection_of_the_journal_and_registry() {
+        let telemetry = Telemetry::new();
+        telemetry.complete(record(0, 0, true));
+        telemetry.strike(
+            1,
+            MountReport {
+                flips_landed: 1,
+                flips_missed: 0,
+                rows_hammered: 1,
+            },
+        );
+        telemetry.detection(2, false, 3);
+        telemetry.recovered(
+            2,
+            Track::Fetch,
+            RecoveryReport {
+                groups_zeroed: 3,
+                weights_zeroed: 48,
+            },
+        );
+        telemetry.rotation(RotationEvent {
+            batch: 3,
+            kind: RotationEventKind::Published(KeyEpoch::new(1)),
+        });
+        telemetry.strike_never_fired(3, 2);
+        let outcome = telemetry.finish(4, 1, 4);
+        // View fields and raw report agree.
+        assert_eq!(outcome.detections.len(), 1);
+        assert_eq!(outcome.recovery.groups_zeroed, 3);
+        assert_eq!(outcome.recovery.weights_zeroed, 48);
+        assert_eq!(outcome.epochs_published(), 1);
+        assert_eq!(
+            outcome.obs.registry.counter_sum(metric::STRIKES),
+            1,
+            "strike counter"
+        );
+        assert_eq!(
+            outcome
+                .obs
+                .registry
+                .counter_sum(metric::STRIKES_NEVER_FIRED),
+            2
+        );
+        let journal = outcome.obs.journal.logical_jsonl();
+        assert!(journal.contains(r#""event":"strike_never_fired","remaining":2"#));
+        assert!(journal.contains(r#""event":"rotation.published","epoch":1"#));
+        assert!(journal.contains(r#""event":"recover","groups_zeroed":3"#));
     }
 }

@@ -1,5 +1,4 @@
-use std::time::Instant;
-
+use radar_obs::Stopwatch;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -43,7 +42,7 @@ pub(crate) struct Request {
     /// Index into the evaluation pool.
     pub sample: usize,
     /// When the request entered the queue (latency is measured from here).
-    pub submitted: Instant,
+    pub submitted: Stopwatch,
 }
 
 /// A coalesced batch of requests on its way to an inference worker.

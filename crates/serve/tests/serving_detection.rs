@@ -159,6 +159,7 @@ fn engine_config() -> ServeConfig {
         rotate_every: 0,
         window: 8,
         exec: ExecPath::QuantizedNative,
+        obs: radar_serve::ObsConfig::default(),
     }
 }
 

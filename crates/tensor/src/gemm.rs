@@ -253,6 +253,16 @@ fn saxpy_i8(acc: &mut [i32], x: &[i8], w: i16) {
     }
 }
 
+/// Number of `k × n` panel blocks the `i8` GEMM core has executed — one increment
+/// per `(BLOCK_K, BLOCK_N)` tile per [`gemm_i8_panel`] invocation. Gated by the
+/// process-global observability level ([`radar_obs::set_global_level`]); at `Off`
+/// each micro-kernel call pays one relaxed load and a branch.
+pub static GEMM_PANELS: radar_obs::GlobalCounter = radar_obs::GlobalCounter::new();
+
+/// Number of `i8` GEMM entry-point calls ([`gemm_i8`] / [`gemm_i8_requant`] /
+/// [`linear_i8_requant`]), gated like [`GEMM_PANELS`].
+pub static GEMM_CALLS: radar_obs::GlobalCounter = radar_obs::GlobalCounter::new();
+
 /// Accumulates `W(rows×k) × X(k×n)` restricted to output columns
 /// `[col0, col0 + ncols)` into `acc` (`rows × ncols`, row-major), blocked over `k`
 /// and `n` panels. The shared core of the single-threaded, row-split and
@@ -270,6 +280,7 @@ fn gemm_i8_panel(
 ) {
     debug_assert_eq!(w.len(), rows * k);
     debug_assert_eq!(acc.len(), rows * ncols);
+    GEMM_PANELS.add((ncols.div_ceil(BLOCK_N) * k.div_ceil(BLOCK_K)) as u64);
     for jc in (0..ncols).step_by(BLOCK_N) {
         let nc = BLOCK_N.min(ncols - jc);
         for pc in (0..k).step_by(BLOCK_K) {
@@ -315,6 +326,7 @@ pub fn gemm_i8(w: &[i8], x: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
     assert_eq!(w.len(), m * k, "weight length {} != {m}x{k}", w.len());
     assert_eq!(x.len(), k * n, "rhs length {} != {k}x{n}", x.len());
     assert!(k <= MAX_GEMM_K, "k={k} overflows the i32 accumulator");
+    GEMM_CALLS.add(1);
     let mut acc = vec![0i32; m * n];
     gemm_i8_panel(w, x, m, k, n, 0, n, &mut acc);
     acc
@@ -409,6 +421,7 @@ pub fn gemm_i8_requant(
     assert_eq!(x.len(), k * n, "rhs length {} != {k}x{n}", x.len());
     assert!(k <= MAX_GEMM_K, "k={k} overflows the i32 accumulator");
     assert!(threads > 0, "thread count must be non-zero");
+    GEMM_CALLS.add(1);
     let scale_of = row_scale(scales, m);
     if let Some(b) = bias {
         assert_eq!(b.len(), m, "bias length {} != {m} output rows", b.len());
@@ -580,6 +593,7 @@ pub fn linear_i8_requant(
     assert_eq!(w.len(), m * k, "weight length {} != {m}x{k}", w.len());
     assert!(k <= MAX_GEMM_K, "k={k} overflows the i32 accumulator");
     assert!(threads > 0, "thread count must be non-zero");
+    GEMM_CALLS.add(1);
     let scale_of = row_scale(scales, m);
     if let Some(b) = bias {
         assert_eq!(b.len(), m, "bias length {} != {m} output features", b.len());

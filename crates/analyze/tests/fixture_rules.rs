@@ -47,6 +47,7 @@ fn every_rule_catches_its_seeded_fixture_violation() {
         "atomics-barrier",
         "unsafe-forbid",
         "no-unwrap-worker",
+        "worker-snapshot-only",
         "secret-hygiene",
         "obs-off-purity",
     ] {

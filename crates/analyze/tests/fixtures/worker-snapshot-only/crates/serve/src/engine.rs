@@ -1,0 +1,7 @@
+// Fixture: a worker that reaches around the verified snapshot and reads a layer
+// straight out of DRAM. Seeded violation for the `worker-snapshot-only` rule.
+fn worker_loop(dram: &WeightDram, buf: &mut Vec<i8>) {
+    for layer in 0..dram.num_layers() {
+        dram.read_layer_into(layer, buf);
+    }
+}

@@ -1,9 +1,10 @@
 //! Verification-throughput experiment: legacy per-group gather detection versus the
-//! precomputed streaming [`VerifyPlan`](radar_core::VerifyPlan) sweep — sequential and
-//! sharded-parallel — measured on the ResNet-18-like model. The measured speedup is
-//! the in-repo evidence for the paper's fetch-path framing (Table IV): verification
-//! must keep up with the weight-fetch stream, so detect throughput — not just
-//! detection accuracy — is a tracked number.
+//! precomputed streaming [`VerifyPlan`](radar_core::VerifyPlan) sweep — sequential,
+//! sharded-parallel (1/2/4 threads), and the fused fetch-and-verify kernel against
+//! its two-pass copy-then-verify baseline — measured on the ResNet-18-like model.
+//! The measured speedup is the in-repo evidence for the paper's fetch-path framing
+//! (Table IV): verification must keep up with the weight-fetch stream, so detect
+//! throughput — not just detection accuracy — is a tracked number.
 //!
 //! Besides the human-readable report, the experiment writes
 //! `artifacts/results/BENCH_verify.json` (now including `parallel` points per thread
@@ -14,6 +15,7 @@
 use radar_core::{
     gather_signatures, DetectionReport, FlaggedGroup, RadarConfig, RadarProtection, VERIFY_SWEEPS,
 };
+use radar_memsim::{DramGeometry, WeightDram};
 use radar_nn::{resnet18, ResNetConfig};
 use radar_obs::{set_global_level, ObsLevel, Stopwatch};
 use radar_quant::QuantizedModel;
@@ -24,8 +26,9 @@ use crate::report::Report;
 /// Group sizes measured (the paper's ResNet-18 Table IV point plus one smaller size).
 const GROUP_SIZES: [usize; 2] = [128, 512];
 
-/// Thread counts measured for the sharded parallel detect path.
-const PARALLEL_THREADS: [usize; 2] = [2, 4];
+/// Thread counts measured for the sharded parallel detect path (1 pins the sharded
+/// code at its sequential degenerate point).
+const PARALLEL_THREADS: [usize; 3] = [1, 2, 4];
 
 /// The pre-plan detection path, the measurement baseline: per layer, re-derive the
 /// member lists from the layout and gather the weights through the shared
@@ -45,6 +48,47 @@ fn legacy_detect(radar: &RadarProtection, model: &QuantizedModel) -> DetectionRe
                 });
             }
         }
+    }
+    report
+}
+
+/// The two-pass weight-fetch baseline: copy every layer out of DRAM, then run the
+/// streaming verify over the copy — what the serve engine's per-worker fetch mode
+/// pays per batch.
+fn split_fetch_verify(
+    radar: &RadarProtection,
+    dram: &WeightDram,
+    layers: &mut [Vec<i8>],
+    acc: &mut Vec<i32>,
+) -> DetectionReport {
+    let epoch = radar.current_epoch();
+    let mut report = DetectionReport::default();
+    for (layer, buf) in layers.iter_mut().enumerate() {
+        dram.read_layer_into(layer, buf);
+        report.merge(&radar.verify_layer_values_at_epoch_with_scratch(epoch, layer, buf, acc));
+    }
+    report
+}
+
+/// The fused fetch-and-verify sweep: one pass per layer copies the DRAM bytes out
+/// while scatter-adding the ±1 mask into the signature accumulators — what the
+/// shared-snapshot build pays per batch.
+fn fused_fetch_verify(
+    radar: &RadarProtection,
+    dram: &WeightDram,
+    layers: &mut [Vec<i8>],
+    acc: &mut Vec<i32>,
+) -> DetectionReport {
+    let epoch = radar.current_epoch();
+    let mut report = DetectionReport::default();
+    for (layer, buf) in layers.iter_mut().enumerate() {
+        report.merge(&radar.fetch_verify_layer_at_epoch_with_scratch(
+            epoch,
+            layer,
+            dram.layer_bytes(layer),
+            buf,
+            acc,
+        ));
     }
     report
 }
@@ -69,6 +113,10 @@ struct Measurement {
     plan_seconds: f64,
     /// `(threads, seconds)` per measured parallel thread count.
     parallel_seconds: Vec<(usize, f64)>,
+    /// Full-model copy-then-verify from DRAM (the per-worker fetch baseline).
+    split_fetch_seconds: f64,
+    /// Full-model fused copy-and-verify from DRAM (the snapshot build kernel).
+    fused_fetch_seconds: f64,
     /// [`VERIFY_SWEEPS`] per sequential detect pass (one per layer — pinned by
     /// the counter so a plan-bypassing regression shows up in the artifact).
     plan_sweeps: u64,
@@ -77,6 +125,11 @@ struct Measurement {
 impl Measurement {
     fn speedup(&self) -> f64 {
         self.legacy_seconds / self.plan_seconds
+    }
+
+    /// Speedup of the fused fetch-and-verify over the two-pass fetch baseline.
+    fn fused_speedup(&self) -> f64 {
+        self.split_fetch_seconds / self.fused_fetch_seconds
     }
 
     /// Speedup of the parallel sweep at `threads` over the sequential plan sweep.
@@ -113,13 +166,18 @@ pub fn bench_verify(budget: &Budget) -> Report {
         "G".into(),
         "legacy (ms)".into(),
         "plan (ms)".into(),
+        "1t (ms)".into(),
         "2t (ms)".into(),
         "4t (ms)".into(),
+        "split (ms)".into(),
+        "fused (ms)".into(),
         "speedup".into(),
-        "2t speedup".into(),
-        "4t speedup".into(),
+        "fused speedup".into(),
     ]);
 
+    let dram = WeightDram::load(&model, DramGeometry::default());
+    let mut layers: Vec<Vec<i8>> = vec![Vec::new(); dram.num_layers()];
+    let mut acc: Vec<i32> = Vec::new();
     let mut measurements = Vec::new();
     for g in GROUP_SIZES {
         let radar = RadarProtection::new(&model, RadarConfig::paper_default(g));
@@ -129,6 +187,8 @@ pub fn bench_verify(budget: &Budget) -> Report {
         for t in PARALLEL_THREADS {
             assert!(!radar.detect_parallel(&model, t).attack_detected());
         }
+        assert!(!split_fetch_verify(&radar, &dram, &mut layers, &mut acc).attack_detected());
+        assert!(!fused_fetch_verify(&radar, &dram, &mut layers, &mut acc).attack_detected());
 
         let legacy_seconds = median_seconds(iters, || {
             std::hint::black_box(legacy_detect(&radar, &model));
@@ -136,7 +196,7 @@ pub fn bench_verify(budget: &Budget) -> Report {
         let plan_seconds = median_seconds(iters, || {
             std::hint::black_box(radar.detect(&model));
         });
-        let parallel_seconds = PARALLEL_THREADS
+        let parallel_seconds: Vec<(usize, f64)> = PARALLEL_THREADS
             .iter()
             .map(|&t| {
                 let s = median_seconds(iters, || {
@@ -145,6 +205,12 @@ pub fn bench_verify(budget: &Budget) -> Report {
                 (t, s)
             })
             .collect();
+        let split_fetch_seconds = median_seconds(iters, || {
+            std::hint::black_box(split_fetch_verify(&radar, &dram, &mut layers, &mut acc));
+        });
+        let fused_fetch_seconds = median_seconds(iters, || {
+            std::hint::black_box(fused_fetch_verify(&radar, &dram, &mut layers, &mut acc));
+        });
 
         // One counted (untimed) pass attributes the sweep counter to this point.
         VERIFY_SWEEPS.reset();
@@ -156,6 +222,8 @@ pub fn bench_verify(budget: &Budget) -> Report {
             legacy_seconds,
             plan_seconds,
             parallel_seconds,
+            split_fetch_seconds,
+            fused_fetch_seconds,
             plan_sweeps,
         };
         let par_ms = |t: usize| {
@@ -164,19 +232,17 @@ pub fn bench_verify(budget: &Budget) -> Report {
                 .find(|&&(pt, _)| pt == t)
                 .map_or("-".to_owned(), |&(_, s)| format!("{:.3}", s * 1e3))
         };
-        let par_speedup = |t: usize| {
-            m.parallel_speedup(t)
-                .map_or("-".to_owned(), |s| format!("{s:.1}x"))
-        };
         report.row(&[
             format!("{g}"),
             format!("{:.3}", m.legacy_seconds * 1e3),
             format!("{:.3}", m.plan_seconds * 1e3),
+            par_ms(1),
             par_ms(2),
             par_ms(4),
+            format!("{:.3}", m.split_fetch_seconds * 1e3),
+            format!("{:.3}", m.fused_fetch_seconds * 1e3),
             format!("{:.1}x", m.speedup()),
-            par_speedup(2),
-            par_speedup(4),
+            format!("{:.2}x", m.fused_speedup()),
         ]);
         measurements.push(m);
     }
@@ -208,7 +274,7 @@ fn write_json(
                 .map(|&(t, s)| {
                     format!(
                         "{{\"threads\": {t}, \"seconds\": {s:.9}, \"speedup_vs_plan\": {:.3}}}",
-                        m.plan_seconds / s
+                        m.parallel_speedup(t).unwrap_or(f64::NAN)
                     )
                 })
                 .collect();
@@ -216,12 +282,17 @@ fn write_json(
                 concat!(
                     "    {{\"group_size\": {}, \"legacy_seconds\": {:.9}, ",
                     "\"plan_seconds\": {:.9}, \"speedup\": {:.3}, ",
+                    "\"split_fetch_seconds\": {:.9}, \"fused_fetch_seconds\": {:.9}, ",
+                    "\"fused_speedup\": {:.3}, ",
                     "\"plan_sweeps_per_pass\": {}, \"parallel\": [{}]}}"
                 ),
                 m.group_size,
                 m.legacy_seconds,
                 m.plan_seconds,
                 m.speedup(),
+                m.split_fetch_seconds,
+                m.fused_fetch_seconds,
+                m.fused_speedup(),
                 m.plan_sweeps,
                 parallel.join(", ")
             )
@@ -256,6 +327,30 @@ mod tests {
         for t in PARALLEL_THREADS {
             assert_eq!(radar.detect(&model), radar.detect_parallel(&model, t));
         }
+    }
+
+    #[test]
+    fn split_and_fused_fetch_paths_agree_on_a_corrupted_dram_image() {
+        let model = QuantizedModel::new(Box::new(resnet20(&ResNetConfig::tiny(4))));
+        let radar = RadarProtection::new(&model, RadarConfig::paper_default(32));
+        let mut dram = WeightDram::load(&model, DramGeometry::default());
+        dram.flip_bit(dram.offset_of(1, 7), MSB);
+        dram.flip_bit(dram.offset_of(5, 0), MSB);
+
+        let mut layers = vec![Vec::new(); dram.num_layers()];
+        let mut acc = Vec::new();
+        let split = split_fetch_verify(&radar, &dram, &mut layers, &mut acc);
+        let split_bytes = layers.clone();
+        let fused = fused_fetch_verify(&radar, &dram, &mut layers, &mut acc);
+        assert!(fused.attack_detected());
+        assert_eq!(
+            split, fused,
+            "the fused sweep must flag exactly what split does"
+        );
+        assert_eq!(
+            split_bytes, layers,
+            "the fused copy must produce the same bytes"
+        );
     }
 
     #[test]

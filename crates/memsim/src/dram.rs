@@ -192,6 +192,21 @@ impl WeightDram {
         buf.extend(self.image[start..start + len].iter().map(|&b| b as i8));
     }
 
+    /// Borrows one layer's raw stored bytes — the zero-copy input of the fused
+    /// fetch-and-verify kernel
+    /// ([`LayerPlan::copy_accumulate`](radar_core::LayerPlan::copy_accumulate)),
+    /// which reinterprets and copies them itself so the fetch stream is swept
+    /// exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of bounds.
+    pub fn layer_bytes(&self, layer: usize) -> &[u8] {
+        let start = self.layer_offsets[layer];
+        let len = self.layer_len(layer);
+        &self.image[start..start + len]
+    }
+
     /// Flips `bit` of the byte at `offset` (what one rowhammer-induced disturbance
     /// error does), returning the new byte value.
     ///

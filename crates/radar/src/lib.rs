@@ -64,7 +64,7 @@ mod store;
 pub use config::RadarConfig;
 pub use grouping::{GroupLayout, Grouping};
 pub use key::{KeyEpoch, KeySchedule, MasterSecret, SecretKey, KEY_BITS};
-pub use plan::{LayerPlan, VerifyPlan, VERIFY_SWEEPS};
+pub use plan::{LayerPlan, VerifyPlan, VERIFY_LANES, VERIFY_SWEEPS};
 pub use protected::{ProtectedModel, ProtectionStats};
 pub use protection::{
     DetectionReport, FlaggedGroup, LayerProtection, RadarProtection, RecoveryReport,

@@ -2,12 +2,20 @@ use crate::grouping::GroupLayout;
 use crate::key::{KeyEpoch, SecretKey};
 use crate::signature::{binarize, SignatureBits};
 
-/// Number of masked-accumulation sweeps ([`LayerPlan::accumulate`]) the verification
-/// plans have executed — one per layer per signature computation or check, across
-/// signing, in-path verification, scrubbing and rotation re-signing. Gated by the
-/// process-global observability level ([`radar_obs::set_global_level`]); at `Off`
-/// each sweep pays one relaxed load and a branch.
+/// Number of masked-accumulation sweeps ([`LayerPlan::accumulate`] or the fused
+/// [`LayerPlan::copy_accumulate`]) the verification plans have executed — one per
+/// layer per signature computation or check, across signing, in-path verification,
+/// scrubbing and rotation re-signing. Gated by the process-global observability
+/// level ([`radar_obs::set_global_level`]); at `Off` each sweep pays one relaxed
+/// load and a branch.
 pub static VERIFY_SWEEPS: radar_obs::GlobalCounter = radar_obs::GlobalCounter::new();
+
+/// Fixed lane width of the verify sweep's inner loop. Both [`LayerPlan::accumulate`]
+/// and [`LayerPlan::copy_accumulate`] process `chunks_exact(VERIFY_LANES)` blocks of
+/// i8×i8→i32 widening multiplies into a lane-local accumulator array — the same shape
+/// as the GEMM micro-kernel's fixed-width inner tile, chosen so the compiler
+/// autovectorizes the multiply/widen without any unsafe SIMD intrinsics.
+pub const VERIFY_LANES: usize = 16;
 
 /// Precomputed verification plan for one layer: everything the run-time check needs to
 /// turn signature computation into a single sequential sweep over the layer's weights.
@@ -50,6 +58,12 @@ pub struct LayerPlan {
     members: Vec<u32>,
     /// CSR offsets into `members`: group `g` owns `members[offsets[g]..offsets[g + 1]]`.
     group_offsets: Vec<u32>,
+    /// The ±1 key mask permuted into `members` order, so a group's masks are one
+    /// contiguous slice and the per-group sweep is a fixed-width dot product.
+    slot_mask: Vec<i8>,
+    /// Whether `members` is the identity permutation (contiguous grouping): the
+    /// per-group sweep then reads the weights as a contiguous slice, gather-free.
+    identity_members: bool,
 }
 
 impl LayerPlan {
@@ -80,6 +94,8 @@ impl LayerPlan {
             members[cursor[g as usize] as usize] = i as u32;
             cursor[g as usize] += 1;
         }
+        let slot_mask: Vec<i8> = members.iter().map(|&i| mask[i as usize]).collect();
+        let identity_members = members.iter().enumerate().all(|(j, &i)| i as usize == j);
 
         LayerPlan {
             layout,
@@ -88,6 +104,8 @@ impl LayerPlan {
             mask,
             members,
             group_offsets,
+            slot_mask,
+            identity_members,
         }
     }
 
@@ -136,10 +154,18 @@ impl LayerPlan {
         &self.members[self.group_offsets[group] as usize..self.group_offsets[group + 1] as usize]
     }
 
-    /// One-pass masked accumulation: sweeps `weights` sequentially and scatter-adds
-    /// `mask[i] * weights[i]` into `acc[group_index[i]]`. The first `num_groups`
-    /// entries of `acc` are zeroed first; entries beyond that are left untouched so one
-    /// scratch buffer can be shared across layers of different widths.
+    /// One-pass masked accumulation: walks the groups through the CSR slot-ordered
+    /// permutation and writes each group's masked sum into `acc[group]`. The inner
+    /// loop is a fixed-width ([`VERIFY_LANES`]) i8×i8→i32 widening dot product over
+    /// the permuted `slot_mask` table — contiguous groupings read the weights as a
+    /// straight slice, interleaved groupings gather a lane block first — so the
+    /// multiply/widen/add autovectorizes. The first `num_groups` entries of `acc`
+    /// are overwritten; entries beyond that are left untouched so one scratch buffer
+    /// can be shared across layers of different widths.
+    ///
+    /// Every sum is the same multiset of exact `i32` terms the storage-order scatter
+    /// sweep produced, so results are bit-identical to that historical path (pinned
+    /// by the `plan_equivalence` proptests).
     ///
     /// # Panics
     ///
@@ -158,10 +184,77 @@ impl LayerPlan {
             acc.len()
         );
         VERIFY_SWEEPS.add(1);
+        self.accumulate_inner(weights, &mut acc[..num_groups]);
+    }
+
+    /// The group-major sweep shared by [`accumulate`](Self::accumulate) and the
+    /// fused [`copy_accumulate`](Self::copy_accumulate): callers own the asserts
+    /// and the [`VERIFY_SWEEPS`] tick, `acc` is exactly `num_groups` wide.
+    fn accumulate_inner(&self, weights: &[i8], acc: &mut [i32]) {
+        for (g, slot) in acc.iter_mut().enumerate() {
+            let start = self.group_offsets[g] as usize;
+            let end = self.group_offsets[g + 1] as usize;
+            let masks = &self.slot_mask[start..end];
+            *slot = if self.identity_members {
+                dot_masked(&weights[start..end], masks)
+            } else {
+                dot_masked_gather(weights, &self.members[start..end], masks)
+            };
+        }
+    }
+
+    /// Fused fetch-and-verify sweep: copies the layer's raw DRAM bytes into `dst`
+    /// (reinterpreted as two's-complement `i8`, exactly as the weight-fetch path
+    /// does) while computing every group's masked sum in the same sweep — one pass
+    /// over the bytes where the serving path previously paid a copy pass plus a
+    /// verify pass. Like [`accumulate`](Self::accumulate) the sweep is group-major
+    /// over the CSR slot-ordered permutation, so the inner loop stays the
+    /// fixed-width ([`VERIFY_LANES`]) i8×i8→i32 widening dot that autovectorizes;
+    /// there is no per-element scatter and no `group_index` metadata traffic.
+    ///
+    /// Contiguous groupings walk the groups in storage order, widening each lane
+    /// block into `dst` and folding it into the group's dot product in the same
+    /// step — a true single pass. Interleaved groupings first widen the whole
+    /// layer into `dst` (a straight byte copy: the `u8 → i8` reinterpretation is
+    /// a no-op bit cast) and then run the planned gather sweep over the
+    /// still-cache-hot copy, so the bytes are read from DRAM once instead of
+    /// twice.
+    ///
+    /// `dst` is cleared first and `acc`'s first `num_groups` entries are
+    /// overwritten. `i32` addition is exact, so the group-major summation order is
+    /// bit-identical to `read + copy` followed by
+    /// [`accumulate`](Self::accumulate) and to the historical storage-order
+    /// scatter (pinned by the `plan_equivalence` proptests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len()` differs from the planned layer length or `acc` holds
+    /// fewer than `num_groups` entries.
+    pub fn copy_accumulate(&self, src: &[u8], dst: &mut Vec<i8>, acc: &mut [i32]) {
+        assert_eq!(
+            src.len(),
+            self.len(),
+            "byte count changed since the plan was built"
+        );
+        let num_groups = self.num_groups();
+        assert!(
+            acc.len() >= num_groups,
+            "accumulator holds {} entries, need {num_groups}",
+            acc.len()
+        );
+        VERIFY_SWEEPS.add(1);
         let acc = &mut acc[..num_groups];
-        acc.fill(0);
-        for ((&w, &m), &g) in weights.iter().zip(&self.mask).zip(&self.group_index) {
-            acc[g as usize] += i32::from(m) * i32::from(w);
+        dst.clear();
+        dst.reserve(src.len());
+        if self.identity_members {
+            for (g, slot) in acc.iter_mut().enumerate() {
+                let start = self.group_offsets[g] as usize;
+                let end = self.group_offsets[g + 1] as usize;
+                *slot = widen_dot_masked(&src[start..end], &self.slot_mask[start..end], dst);
+            }
+        } else {
+            dst.extend(src.iter().map(|&b| i8::from_ne_bytes([b])));
+            self.accumulate_inner(dst, acc);
         }
     }
 
@@ -196,6 +289,79 @@ impl LayerPlan {
         self.signatures_into(weights, bits, &mut acc, &mut out);
         out
     }
+}
+
+/// Fixed-width masked dot product over contiguous weight and mask slices: lane-local
+/// `i32` partial sums over [`VERIFY_LANES`]-wide blocks (the autovectorized fast
+/// path), scalar over the ragged tail. Exact in `i32`, so any lane split produces
+/// the same sum.
+#[inline]
+fn dot_masked(weights: &[i8], masks: &[i8]) -> i32 {
+    let mut lanes = [0i32; VERIFY_LANES];
+    let mut w = weights.chunks_exact(VERIFY_LANES);
+    let mut m = masks.chunks_exact(VERIFY_LANES);
+    for (wc, mc) in (&mut w).zip(&mut m) {
+        for lane in 0..VERIFY_LANES {
+            lanes[lane] += i32::from(wc[lane]) * i32::from(mc[lane]);
+        }
+    }
+    let mut total: i32 = lanes.iter().sum();
+    for (&wv, &mv) in w.remainder().iter().zip(m.remainder()) {
+        total += i32::from(wv) * i32::from(mv);
+    }
+    total
+}
+
+/// [`dot_masked`] fused with the byte fetch: widens each lane block of raw DRAM
+/// bytes into `dst` (two's-complement reinterpretation, a no-op bit cast) and
+/// folds the same block into the masked dot in one step. Contiguous groups are
+/// storage-order slices, so appending per group fills `dst` in layer order.
+#[inline]
+fn widen_dot_masked(bytes: &[u8], masks: &[i8], dst: &mut Vec<i8>) -> i32 {
+    let mut lanes = [0i32; VERIFY_LANES];
+    let mut b = bytes.chunks_exact(VERIFY_LANES);
+    let mut m = masks.chunks_exact(VERIFY_LANES);
+    for (bc, mc) in (&mut b).zip(&mut m) {
+        let mut w = [0i8; VERIFY_LANES];
+        for (lane, &byte) in w.iter_mut().zip(bc) {
+            *lane = i8::from_ne_bytes([byte]);
+        }
+        dst.extend_from_slice(&w);
+        for lane in 0..VERIFY_LANES {
+            lanes[lane] += i32::from(w[lane]) * i32::from(mc[lane]);
+        }
+    }
+    let mut total: i32 = lanes.iter().sum();
+    for (&byte, &mv) in b.remainder().iter().zip(m.remainder()) {
+        let w = i8::from_ne_bytes([byte]);
+        dst.push(w);
+        total += i32::from(w) * i32::from(mv);
+    }
+    total
+}
+
+/// [`dot_masked`] for permuted (interleaved) groups: gathers each lane block of
+/// weights through the CSR member indices into a stack buffer, then runs the same
+/// fixed-width widening multiply — the gather is scalar, the arithmetic is not.
+#[inline]
+fn dot_masked_gather(weights: &[i8], members: &[u32], masks: &[i8]) -> i32 {
+    let mut lanes = [0i32; VERIFY_LANES];
+    let mut idx = members.chunks_exact(VERIFY_LANES);
+    let mut m = masks.chunks_exact(VERIFY_LANES);
+    for (ic, mc) in (&mut idx).zip(&mut m) {
+        let mut w = [0i8; VERIFY_LANES];
+        for (lane, &i) in w.iter_mut().zip(ic) {
+            *lane = weights[i as usize];
+        }
+        for lane in 0..VERIFY_LANES {
+            lanes[lane] += i32::from(w[lane]) * i32::from(mc[lane]);
+        }
+    }
+    let mut total: i32 = lanes.iter().sum();
+    for (&i, &mv) in idx.remainder().iter().zip(m.remainder()) {
+        total += i32::from(weights[i as usize]) * i32::from(mv);
+    }
+    total
 }
 
 /// The verification plan of a whole model: one [`LayerPlan`] per protected layer plus
@@ -372,6 +538,50 @@ mod tests {
             layer.signatures_into(&w, plan.signature_bits(), &mut acc, &mut out);
             assert_eq!(out, layer.signatures(&w, plan.signature_bits()));
         }
+    }
+
+    #[test]
+    fn copy_accumulate_matches_copy_then_accumulate() {
+        for grouping in [Grouping::Contiguous, Grouping::interleaved()] {
+            for (len, g) in [(128, 16), (130, 16), (37, 5), (513, 64)] {
+                let layout = GroupLayout::new(len, g, grouping);
+                let plan = LayerPlan::new(layout, SecretKey::new(0xBEEF));
+                let src: Vec<u8> = (0..len).map(|i| (i * 37) as u8).collect();
+                let mut dst = Vec::new();
+                let mut acc = vec![0i32; layout.num_groups()];
+                plan.copy_accumulate(&src, &mut dst, &mut acc);
+                let copied: Vec<i8> = src.iter().map(|&b| i8::from_ne_bytes([b])).collect();
+                assert_eq!(dst, copied, "{grouping:?} len={len} G={g}");
+                let mut expect = vec![0i32; layout.num_groups()];
+                plan.accumulate(&copied, &mut expect);
+                assert_eq!(acc, expect, "{grouping:?} len={len} G={g}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_permutation_is_detected_for_contiguous_grouping_only() {
+        let contiguous = LayerPlan::new(
+            GroupLayout::new(96, 16, Grouping::Contiguous),
+            SecretKey::new(0xACE1),
+        );
+        let interleaved = LayerPlan::new(
+            GroupLayout::new(96, 16, Grouping::interleaved()),
+            SecretKey::new(0xACE1),
+        );
+        assert!(contiguous.identity_members);
+        assert!(!interleaved.identity_members);
+    }
+
+    #[test]
+    #[should_panic(expected = "byte count changed")]
+    fn copy_accumulate_rejects_mismatched_byte_count() {
+        let plan = LayerPlan::new(
+            GroupLayout::new(16, 4, Grouping::Contiguous),
+            SecretKey::insecure_unmasked(),
+        );
+        let mut acc = vec![0i32; 4];
+        plan.copy_accumulate(&[0u8; 15], &mut Vec::new(), &mut acc);
     }
 
     #[test]

@@ -524,6 +524,37 @@ impl RadarProtection {
         }
     }
 
+    /// Fused fetch-and-verify of one layer from its raw DRAM bytes: copies the bytes
+    /// into `dst` *while* accumulating the masked group sums in one sweep
+    /// ([`LayerPlan::copy_accumulate`](super::plan::LayerPlan::copy_accumulate)),
+    /// then compares the binarized signatures against `state`'s golden store — the
+    /// snapshot build path's one pass per layer per batch.
+    fn check_layer_fused(
+        state: &EpochState,
+        layer_idx: usize,
+        src: &[u8],
+        dst: &mut Vec<i8>,
+        acc: &mut [i32],
+        report: &mut DetectionReport,
+    ) {
+        assert_eq!(
+            src.len(),
+            state.layers[layer_idx].layout.len(),
+            "layer {layer_idx} size changed since signing"
+        );
+        let bits = state.plan.signature_bits();
+        let layer_plan = state.plan.layer(layer_idx);
+        layer_plan.copy_accumulate(src, dst, acc);
+        for (group, &m) in acc[..layer_plan.num_groups()].iter().enumerate() {
+            if binarize(m, bits) != state.golden.signature(layer_idx, group) {
+                report.flagged.push(FlaggedGroup {
+                    layer: layer_idx,
+                    group,
+                });
+            }
+        }
+    }
+
     /// Resolves `epoch` to a retained epoch state. Unknown epochs (already
     /// retired, or never published) fall back to the *current* state: at worst
     /// that misflags a group signed under another key (a false positive that
@@ -731,6 +762,44 @@ impl RadarProtection {
         }
         let mut report = DetectionReport::default();
         Self::check_layer(state, layer, values, acc, &mut report);
+        report
+    }
+
+    /// Fused fetch-and-verify of one layer under a *pinned* epoch: copies the
+    /// layer's raw DRAM bytes into `dst` (reinterpreted as `i8`, exactly as the
+    /// weight-fetch path does) while accumulating and checking the group
+    /// signatures in the same sweep. This is the snapshot build path's kernel:
+    /// where the per-worker path paid a copy pass plus a
+    /// [`verify_layer_values_at_epoch_with_scratch`](Self::verify_layer_values_at_epoch_with_scratch)
+    /// pass, the build pays one.
+    ///
+    /// Epoch resolution matches the unfused check: an `epoch` no longer retained
+    /// falls back to the current state — fail-closed, never skip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of bounds or `src.len()` differs from the layer's
+    /// planned length.
+    pub fn fetch_verify_layer_at_epoch_with_scratch(
+        &self,
+        epoch: KeyEpoch,
+        layer: usize,
+        src: &[u8],
+        dst: &mut Vec<i8>,
+        acc: &mut Vec<i32>,
+    ) -> DetectionReport {
+        let state = self.epoch_state(epoch);
+        assert!(
+            layer < state.layers.len(),
+            "layer {layer} out of bounds for {} layers",
+            state.layers.len()
+        );
+        let groups = state.plan.layer(layer).num_groups();
+        if acc.len() < groups {
+            acc.resize(groups, 0);
+        }
+        let mut report = DetectionReport::default();
+        Self::check_layer_fused(state, layer, src, dst, acc, &mut report);
         report
     }
 

@@ -19,6 +19,24 @@ pub enum ExecPath {
     FloatOracle,
 }
 
+/// How a batch's verified weights reach its worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FetchMode {
+    /// One fused fetch-and-verify pass per batch builds a shared, epoch-pinned
+    /// `VerifiedSnapshot` (bytes copied out of DRAM *while* the ±1 mask
+    /// scatter-adds into the signature accumulators), published as an `Arc` for
+    /// every consumer of the batch. Workers execute `forward_with_values` against
+    /// the shared `&[i8]` slices; recovery refreshes happen in the build path
+    /// before publish.
+    #[default]
+    SharedSnapshot,
+    /// The pre-snapshot pipeline: the batch's worker copies every layer into its
+    /// private arena and verifies it in a second pass. Kept as the equivalence
+    /// baseline — the logical telemetry of a seeded run must be identical across
+    /// both modes (CI gates on the journal diff).
+    PerWorker,
+}
+
 /// Configuration of one serving run.
 ///
 /// Environment knobs (applied by [`from_env`](Self::from_env)):
@@ -63,6 +81,8 @@ pub struct ServeConfig {
     pub window: usize,
     /// Which execution path workers run inference on (quantized-native by default).
     pub exec: ExecPath,
+    /// How a batch's verified weights reach its worker (shared snapshot by default).
+    pub fetch: FetchMode,
     /// Observability configuration: recording level (`Off | Counters | Full`) and
     /// journal capacity. The journal and the `BENCH_serve.json`-contract metrics
     /// record at every level; `Full` additionally records profiling spans for the
@@ -84,6 +104,7 @@ impl Default for ServeConfig {
             rotate_every: 0,
             window: 64,
             exec: ExecPath::QuantizedNative,
+            fetch: FetchMode::SharedSnapshot,
             obs: ObsConfig::default(),
         }
     }
@@ -129,6 +150,14 @@ impl ServeConfig {
         self
     }
 
+    /// The per-worker-fetch variant: each batch's worker copies and verifies the
+    /// model into its private arena instead of consuming the shared snapshot. The
+    /// equivalence baseline for [`FetchMode::SharedSnapshot`].
+    pub fn per_worker_fetch(mut self) -> Self {
+        self.fetch = FetchMode::PerWorker;
+        self
+    }
+
     /// The float-oracle variant: workers run the pre-quantized-native pipeline
     /// (fetch → model write-back → dequantize-everything → float forward). Used by
     /// the equivalence tests and the `bench_infer` baseline.
@@ -159,6 +188,8 @@ mod tests {
         assert!(cfg.scrub_every > 0);
         assert_eq!(cfg.obs.level, ObsLevel::Counters);
         assert_eq!(cfg.with_obs(ObsLevel::Full).obs.level, ObsLevel::Full);
+        assert_eq!(cfg.fetch, FetchMode::SharedSnapshot);
+        assert_eq!(cfg.per_worker_fetch().fetch, FetchMode::PerWorker);
     }
 
     #[test]

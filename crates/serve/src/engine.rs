@@ -9,12 +9,13 @@ use radar_nn::argmax_rows;
 use radar_obs::{set_global_level, EventKind, Labels, Stopwatch, Tid, Track};
 use radar_quant::QuantizedModel;
 
-use crate::config::{ExecPath, ServeConfig};
+use crate::config::{ExecPath, FetchMode, ServeConfig};
 use crate::recovery::recover_in_dram;
 use crate::steps::{
-    fetch_arena_verified, flagged_layers, rotation_step, scrub_sweep, RotationAction,
+    build_snapshot, fetch_arena_verified, flagged_layers, refresh_layers, rotation_step,
+    scrub_sweep, RotationAction,
 };
-use crate::sync::{lock, read_lock, write_lock, FetchTicket};
+use crate::sync::{lock, read_lock, write_lock, FetchTicket, SnapshotSlot, VerifiedSnapshot};
 use crate::telemetry::{
     metric, RequestRecord, RotationEvent, RotationEventKind, ServeOutcome, Telemetry,
 };
@@ -28,14 +29,17 @@ use crate::traffic::{Batch, Request, TrafficSchedule};
 /// * a **batcher** coalescing up to `max_batch` requests (waiting at most `max_wait`
 ///   for stragglers) and dispatching batches to the workers — it owns the logical
 ///   clock (the dispatched-batch count) that the adversary and scrubber key off;
-/// * `workers` **inference workers**, each owning one model replica in `models`; every
-///   batch re-fetches the weights from the shared [`WeightDram`] into a per-worker
-///   layer arena, verifying each layer's raw bytes in the fetch path when
-///   `inpath_verify` is on, recovers flagged groups in the image before inferring,
-///   and (on the default [`ExecPath::QuantizedNative`]) runs forward straight off the
-///   arena through the fused dequantize-in-kernel GEMM — fetch → verify → infer is
-///   one pass over each layer's bytes, with no model write-back and no float weight
-///   tensors;
+/// * `workers` **inference workers**, each owning one model replica in `models`. On
+///   the default [`FetchMode::SharedSnapshot`] the batch's ticket holder runs *one*
+///   fused fetch-and-verify pass — each layer's bytes are copied out of the shared
+///   [`WeightDram`] while the ±1 mask scatter-adds into the signature accumulators
+///   (when `inpath_verify` is on) — recovers flagged groups in the image and in the
+///   snapshot before anyone reads it, and publishes the result as an epoch- and
+///   batch-stamped `Arc<VerifiedSnapshot>`; inference consumes the shared `&[i8]`
+///   slices directly (`forward_with_values` on [`ExecPath::QuantizedNative`], a
+///   replica write-back on the float oracle), with no worker-side mutation. The
+///   [`FetchMode::PerWorker`] baseline re-fetches into a private per-worker layer
+///   arena with a separate verify pass — kept for the journal-equivalence gate;
 /// * a background **scrubber** sweeping `scrub_layers` layers of the DRAM image every
 ///   `scrub_every` batches through [`RadarProtection::verify_layer_values`], merging
 ///   its findings into the shared recovery path;
@@ -129,6 +133,10 @@ pub fn serve(
     // Batches whose weight fetch (and any in-path recovery) has completed; doubles as
     // the fetch ticket: the worker holding batch `fetched` is the one allowed to fetch.
     let fetched = FetchTicket::new();
+    // The shared-snapshot publish/consume slot: the ticket holder publishes each
+    // batch's verified image here *before* releasing the ticket, and retired images
+    // donate their buffers back to later builds.
+    let snapshots = SnapshotSlot::new();
 
     let (req_tx, req_rx) = sync_channel::<Request>(config.queue_capacity);
     let (batch_tx, batch_rx) = sync_channel::<Batch>(config.workers);
@@ -297,16 +305,24 @@ pub fn serve(
             let telemetry = &telemetry;
             let fetched = &fetched;
             let batch_rx = &batch_rx;
+            let snapshots = &snapshots;
             scope.spawn(move || {
                 let mut shard = telemetry.shard(Tid::Worker(w as u16));
                 let worker_labels = Labels::none().worker(w as u32);
                 let mut acc: Vec<i32> = Vec::new();
                 let native = config.exec == ExecPath::QuantizedNative;
-                // Per-worker layer arena: one reusable buffer per layer holding the
-                // bytes this worker fetched from DRAM for the current batch.
-                let mut arena: Vec<Vec<i8>> = (0..model.num_layers())
-                    .map(|layer| Vec::with_capacity(model.layer(layer).len()))
-                    .collect();
+                let shared = config.fetch == FetchMode::SharedSnapshot;
+                // Per-worker layer arena (PerWorker mode only): one reusable buffer
+                // per layer holding the bytes this worker fetched from DRAM for the
+                // current batch. SharedSnapshot builds into pooled snapshot buffers
+                // instead.
+                let mut arena: Vec<Vec<i8>> = if shared {
+                    Vec::new()
+                } else {
+                    (0..model.num_layers())
+                        .map(|layer| Vec::with_capacity(model.layer(layer).len()))
+                        .collect()
+                };
                 loop {
                     let received = lock(batch_rx).recv();
                     let Ok(batch) = received else { break };
@@ -326,6 +342,15 @@ pub fn serve(
                     }
                     let mut flagged = DetectionReport::default();
                     let mut verified = false;
+                    // SharedSnapshot: the buffers this batch's fused build fills,
+                    // recycled from a retired snapshot when one has fully drained.
+                    let mut build: Vec<Vec<i8>> = Vec::new();
+                    if shared {
+                        if let Some(buffers) = snapshots.acquire_buffers() {
+                            build = buffers;
+                            shard.force_add(metric::SNAPSHOT_RECLAIMS, worker_labels.clone(), 1);
+                        }
+                    }
                     let timer = shard.span_start();
                     {
                         let dram = read_lock(dram);
@@ -333,7 +358,18 @@ pub fn serve(
                             (true, Some(prot)) => {
                                 let prot = read_lock(prot);
                                 let mut checking = Duration::ZERO;
-                                if native {
+                                if shared {
+                                    // One fused pass per batch: bytes copied out of
+                                    // DRAM while the mask scatter-adds into the
+                                    // signature accumulators.
+                                    flagged = build_snapshot(
+                                        &dram,
+                                        Some((&prot, pinned)),
+                                        &mut build,
+                                        &mut acc,
+                                        &mut checking,
+                                    );
+                                } else if native {
                                     flagged = fetch_arena_verified(
                                         &dram,
                                         Some((&prot, pinned)),
@@ -360,6 +396,10 @@ pub fn serve(
                                     checking.as_nanos() as u64,
                                 );
                             }
+                            _ if shared => {
+                                let mut unused = Duration::ZERO;
+                                build_snapshot(&dram, None, &mut build, &mut acc, &mut unused);
+                            }
                             _ if native => {
                                 let mut unused = Duration::ZERO;
                                 fetch_arena_verified(
@@ -373,7 +413,15 @@ pub fn serve(
                             _ => dram.fetch_into(&mut model),
                         }
                     }
-                    shard.span_end(timer, "fetch_verify", index);
+                    shard.span_end(
+                        timer,
+                        if shared {
+                            "snapshot_build"
+                        } else {
+                            "fetch_verify"
+                        },
+                        index,
+                    );
                     // The fetch track's journal events: emitted only by the
                     // ticket-holding worker (exactly one per batch), so the track's
                     // canonical order is flush-independent. Logical fields only —
@@ -420,16 +468,54 @@ pub fn serve(
                                     weights_zeroed: recovery.weights_zeroed as u64,
                                 },
                             );
-                            // Refresh the recovered layers in this worker's arena (or
-                            // replica) so inference consumes the zeroed (not
-                            // corrupted) weights.
-                            for layer in flagged_layers(&flagged) {
-                                if native {
-                                    dram.read_layer_into(layer, &mut arena[layer]);
-                                } else {
+                            // Refresh the recovered layers in the image about to be
+                            // served — the pending snapshot, the worker's arena, or
+                            // the replica — so inference consumes the zeroed (not
+                            // corrupted) weights. In SharedSnapshot mode this happens
+                            // strictly before publish: consumers can never observe
+                            // pre-recovery bytes.
+                            if shared {
+                                refresh_layers(&dram, &flagged, &mut build);
+                            } else if native {
+                                refresh_layers(&dram, &flagged, &mut arena);
+                            } else {
+                                for layer in flagged_layers(&flagged) {
                                     dram.fetch_layer_into(&mut model, layer);
                                 }
                             }
+                        }
+                    }
+                    // Publish the batch's verified snapshot *before* releasing the
+                    // fetch ticket: the ticket's Release store is the happens-before
+                    // edge every consumer rides. The consume happens while this
+                    // thread still holds the ticket — the slot cannot be republished
+                    // until the next batch's builder acquires the ticket — so the
+                    // stamps must name this batch and its pinned epoch. (Consuming
+                    // after the ticket release could observe a *newer* snapshot;
+                    // consuming before publish would observe a stale one — the
+                    // hazard the schedule model-checker's `StaleSnapshot` mutation
+                    // seeds.)
+                    let mut snapshot = None;
+                    if shared {
+                        snapshots.publish(VerifiedSnapshot::new(
+                            batch.index,
+                            pinned,
+                            std::mem::take(&mut build),
+                        ));
+                        shard.force_add(metric::SNAPSHOT_PUBLISHES, worker_labels.clone(), 1);
+                        if let Some(snap) = snapshots.latest() {
+                            assert_eq!(
+                                snap.batch(),
+                                batch.index,
+                                "stale snapshot consumed while serving batch {}",
+                                batch.index
+                            );
+                            assert_eq!(
+                                snap.epoch(),
+                                pinned,
+                                "snapshot epoch stamp does not match the pinned epoch"
+                            );
+                            snapshot = Some(snap);
                         }
                     }
                     fetched.publish(batch.index + 1);
@@ -438,10 +524,27 @@ pub fn serve(
                     let subset = eval.subset(&sample_ids);
                     let started = Stopwatch::start();
                     let timer = shard.span_start();
-                    let logits = if native {
-                        model.forward_with_values(&arena, subset.images())
-                    } else {
-                        model.forward_float(subset.images())
+                    let logits = match &snapshot {
+                        // Consume the shared snapshot: quantized-native forwards run
+                        // straight off the published `&[i8]` slices; the float
+                        // oracle writes them back into this worker's replica first
+                        // (its pre-snapshot pipeline needs the model's own values).
+                        Some(snap) => {
+                            shard.force_add(metric::SNAPSHOT_HITS, worker_labels.clone(), 1);
+                            if native {
+                                model.forward_with_values(snap.layers(), subset.images())
+                            } else {
+                                for (layer, values) in snap.layers().iter().enumerate() {
+                                    model
+                                        .layer_weights_mut(layer)
+                                        .values_mut()
+                                        .copy_from_slice(values);
+                                }
+                                model.forward_float(subset.images())
+                            }
+                        }
+                        None if native => model.forward_with_values(&arena, subset.images()),
+                        None => model.forward_float(subset.images()),
                     };
                     shard.span_end(timer, "infer", index);
                     shard.force_add(

@@ -38,9 +38,11 @@ use radar_quant::{QuantizedModel, MSB};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::config::FetchMode;
 use crate::recovery::recover_in_dram_traced;
 use crate::steps::{
-    fetch_arena_verified, flagged_layers, rotation_step, scrub_sweep, RotationAction,
+    build_snapshot, fetch_arena_verified, refresh_layers, rotation_step, scrub_sweep,
+    RotationAction,
 };
 
 /// Cap on recorded violations; exploration continues (for accurate state/schedule
@@ -74,6 +76,13 @@ pub enum Mutation {
     /// pin→fetch window then lets a struck batch serve corrupted bytes unverified —
     /// a corrupt-served violation the checker must find.
     NoPreviousEpoch,
+    /// The worker publishes its batch's snapshot to the shared slot *before* in-path
+    /// recovery refreshes the flagged layers, then consumes and serves those stale
+    /// bytes. The batch and epoch stamps still match — only the build→refresh→publish
+    /// ordering is broken — so the stamp asserts cannot save the run and the
+    /// pre-recovery corruption reaches traffic: a corrupt-served violation the
+    /// checker must find. Only meaningful under [`FetchMode::SharedSnapshot`].
+    StaleSnapshot,
 }
 
 /// A scripted strike: MSB flips applied to the DRAM image when the batcher's logical
@@ -110,6 +119,10 @@ pub struct Scenario {
     /// performs exactly one rotation action — begin, re-sign one layer, publish,
     /// retire — mirroring the engine's re-keying task.
     pub rotate_every: usize,
+    /// How a batch's verified weights reach its worker: the shared-snapshot
+    /// publish/consume protocol (the engine default) or the per-worker arena
+    /// baseline. Both must satisfy the same invariants.
+    pub fetch: FetchMode,
     /// The scripted strike, if any.
     pub strike: Option<StrikeSpec>,
     /// When set, the adversary and scrubber are *not* held at the fetch barrier:
@@ -163,6 +176,7 @@ impl Scenario {
             scrub_every: 2,
             scrub_layers: 2,
             rotate_every: 0,
+            fetch: FetchMode::SharedSnapshot,
             strike: None,
             relax_barrier: false,
             mutation: Mutation::None,
@@ -331,6 +345,10 @@ struct State {
     /// Batches fully processed (publish + serve) — models channel backpressure.
     completed: usize,
     workers: Vec<WorkerState>,
+    /// The shared snapshot slot: the latest published `(batch, layers)` — the
+    /// model of `SnapshotSlot::publish`/`latest` (stamps minus the epoch, which
+    /// the engine asserts against the pin it already holds).
+    slot: Option<(usize, Vec<Vec<i8>>)>,
     strike_fired: bool,
     sweeps_done: usize,
     scrub_cursor: usize,
@@ -366,6 +384,7 @@ impl State {
                     phase: Phase::Idle,
                 })
                 .collect(),
+            slot: None,
             strike_fired: false,
             sweeps_done: 0,
             scrub_cursor: 0,
@@ -530,9 +549,10 @@ impl State {
         }
     }
 
-    /// Finishes a worker's pre-serve work: recovery (if flagged), arena refresh and
-    /// ticket publish, in the order the protocol variant prescribes. The worker then
-    /// serves its (now fixed) arena snapshot as a separate, concurrent step.
+    /// Finishes a worker's pre-serve work: recovery (if flagged), arena refresh,
+    /// snapshot publish/consume (in shared-snapshot mode) and ticket publish, in the
+    /// order the protocol variant prescribes. The worker then serves its (now fixed)
+    /// weight snapshot as a separate, concurrent step.
     fn finish_batch(
         &mut self,
         sc: &Scenario,
@@ -542,12 +562,34 @@ impl State {
         mut arena: Vec<Vec<i8>>,
         publish: bool,
     ) {
+        let shared = sc.fetch == FetchMode::SharedSnapshot;
+        if shared && sc.mutation == Mutation::StaleSnapshot {
+            // The seeded bug: publish the snapshot before recovery refreshes it.
+            // The batch stamp is correct — only the ordering is broken.
+            self.slot = Some((batch, arena.clone()));
+        }
         if report.attack_detected() {
             self.recover(sc, report);
-            for layer in flagged_layers(report) {
-                self.dram.read_layer_into(layer, &mut arena[layer]);
-            }
+            refresh_layers(&self.dram, report, &mut arena);
         }
+        let arena = if shared {
+            if sc.mutation != Mutation::StaleSnapshot {
+                // The shipped ordering: build → recover → refresh → publish.
+                self.slot = Some((batch, arena));
+            }
+            // Consume `latest()` while still holding the fetch ticket, asserting
+            // the stamp exactly as the engine does. Under `StaleSnapshot` the
+            // stamp still matches — the assert cannot catch the broken ordering,
+            // which is the point: the corrupt-served invariant has to.
+            let (stamp, layers) = self
+                .slot
+                .clone()
+                .expect("the ticket holder published a snapshot");
+            assert_eq!(stamp, batch, "stale snapshot consumed");
+            layers
+        } else {
+            arena
+        };
         if publish {
             self.fetched = batch + 1;
         }
@@ -585,8 +627,11 @@ impl State {
                 let skip_verify =
                     sc.mutation == Mutation::NoPreviousEpoch && !self.prot.accepts_epoch(epoch);
                 let prot = (sc.inpath_verify && !skip_verify).then_some((&self.prot, epoch));
-                let report =
-                    fetch_arena_verified(&self.dram, prot, &mut arena, &mut acc, &mut unused);
+                let report = if sc.fetch == FetchMode::SharedSnapshot {
+                    build_snapshot(&self.dram, prot, &mut arena, &mut acc, &mut unused)
+                } else {
+                    fetch_arena_verified(&self.dram, prot, &mut arena, &mut acc, &mut unused)
+                };
                 self.workers[w].phase = Phase::Verified {
                     batch,
                     report,
@@ -781,6 +826,14 @@ impl State {
             Some(report) => {
                 1u8.hash(&mut h);
                 report.flagged.hash(&mut h);
+            }
+        }
+        match &self.slot {
+            None => 0u8.hash(&mut h),
+            Some((batch, layers)) => {
+                1u8.hash(&mut h);
+                batch.hash(&mut h);
+                layers.hash(&mut h);
             }
         }
         self.zeroed.hash(&mut h);

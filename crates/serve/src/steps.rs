@@ -51,6 +51,61 @@ pub(crate) fn fetch_arena_verified(
     flagged
 }
 
+/// The per-batch snapshot build: one fused fetch-and-verify pass over every layer's
+/// DRAM bytes into the shared snapshot buffers `layers` — the batch's single sweep
+/// over the weight stream. With `prot` provided, each layer runs the fused kernel
+/// ([`RadarProtection::fetch_verify_layer_at_epoch_with_scratch`]) under the
+/// [`KeyEpoch`] the builder pinned at its fetch ticket: the bytes are copied out
+/// *while* the ±1 mask scatter-adds into the signature accumulators, so where the
+/// per-worker arena paid a copy pass plus a verify pass, the build pays one.
+/// Without a protection the build is a plain per-layer copy.
+///
+/// `layers` is resized to the layer count and refilled; capacities recycle across
+/// builds (the engine pools retired snapshot buffers). Returns the merged
+/// detection report (empty when `prot` is `None`).
+///
+/// `checking` accumulates the *whole* fused sweep time: copy and check are one
+/// pass here, so verify-duty attributes the entire fetch stream to verification —
+/// an upper bound, documented in `docs/OBSERVABILITY.md`.
+pub(crate) fn build_snapshot(
+    dram: &WeightDram,
+    prot: Option<(&RadarProtection, KeyEpoch)>,
+    layers: &mut Vec<Vec<i8>>,
+    acc: &mut Vec<i32>,
+    checking: &mut Duration,
+) -> DetectionReport {
+    layers.resize_with(dram.num_layers(), Vec::new);
+    let mut flagged = DetectionReport::default();
+    for (layer, buf) in layers.iter_mut().enumerate() {
+        match prot {
+            Some((prot, epoch)) => {
+                let started = Stopwatch::start();
+                flagged.merge(&prot.fetch_verify_layer_at_epoch_with_scratch(
+                    epoch,
+                    layer,
+                    dram.layer_bytes(layer),
+                    buf,
+                    acc,
+                ));
+                *checking += started.elapsed_duration();
+            }
+            None => dram.read_layer_into(layer, buf),
+        }
+    }
+    flagged
+}
+
+/// Re-reads every layer `report` flagged from `dram` into `layers` — the refresh a
+/// builder runs after an in-path recovery zeroed groups, so the snapshot it
+/// publishes holds the recovered (zeroed) bytes, never the corrupted ones. This is
+/// the only post-recovery read path: workers consume published snapshots and never
+/// touch DRAM themselves.
+pub(crate) fn refresh_layers(dram: &WeightDram, report: &DetectionReport, layers: &mut [Vec<i8>]) {
+    for layer in flagged_layers(report) {
+        dram.read_layer_into(layer, &mut layers[layer]);
+    }
+}
+
 /// What one tick of the background re-keying task did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum RotationAction {
@@ -193,6 +248,64 @@ mod tests {
         // Without a protection the same fetch fills the arena but flags nothing.
         let clean = fetch_arena_verified(&dram, None, &mut arena, &mut acc, &mut checking);
         assert!(!clean.attack_detected());
+    }
+
+    #[test]
+    fn build_snapshot_matches_fetch_arena_verified_bit_for_bit() {
+        let (radar, mut dram) = setup();
+        dram.flip_bit(dram.offset_of(2, 5), MSB);
+        let mut arena: Vec<Vec<i8>> = (0..dram.num_layers()).map(|_| Vec::new()).collect();
+        let (mut acc, mut checking) = (Vec::new(), Duration::ZERO);
+        let arena_report = fetch_arena_verified(
+            &dram,
+            Some((&radar, radar.current_epoch())),
+            &mut arena,
+            &mut acc,
+            &mut checking,
+        );
+        let mut snap = Vec::new();
+        let snap_report = build_snapshot(
+            &dram,
+            Some((&radar, radar.current_epoch())),
+            &mut snap,
+            &mut acc,
+            &mut checking,
+        );
+        assert_eq!(snap_report, arena_report);
+        assert_eq!(
+            snap, arena,
+            "fused build must produce the arena's exact bytes"
+        );
+        // The unprotected build copies the same bytes and flags nothing.
+        let clean = build_snapshot(&dram, None, &mut snap, &mut acc, &mut checking);
+        assert!(!clean.attack_detected());
+        assert_eq!(snap, arena);
+    }
+
+    #[test]
+    fn refresh_layers_pulls_recovered_bytes_into_the_snapshot() {
+        let (mut radar, mut dram) = setup();
+        let offset = dram.offset_of(2, 5);
+        dram.flip_bit(offset, MSB);
+        let (mut acc, mut checking) = (Vec::new(), Duration::ZERO);
+        let mut snap = Vec::new();
+        let report = build_snapshot(
+            &dram,
+            Some((&radar, radar.current_epoch())),
+            &mut snap,
+            &mut acc,
+            &mut checking,
+        );
+        assert!(report.attack_detected());
+        recover_in_dram_traced(&mut radar, &mut dram, &report, |_, _| {});
+        refresh_layers(&dram, &report, &mut snap);
+        let mut expect = Vec::new();
+        dram.read_layer_into(2, &mut expect);
+        assert_eq!(
+            snap[2], expect,
+            "refreshed layer must hold the zeroed bytes"
+        );
+        assert_eq!(dram.read(offset), 0);
     }
 
     #[test]

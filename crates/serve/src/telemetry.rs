@@ -37,6 +37,16 @@ pub mod metric {
     pub const STRIKES_NEVER_FIRED: &str = "serve.strikes_never_fired";
     /// Verification passes that flagged at least one group.
     pub const DETECTIONS: &str = "serve.detections";
+    /// Shared snapshots built and published (one per batch under
+    /// `FetchMode::SharedSnapshot`; labelled per builder worker).
+    pub const SNAPSHOT_PUBLISHES: &str = "serve.snapshot_publishes";
+    /// Consumptions of a published snapshot (handles taken for inference — with
+    /// one worker per batch this equals publishes; a fleet sharing one snapshot
+    /// across workers drives hits above publishes).
+    pub const SNAPSHOT_HITS: &str = "serve.snapshot_hits";
+    /// Retired snapshot buffer sets reclaimed for a later build (allocation
+    /// recycling; builds minus reclaims bounds the images concurrently alive).
+    pub const SNAPSHOT_RECLAIMS: &str = "serve.snapshot_reclaims";
 }
 
 /// Outcome of one completed request.

@@ -11,7 +11,9 @@ use radar_core::{RadarConfig, RadarProtection};
 use radar_memsim::{AttackTimeline, DramGeometry, MountEvent, RowhammerInjector, WeightDram};
 use radar_nn::{resnet20, ResNetConfig};
 use radar_quant::{QuantizedModel, MSB};
-use radar_serve::{metric, replicas, serve, ExecPath, ServeConfig, ServeOutcome, TrafficSchedule};
+use radar_serve::{
+    metric, replicas, serve, ExecPath, FetchMode, ServeConfig, ServeOutcome, TrafficSchedule,
+};
 use radar_tensor::Tensor;
 
 fn tiny_model() -> QuantizedModel {
@@ -57,6 +59,7 @@ fn engine_config() -> ServeConfig {
         rotate_every: 0,
         window: 8,
         exec: ExecPath::QuantizedNative,
+        fetch: FetchMode::SharedSnapshot,
         obs: radar_serve::ObsConfig::default(),
     }
 }
@@ -176,6 +179,49 @@ fn journal_diff_is_empty_across_exec_paths() {
         "exec paths must be journal-equivalent; diff:\n{}",
         diff.join("\n")
     );
+}
+
+/// The fetch mode changes *who verifies and where the bytes live*, never *what
+/// happens*: across the full `{SharedSnapshot, PerWorker} × {QuantizedNative,
+/// FloatOracle}` matrix every seeded run produces the same logical journal — the
+/// equivalence gate for the fused verify-on-fetch snapshot path.
+#[test]
+fn journal_diff_is_empty_across_fetch_modes_and_exec_paths() {
+    assert_eq!(engine_config().fetch, FetchMode::SharedSnapshot);
+    let baseline = attacked_run(&engine_config(), 4);
+    // The default run built and consumed one shared snapshot per batch.
+    assert!(
+        baseline
+            .obs
+            .registry
+            .counter_sum(metric::SNAPSHOT_PUBLISHES)
+            > 0
+    );
+    assert!(baseline.obs.registry.counter_sum(metric::SNAPSHOT_HITS) > 0);
+
+    let variants = [
+        engine_config().per_worker_fetch(),
+        engine_config().float_oracle(),
+        engine_config().per_worker_fetch().float_oracle(),
+    ];
+    for cfg in variants {
+        let run = attacked_run(&cfg, 4);
+        let diff = baseline.obs.journal.diff(&run.obs.journal);
+        assert!(
+            diff.is_empty(),
+            "fetch/exec modes must be journal-equivalent ({:?}/{:?}); diff:\n{}",
+            cfg.fetch,
+            cfg.exec,
+            diff.join("\n")
+        );
+        if cfg.fetch == FetchMode::PerWorker {
+            assert_eq!(
+                run.obs.registry.counter_sum(metric::SNAPSHOT_PUBLISHES),
+                0,
+                "the per-worker baseline never touches the snapshot slot"
+            );
+        }
+    }
 }
 
 /// A scripted strike whose batch offset the run never reaches is not silently

@@ -11,7 +11,9 @@ use radar_core::{DetectionReport, RadarConfig, RadarProtection};
 use radar_memsim::{AttackTimeline, DramGeometry, MountEvent, RowhammerInjector, WeightDram};
 use radar_nn::{resnet20, ResNetConfig};
 use radar_quant::{QuantizedModel, MSB};
-use radar_serve::{recover_in_dram, replicas, serve, ExecPath, ServeConfig, TrafficSchedule};
+use radar_serve::{
+    recover_in_dram, replicas, serve, ExecPath, FetchMode, ServeConfig, TrafficSchedule,
+};
 use radar_tensor::Tensor;
 
 fn tiny_model() -> QuantizedModel {
@@ -159,6 +161,7 @@ fn engine_config() -> ServeConfig {
         rotate_every: 0,
         window: 8,
         exec: ExecPath::QuantizedNative,
+        fetch: FetchMode::SharedSnapshot,
         obs: radar_serve::ObsConfig::default(),
     }
 }
